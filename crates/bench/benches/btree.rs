@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the B+-tree index over the buffer pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dbms_engine::btree::BTree;
+use dbms_engine::value::composite_key;
+use dbms_engine::{BufferPool, NoFtlBackend, RecordId, StorageBackend};
+use flash_sim::{DeviceBuilder, FlashGeometry, SimTime, TimingModel};
+use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig};
+
+fn setup(pool_pages: usize) -> (BufferPool, BTree) {
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example())
+            .timing(TimingModel::instant())
+            .build(),
+    );
+    let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
+    let backend = Arc::new(
+        NoFtlBackend::new(noftl, &PlacementConfig::traditional(8, ["idx".to_string()])).unwrap(),
+    );
+    let obj = backend.create_object("idx").unwrap();
+    (BufferPool::new(backend, pool_pages), BTree::new(obj))
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+
+    group.bench_function("insert_sequential", |b| {
+        let (pool, tree) = setup(4096);
+        let mut i: i64 = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(
+                tree.insert(&pool, &composite_key(&[1, 1, i]), RecordId::new(i as u64, 0), SimTime::ZERO)
+                    .unwrap(),
+            );
+        });
+    });
+
+    group.bench_function("search_cached", |b| {
+        let (pool, tree) = setup(4096);
+        for i in 0..20_000i64 {
+            tree.insert(&pool, &composite_key(&[1, 1, i]), RecordId::new(i as u64, 0), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut i: i64 = 0;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            black_box(tree.search(&pool, &composite_key(&[1, 1, i]), SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.bench_function("prefix_scan_order_lines", |b| {
+        let (pool, tree) = setup(4096);
+        for o in 0..2_000i64 {
+            for line in 1..=10i64 {
+                tree.insert(
+                    &pool,
+                    &composite_key(&[1, 1, o, line]),
+                    RecordId::new(o as u64, line as u16),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            }
+        }
+        let mut o: i64 = 0;
+        b.iter(|| {
+            o = (o + 997) % 2_000;
+            black_box(tree.prefix_scan(&pool, &composite_key(&[1, 1, o]), SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

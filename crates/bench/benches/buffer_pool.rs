@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the buffer pool (hit path, miss path, eviction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dbms_engine::{BufferPool, NoFtlBackend, StorageBackend};
+use flash_sim::{DeviceBuilder, FlashGeometry, SimTime, TimingModel};
+use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig};
+
+fn backend() -> Arc<NoFtlBackend> {
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example())
+            .timing(TimingModel::instant())
+            .store_data(true)
+            .build(),
+    );
+    let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
+    Arc::new(NoFtlBackend::new(noftl, &PlacementConfig::traditional(8, ["t".to_string()])).unwrap())
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool");
+    group.sample_size(20);
+    let page = vec![0u8; 4096];
+
+    group.bench_function("hit_read", |b| {
+        let backend = backend();
+        let obj = backend.create_object("t").unwrap();
+        let pool = BufferPool::new(backend, 256);
+        pool.write_page(obj, 0, &page, SimTime::ZERO).unwrap();
+        b.iter(|| black_box(pool.read_page(obj, 0, SimTime::ZERO).unwrap()));
+    });
+
+    group.bench_function("miss_read_with_eviction", |b| {
+        let backend = backend();
+        let obj = backend.create_object("t").unwrap();
+        let pool = BufferPool::new(backend, 32);
+        for p in 0..512u64 {
+            pool.write_page(obj, p, &page, SimTime::ZERO).unwrap();
+        }
+        pool.flush_all(SimTime::ZERO).unwrap();
+        let mut p: u64 = 0;
+        b.iter(|| {
+            p = (p + 97) % 512;
+            black_box(pool.read_page(obj, p, SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.bench_function("dirty_write_and_evict", |b| {
+        let backend = backend();
+        let obj = backend.create_object("t").unwrap();
+        let pool = BufferPool::new(backend, 32);
+        let mut p: u64 = 0;
+        b.iter(|| {
+            p = (p + 1) % 2_048;
+            black_box(pool.write_page(obj, p, &page, SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

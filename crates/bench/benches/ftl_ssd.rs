@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the FTL-based SSD emulation: sequential vs. random
+//! overwrite throughput (simulator cost) and the DFTL mapping-cache
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use flash_sim::{DeviceBuilder, FlashGeometry, SimTime, TimingModel};
+use ftl_sim::{BlockDevice, FtlConfig, FtlSsd, MappingKind};
+
+fn make_ssd(mapping: MappingKind) -> FtlSsd {
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example())
+            .timing(TimingModel::instant())
+            .store_data(false)
+            .build(),
+    );
+    FtlSsd::new(
+        device,
+        FtlConfig { overprovisioning: 0.25, mapping, ..FtlConfig::consumer() },
+    )
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl_ssd");
+    group.sample_size(20);
+    let page = vec![0u8; 4096];
+
+    group.bench_function("sequential_overwrite", |b| {
+        let ssd = make_ssd(MappingKind::PageLevel);
+        let span = ssd.capacity_sectors() / 2;
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 1) % span;
+            black_box(ssd.write(lba, &page, SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.bench_function("random_overwrite_small_set", |b| {
+        let ssd = make_ssd(MappingKind::PageLevel);
+        let mut x: u64 = 0x12345;
+        b.iter(|| {
+            // Hammer a small hot set to exercise GC.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lba = x % 64;
+            black_box(ssd.write(lba, &page, SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.bench_function("dftl_mapping_cache", |b| {
+        let ssd = make_ssd(MappingKind::Dftl { cached_entries: 32 });
+        let span = ssd.capacity_sectors() / 2;
+        let mut x: u64 = 99;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let lba = x % span;
+            black_box(ssd.write(lba, &page, SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftl);
+criterion_main!(benches);

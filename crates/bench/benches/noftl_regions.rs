@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the NoFTL storage manager: the write path with and
+//! without hot/cold separation into regions (the mechanism behind the
+//! paper's Figure 3), and the placement advisor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use flash_sim::{DeviceBuilder, FlashGeometry, SimTime, TimingModel};
+use noftl_core::{NoFtl, NoFtlConfig, ObjectProfile, PlacementAdvisor, RegionSpec};
+
+fn make_noftl() -> Arc<NoFtl> {
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example())
+            .timing(TimingModel::instant())
+            .store_data(false)
+            .build(),
+    );
+    Arc::new(NoFtl::new(device, NoFtlConfig::default()))
+}
+
+fn bench_noftl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noftl_regions");
+    group.sample_size(20);
+    let page = vec![0u8; 4096];
+
+    group.bench_function("write_single_region_mixed", |b| {
+        let noftl = make_noftl();
+        let rg = noftl.create_region(RegionSpec::named("rgAll").with_die_count(8)).unwrap();
+        let hot = noftl.create_object("hot", rg).unwrap();
+        let cold = noftl.create_object("cold", rg).unwrap();
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i += 1;
+            // Interleave hot overwrites with an ever-growing cold object.
+            black_box(noftl.write(hot, i % 32, &page, SimTime::ZERO).unwrap());
+            if i % 4 == 0 {
+                black_box(noftl.write(cold, i / 4 % 2_000, &page, SimTime::ZERO).unwrap());
+            }
+        });
+    });
+
+    group.bench_function("write_separate_regions", |b| {
+        let noftl = make_noftl();
+        let rg_hot = noftl.create_region(RegionSpec::named("rgHot").with_die_count(4)).unwrap();
+        let rg_cold = noftl.create_region(RegionSpec::named("rgCold").with_die_count(4)).unwrap();
+        let hot = noftl.create_object("hot", rg_hot).unwrap();
+        let cold = noftl.create_object("cold", rg_cold).unwrap();
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(noftl.write(hot, i % 32, &page, SimTime::ZERO).unwrap());
+            if i % 4 == 0 {
+                black_box(noftl.write(cold, i / 4 % 2_000, &page, SimTime::ZERO).unwrap());
+            }
+        });
+    });
+
+    group.bench_function("placement_advisor_64_dies", |b| {
+        let groups: Vec<(String, Vec<ObjectProfile>)> = (0..6)
+            .map(|g| {
+                (
+                    format!("rg{g}"),
+                    (0..4)
+                        .map(|o| ObjectProfile {
+                            name: format!("obj{g}_{o}"),
+                            pages: 1_000 * (g as u64 + 1),
+                            reads: 10_000 * (o as u64 + 1),
+                            writes: 5_000 * (g as u64 + 1),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let advisor = PlacementAdvisor::default();
+        b.iter(|| black_box(advisor.assign_dies(&groups, 64)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_noftl);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of individual TPC-C transactions on a loaded
+//! (tiny-scale) database — measures simulator + engine cost per
+//! transaction, complementing the end-to-end figure binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dbms_engine::{Database, DatabaseConfig, NoFtlBackend};
+use flash_sim::{DeviceBuilder, FlashGeometry, SimTime, TimingModel};
+use noftl_core::{NoFtl, NoFtlConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpcc_workload::{loader::Loader, placement, transactions, ScaleConfig};
+
+fn setup() -> (Database, ScaleConfig, SimTime) {
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example())
+            .timing(TimingModel::instant())
+            .build(),
+    );
+    let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
+    let backend = Arc::new(NoFtlBackend::new(noftl, &placement::traditional(8)).unwrap());
+    let db = Database::open(backend, DatabaseConfig { buffer_pages: 2_048, ..Default::default() }).unwrap();
+    let scale = ScaleConfig::tiny();
+    let (_, loaded) = Loader::new(scale, 1).load(&db, SimTime::ZERO).unwrap();
+    (db, scale, loaded)
+}
+
+fn bench_tpcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcc_txn");
+    group.sample_size(20);
+
+    group.bench_function("new_order", |b| {
+        let (db, scale, t0) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut txn = db.begin(t0);
+            black_box(transactions::new_order(&db, &scale, &mut rng, &mut txn, 1).unwrap());
+        });
+    });
+
+    group.bench_function("payment", |b| {
+        let (db, scale, t0) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut txn = db.begin(t0);
+            black_box(transactions::payment(&db, &scale, &mut rng, &mut txn, 1).unwrap());
+        });
+    });
+
+    group.bench_function("stock_level", |b| {
+        let (db, scale, t0) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut txn = db.begin(t0);
+            black_box(transactions::stock_level(&db, &scale, &mut rng, &mut txn, 1).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpcc);
+criterion_main!(benches);

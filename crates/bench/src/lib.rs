@@ -1,0 +1,220 @@
+//! Experiment harness shared by the figure/ablation binaries and the
+//! integration tests.
+//!
+//! [`Experiment`] wires the full stack together — flash device → NoFTL
+//! storage manager (with a given placement) → storage engine → TPC-C — and
+//! runs one configuration end to end, returning a [`RunReport`] whose
+//! device counters cover only the measured run (not the initial load).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+
+use dbms_engine::{Database, DatabaseConfig, NoFtlBackend};
+use flash_sim::{DeviceBuilder, FlashGeometry, NandDevice, SimTime, TimingModel};
+use noftl_core::{NoFtl, NoFtlConfig, ObjectProfile, PlacementConfig};
+use tpcc_workload::{Driver, DriverConfig, Loader, RunReport, ScaleConfig};
+
+/// One end-to-end TPC-C experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Label used in reports (e.g. "Traditional data placement").
+    pub label: String,
+    /// Flash geometry of the simulated device.
+    pub geometry: FlashGeometry,
+    /// NAND timing model.
+    pub timing: TimingModel,
+    /// NoFTL configuration (GC watermarks, wear leveling, headroom).
+    pub noftl: NoFtlConfig,
+    /// Data placement (regions and die assignment).
+    pub placement: PlacementConfig,
+    /// TPC-C scale.
+    pub scale: ScaleConfig,
+    /// Buffer pool size in 4 KiB pages.
+    pub buffer_pages: usize,
+    /// Driver configuration (clients, transaction count, mix, seed).
+    pub driver: DriverConfig,
+}
+
+impl Experiment {
+    /// The geometry used by the Figure 3 experiment: 64 dies over
+    /// 4 channels (as in the paper) with per-die capacity scaled down so
+    /// that a simulation-sized TPC-C database exercises garbage collection
+    /// the way the full-size database did on the authors' 64-die board.
+    pub fn figure3_geometry() -> FlashGeometry {
+        FlashGeometry {
+            channels: 4,
+            chips_per_channel: 4,
+            dies_per_chip: 4,
+            planes_per_die: 1,
+            blocks_per_plane: 20,
+            pages_per_block: 32,
+            page_size: 4096,
+            oob_size: 64,
+        }
+    }
+
+    /// Default experiment skeleton used by the figure binaries; the
+    /// placement and label are filled in by the caller.
+    pub fn figure3_base(placement: PlacementConfig, label: &str) -> Self {
+        Experiment {
+            label: label.to_string(),
+            geometry: Self::figure3_geometry(),
+            timing: TimingModel::mlc_2015(),
+            noftl: NoFtlConfig::paper_defaults(),
+            placement,
+            scale: ScaleConfig::small(2),
+            buffer_pages: 1_500,
+            driver: DriverConfig {
+                clients: 20,
+                total_transactions: 12_000,
+                seed: 20160315,
+                ..DriverConfig::default()
+            },
+        }
+    }
+
+    /// A much smaller experiment for integration tests (8 dies, tiny scale).
+    pub fn smoke(placement: PlacementConfig, label: &str) -> Self {
+        Experiment {
+            label: label.to_string(),
+            geometry: FlashGeometry {
+                channels: 2,
+                chips_per_channel: 2,
+                dies_per_chip: 2,
+                planes_per_die: 1,
+                blocks_per_plane: 24,
+                pages_per_block: 16,
+                page_size: 4096,
+                oob_size: 64,
+            },
+            timing: TimingModel::mlc_2015(),
+            noftl: NoFtlConfig::paper_defaults(),
+            placement,
+            scale: ScaleConfig::tiny(),
+            buffer_pages: 64,
+            driver: DriverConfig {
+                clients: 4,
+                total_transactions: 400,
+                seed: 7,
+                ..DriverConfig::default()
+            },
+        }
+    }
+
+    /// Run the experiment.  Returns the run report (device counters are
+    /// deltas over the measured phase only) plus the device and storage
+    /// manager handles for further inspection.
+    pub fn run(&self) -> ExperimentResult {
+        let device = Arc::new(
+            DeviceBuilder::new(self.geometry)
+                .timing(self.timing)
+                .build(),
+        );
+        let noftl = Arc::new(NoFtl::new(Arc::clone(&device), self.noftl));
+        let backend = Arc::new(
+            NoFtlBackend::new(Arc::clone(&noftl), &self.placement)
+                .expect("placement must contain at least one region"),
+        );
+        let db = Database::open(
+            backend,
+            DatabaseConfig { buffer_pages: self.buffer_pages, ..Default::default() },
+        )
+        .expect("database opens");
+        let loader = Loader::new(self.scale, self.driver.seed ^ 0xC0FFEE);
+        let (load_stats, loaded_at) = loader.load(&db, SimTime::ZERO).expect("load succeeds");
+        let before = device.stats();
+        let driver = Driver::new(self.driver);
+        let mut report = driver.run(&db, &self.scale, loaded_at).expect("run succeeds");
+        report.label = self.label.clone();
+        let after = device.stats();
+        report.attach_device(&after.delta_since(&before), &device.wear_summary());
+        let profiles = noftl
+            .all_object_stats()
+            .iter()
+            .map(ObjectProfile::from_stats)
+            .collect();
+        ExperimentResult {
+            report,
+            device,
+            noftl,
+            object_profiles: profiles,
+            loaded_rows: load_stats.total_rows(),
+        }
+    }
+}
+
+/// Everything produced by one experiment run.
+pub struct ExperimentResult {
+    /// The workload report (with device deltas attached).
+    pub report: RunReport,
+    /// The simulated flash device (for wear summaries etc.).
+    pub device: Arc<NandDevice>,
+    /// The NoFTL storage manager (for per-region statistics).
+    pub noftl: Arc<NoFtl>,
+    /// Per-object I/O profiles measured over the whole run (load + run),
+    /// used by the placement advisor / Figure 2 binary.
+    pub object_profiles: Vec<ObjectProfile>,
+    /// Rows loaded into the database before the measured phase.
+    pub loaded_rows: u64,
+}
+
+impl ExperimentResult {
+    /// Render per-region statistics as a small table.
+    pub fn region_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>5} {:>12} {:>12} {:>10} {:>10} {:>8}\n",
+            "Region", "Dies", "HostReads", "HostWrites", "Copybacks", "Erases", "WA"
+        ));
+        for rid in self.noftl.region_ids() {
+            let info = self.noftl.region_info(rid).expect("region exists");
+            let stats = self.noftl.region_stats(rid).expect("region exists");
+            out.push_str(&format!(
+                "{:<16} {:>5} {:>12} {:>12} {:>10} {:>10} {:>8.3}\n",
+                info.name,
+                info.dies.len(),
+                stats.host_reads,
+                stats.host_writes,
+                stats.gc_copybacks,
+                stats.gc_erases,
+                stats.write_amplification(),
+            ));
+        }
+        out
+    }
+}
+
+/// Read an environment variable as a number, falling back to `default`.
+/// Lets the figure binaries be scaled up or down without recompiling
+/// (e.g. `FIG3_TXNS=40000 cargo run --release -p noftl-bench --bin figure3`).
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcc_workload::placement;
+
+    #[test]
+    fn smoke_experiment_runs_end_to_end() {
+        let exp = Experiment::smoke(placement::traditional(8), "smoke");
+        let result = exp.run();
+        assert!(result.report.committed > 200);
+        assert!(result.report.tps > 0.0);
+        assert!(result.loaded_rows > 300);
+        assert!(!result.object_profiles.is_empty());
+        assert!(result.region_table().contains("rgAll"));
+    }
+
+    #[test]
+    fn env_u64_parses_and_defaults() {
+        assert_eq!(env_u64("THIS_VAR_DOES_NOT_EXIST_12345", 7), 7);
+        std::env::set_var("NOFTL_BENCH_TEST_VAR", "42");
+        assert_eq!(env_u64("NOFTL_BENCH_TEST_VAR", 7), 42);
+        std::env::set_var("NOFTL_BENCH_TEST_VAR", "not a number");
+        assert_eq!(env_u64("NOFTL_BENCH_TEST_VAR", 7), 7);
+    }
+}

@@ -1,0 +1,103 @@
+//! NoFTL storage manager configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Garbage-collection victim selection policy (per region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pick the full block with the fewest valid pages.
+    Greedy,
+    /// Cost-benefit selection that also considers how long ago a block was
+    /// last invalidated (favours cold blocks).
+    CostBenefit,
+}
+
+/// Wear-leveling policy (per region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WearLevelingPolicy {
+    /// No wear awareness in block allocation.
+    None,
+    /// Allocate the least-worn free block.
+    Dynamic,
+    /// Dynamic allocation plus proactive migration when the wear spread
+    /// inside a region exceeds `threshold` erase cycles.
+    Static {
+        /// Maximum tolerated wear spread.
+        threshold: u64,
+    },
+}
+
+/// Configuration of the NoFTL storage manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoFtlConfig {
+    /// GC is triggered on a die when its free-block count drops to this value.
+    pub gc_low_watermark: u32,
+    /// GC keeps reclaiming until the die has this many free blocks again.
+    pub gc_high_watermark: u32,
+    /// Victim selection policy.
+    pub gc_policy: GcPolicy,
+    /// Wear-leveling policy.
+    pub wear_leveling: WearLevelingPolicy,
+    /// Fraction of each region's raw capacity that must remain unexported
+    /// as GC headroom (the NoFTL analogue of SSD over-provisioning).
+    pub gc_headroom: f64,
+}
+
+impl NoFtlConfig {
+    /// Defaults mirroring the paper's prototype: greedy GC, dynamic wear
+    /// leveling, 10 % GC headroom per region.
+    pub fn paper_defaults() -> Self {
+        NoFtlConfig {
+            gc_low_watermark: 2,
+            gc_high_watermark: 4,
+            gc_policy: GcPolicy::Greedy,
+            wear_leveling: WearLevelingPolicy::Dynamic,
+            gc_headroom: 0.10,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.gc_low_watermark == 0 {
+            return Err("gc_low_watermark must be at least 1".into());
+        }
+        if self.gc_high_watermark < self.gc_low_watermark {
+            return Err("gc_high_watermark must be >= gc_low_watermark".into());
+        }
+        if !(0.0..0.9).contains(&self.gc_headroom) {
+            return Err(format!("gc_headroom must be in [0, 0.9), got {}", self.gc_headroom));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NoFtlConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(NoFtlConfig::default().validate().is_ok());
+        assert!(NoFtlConfig::paper_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = NoFtlConfig::default();
+        c.gc_low_watermark = 0;
+        assert!(c.validate().is_err());
+        c = NoFtlConfig::default();
+        c.gc_high_watermark = 1;
+        c.gc_low_watermark = 2;
+        assert!(c.validate().is_err());
+        c = NoFtlConfig::default();
+        c.gc_headroom = 0.95;
+        assert!(c.validate().is_err());
+    }
+}

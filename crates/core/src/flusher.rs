@@ -1,0 +1,201 @@
+//! Background flusher emulation.
+//!
+//! The paper's Figure 1 shows "Flushers" next to the buffer manager: the
+//! threads that write dirty pages back to flash in the background.  In the
+//! simulated-time model a flusher is a component that accumulates dirty
+//! pages and submits them as one batch; because the storage manager
+//! stripes the batch over the region's dies, an N-page batch completes in
+//! roughly `ceil(N / dies)` program times rather than N.
+
+use flash_sim::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::manager::NoFtl;
+use crate::object::ObjectId;
+use crate::Result;
+
+/// Statistics of a flusher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlusherStats {
+    /// Number of flush batches submitted.
+    pub batches: u64,
+    /// Total pages written by the flusher.
+    pub pages: u64,
+    /// Largest batch submitted.
+    pub max_batch: u64,
+}
+
+/// Accumulates dirty pages and writes them back in batches.
+pub struct Flusher {
+    batch_size: usize,
+    queue: Mutex<Vec<(ObjectId, u64, Vec<u8>)>>,
+    stats: Mutex<FlusherStats>,
+}
+
+impl Flusher {
+    /// Create a flusher that submits a batch whenever `batch_size` pages
+    /// have accumulated (a batch size of 1 degenerates to synchronous
+    /// writes).
+    pub fn new(batch_size: usize) -> Self {
+        Flusher {
+            batch_size: batch_size.max(1),
+            queue: Mutex::new(Vec::new()),
+            stats: Mutex::new(FlusherStats::default()),
+        }
+    }
+
+    /// Number of pages currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Flusher statistics.
+    pub fn stats(&self) -> FlusherStats {
+        *self.stats.lock()
+    }
+
+    /// Enqueue a dirty page.  If the queue reaches the batch size the batch
+    /// is written out immediately and the completion time is returned;
+    /// otherwise the page just sits in the queue (`None`).
+    pub fn submit(
+        &self,
+        noftl: &NoFtl,
+        obj: ObjectId,
+        page: u64,
+        data: Vec<u8>,
+        at: SimTime,
+    ) -> Result<Option<SimTime>> {
+        let batch = {
+            let mut q = self.queue.lock();
+            q.push((obj, page, data));
+            if q.len() >= self.batch_size {
+                Some(std::mem::take(&mut *q))
+            } else {
+                None
+            }
+        };
+        match batch {
+            Some(batch) => self.write_out(noftl, batch, at).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Write out everything currently queued, regardless of batch size.
+    /// Returns the completion time of the last page (or `at` when the queue
+    /// was empty).
+    pub fn flush_all(&self, noftl: &NoFtl, at: SimTime) -> Result<SimTime> {
+        let batch = std::mem::take(&mut *self.queue.lock());
+        if batch.is_empty() {
+            return Ok(at);
+        }
+        self.write_out(noftl, batch, at)
+    }
+
+    fn write_out(&self, noftl: &NoFtl, batch: Vec<(ObjectId, u64, Vec<u8>)>, at: SimTime) -> Result<SimTime> {
+        let n = batch.len() as u64;
+        let done = noftl.write_batch(&batch, at)?;
+        let mut stats = self.stats.lock();
+        stats.batches += 1;
+        stats.pages += n;
+        stats.max_batch = stats.max_batch.max(n);
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NoFtlConfig;
+    use crate::region::RegionSpec;
+    use flash_sim::{DeviceBuilder, FlashGeometry, TimingModel};
+    use std::sync::Arc;
+
+    fn setup() -> (NoFtl, ObjectId) {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::small_test())
+                .timing(TimingModel::mlc_2015())
+                .build(),
+        );
+        let noftl = NoFtl::new(device, NoFtlConfig::default());
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        (noftl, obj)
+    }
+
+    fn page(b: u8) -> Vec<u8> {
+        vec![b; 4096]
+    }
+
+    #[test]
+    fn batches_are_submitted_when_full() {
+        let (noftl, obj) = setup();
+        let flusher = Flusher::new(4);
+        let mut flushed_at = None;
+        for i in 0..4u64 {
+            let r = flusher.submit(&noftl, obj, i, page(i as u8), SimTime::ZERO).unwrap();
+            if i < 3 {
+                assert!(r.is_none());
+                assert_eq!(flusher.queued(), (i + 1) as usize);
+            } else {
+                flushed_at = r;
+            }
+        }
+        assert!(flushed_at.is_some());
+        assert_eq!(flusher.queued(), 0);
+        let s = flusher.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.pages, 4);
+        assert_eq!(s.max_batch, 4);
+        // Data is durable.
+        for i in 0..4u64 {
+            assert_eq!(noftl.read(obj, i, flushed_at.unwrap()).unwrap().0, page(i as u8));
+        }
+    }
+
+    #[test]
+    fn flush_all_drains_partial_batches() {
+        let (noftl, obj) = setup();
+        let flusher = Flusher::new(100);
+        for i in 0..3u64 {
+            flusher.submit(&noftl, obj, i, page(9), SimTime::ZERO).unwrap();
+        }
+        assert_eq!(flusher.queued(), 3);
+        let done = flusher.flush_all(&noftl, SimTime::ZERO).unwrap();
+        assert!(done > SimTime::ZERO);
+        assert_eq!(flusher.queued(), 0);
+        // Flushing an empty queue is a no-op returning the issue time.
+        assert_eq!(flusher.flush_all(&noftl, done).unwrap(), done);
+    }
+
+    #[test]
+    fn batched_flush_is_faster_than_serial_writes() {
+        // 8 pages over 4 dies in one batch should finish in ~2 program
+        // rounds; 8 strictly serial writes take ~8.
+        let (noftl, obj) = setup();
+        let flusher = Flusher::new(8);
+        let mut batch_done = SimTime::ZERO;
+        for i in 0..8u64 {
+            if let Some(done) = flusher.submit(&noftl, obj, i, page(1), SimTime::ZERO).unwrap() {
+                batch_done = done;
+            }
+        }
+        let (noftl2, obj2) = setup();
+        let mut serial_done = SimTime::ZERO;
+        for i in 0..8u64 {
+            serial_done = noftl2.write(obj2, i, &page(1), serial_done).unwrap();
+        }
+        assert!(
+            batch_done < serial_done,
+            "batched flush ({batch_done}) should beat serial writes ({serial_done})"
+        );
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_to_one() {
+        let (noftl, obj) = setup();
+        let flusher = Flusher::new(0);
+        let r = flusher.submit(&noftl, obj, 0, page(1), SimTime::ZERO).unwrap();
+        assert!(r.is_some(), "batch size 1 flushes immediately");
+    }
+}

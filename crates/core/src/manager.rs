@@ -1,0 +1,1224 @@
+//! The NoFTL storage manager.
+//!
+//! [`NoFtl`] is the component labelled "Storage Manager" in the paper's
+//! Figure 1: it owns the physical flash address space, performs address
+//! translation and out-of-place updates, runs garbage collection and wear
+//! leveling — all *per region*, using DBMS-level knowledge (which object a
+//! page belongs to) that a conventional FTL does not have.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use flash_sim::{DieId, NandDevice, PageAddr, PageMetadata, PageState, SimTime};
+
+use crate::config::NoFtlConfig;
+use crate::error::NoFtlError;
+use crate::gc::{select_victim, GcCandidate};
+use crate::object::{ObjectId, ObjectState};
+use crate::region::{RegionId, RegionRuntime, RegionSpec};
+use crate::stats::{NoFtlStats, ObjectStats, RegionStats};
+use crate::wear::needs_static_wl;
+use crate::Result;
+
+struct Inner {
+    regions: Vec<Option<RegionRuntime>>,
+    region_by_name: HashMap<String, RegionId>,
+    free_dies: Vec<DieId>,
+    /// Indexed by `ObjectId`; slot 0 is unused so object ids can be stored
+    /// directly in flash page metadata (where 0 means "no object").
+    objects: Vec<Option<ObjectState>>,
+    object_by_name: HashMap<String, ObjectId>,
+}
+
+/// The NoFTL storage manager: regions, objects, address translation,
+/// out-of-place updates, GC, wear leveling.
+pub struct NoFtl {
+    device: Arc<NandDevice>,
+    config: NoFtlConfig,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for NoFtl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("NoFtl")
+            .field("regions", &inner.region_by_name.len())
+            .field("objects", &inner.object_by_name.len())
+            .field("free_dies", &inner.free_dies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NoFtl {
+    /// Create a storage manager over `device`.  All dies start in the free
+    /// pool; create regions to make them usable.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation (a programming error).
+    pub fn new(device: Arc<NandDevice>, config: NoFtlConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid NoFTL configuration: {e}"));
+        let free_dies: Vec<DieId> = device.geometry().dies().collect();
+        NoFtl {
+            device,
+            config,
+            inner: Mutex::new(Inner {
+                regions: Vec::new(),
+                region_by_name: HashMap::new(),
+                free_dies,
+                objects: vec![None],
+                object_by_name: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Convenience constructor for the "traditional data placement"
+    /// baseline: one region named `rgAll` spanning every die of the device.
+    pub fn with_single_region(device: Arc<NandDevice>, config: NoFtlConfig) -> (Self, RegionId) {
+        let total = device.geometry().total_dies();
+        let noftl = Self::new(device, config);
+        let rid = noftl
+            .create_region(RegionSpec::named("rgAll").with_die_count(total))
+            .expect("single region over all dies always fits");
+        (noftl, rid)
+    }
+
+    /// The underlying native flash device.
+    pub fn device(&self) -> &Arc<NandDevice> {
+        &self.device
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NoFtlConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Region management
+    // ------------------------------------------------------------------
+
+    /// Create a region from a spec (`CREATE REGION`).  Dies are taken from
+    /// the free pool, spread over as many channels as possible (or at most
+    /// `max_channels` if the spec limits them).
+    pub fn create_region(&self, spec: RegionSpec) -> Result<RegionId> {
+        let mut inner = self.inner.lock();
+        if inner.region_by_name.contains_key(&spec.name) {
+            return Err(NoFtlError::RegionExists { name: spec.name });
+        }
+        let geo = self.device.geometry();
+        let want = spec.resolve_die_count(geo);
+        // Group the free dies by channel so we can stripe across channels.
+        let mut by_channel: Vec<Vec<DieId>> = vec![Vec::new(); geo.channels as usize];
+        for die in &inner.free_dies {
+            by_channel[geo.channel_of_die(*die) as usize].push(*die);
+        }
+        let channel_limit = spec.max_channels.unwrap_or(geo.channels).max(1) as usize;
+        let usable: Vec<&mut Vec<DieId>> = by_channel
+            .iter_mut()
+            .filter(|v| !v.is_empty())
+            .take(channel_limit)
+            .collect();
+        let available: u32 = usable.iter().map(|v| v.len() as u32).sum();
+        if available < want {
+            return Err(NoFtlError::NotEnoughDies { requested: want, available });
+        }
+        // Round-robin over the usable channels.
+        let mut chosen: Vec<DieId> = Vec::with_capacity(want as usize);
+        let mut lanes: Vec<Vec<DieId>> = usable.into_iter().map(std::mem::take).collect();
+        let lane_count = lanes.len();
+        let mut lane = 0usize;
+        while (chosen.len() as u32) < want {
+            if let Some(d) = lanes[lane % lane_count].pop() {
+                chosen.push(d);
+            }
+            lane += 1;
+            // Guard against all lanes being empty (cannot happen given the
+            // availability check above, but keeps the loop obviously finite).
+            if lane > (want as usize + 1) * lane_count {
+                break;
+            }
+        }
+        // Return unchosen dies to the pool.
+        let mut remaining: Vec<DieId> = lanes.into_iter().flatten().collect();
+        // Dies on channels beyond the channel limit stayed in `by_channel`
+        // only if they were never moved into `lanes`; rebuild the pool from
+        // what's left plus the untouched channels.
+        for v in by_channel {
+            remaining.extend(v);
+        }
+        inner.free_dies = remaining;
+        let rid = RegionId(inner.regions.len() as u32);
+        let runtime = RegionRuntime::new(rid, spec.clone(), &self.device, chosen);
+        inner.region_by_name.insert(spec.name, rid);
+        inner.regions.push(Some(runtime));
+        Ok(rid)
+    }
+
+    /// Drop an empty region, erasing any blocks it dirtied and returning
+    /// its dies to the free pool.  Returns the time at which the erases
+    /// complete.
+    pub fn drop_region(&self, rid: RegionId, at: SimTime) -> Result<SimTime> {
+        let mut inner = self.inner.lock();
+        let region = Self::region_mut(&mut inner.regions, rid)?;
+        if !region.objects.is_empty() {
+            return Err(NoFtlError::RegionNotEmpty { region: rid, objects: region.objects.len() });
+        }
+        let mut done = at;
+        let mut dies = Vec::new();
+        for die in &mut region.dies {
+            // Erase everything that is not already erased so the die goes
+            // back to the pool clean.
+            let mut to_erase: Vec<flash_sim::BlockAddr> = die.used_blocks.drain(..).collect();
+            if let Some((b, _)) = die.active.take() {
+                to_erase.push(b);
+            }
+            if let Some((b, _)) = die.gc_active.take() {
+                to_erase.push(b);
+            }
+            for b in to_erase {
+                match self.device.erase_block(b, at) {
+                    Ok(out) => {
+                        done = done.max(out.completed_at);
+                        die.free_blocks.push(b);
+                    }
+                    Err(e) if e.is_permanent() => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            dies.push(die.die);
+        }
+        let name = region.name.clone();
+        inner.region_by_name.remove(&name);
+        inner.regions[rid.0 as usize] = None;
+        inner.free_dies.extend(dies);
+        Ok(done)
+    }
+
+    /// Look up a region id by name.
+    pub fn region_id(&self, name: &str) -> Option<RegionId> {
+        self.inner.lock().region_by_name.get(name).copied()
+    }
+
+    /// Ids of all live regions.
+    pub fn region_ids(&self) -> Vec<RegionId> {
+        self.inner
+            .lock()
+            .regions
+            .iter()
+            .filter_map(|r| r.as_ref().map(|r| r.id))
+            .collect()
+    }
+
+    /// Name of a region.
+    pub fn region_name(&self, rid: RegionId) -> Result<String> {
+        let inner = self.inner.lock();
+        Ok(Self::region_ref(&inner.regions, rid)?.name.clone())
+    }
+
+    /// Dies currently owned by a region.
+    pub fn region_dies(&self, rid: RegionId) -> Result<Vec<DieId>> {
+        let inner = self.inner.lock();
+        Ok(Self::region_ref(&inner.regions, rid)?.die_ids())
+    }
+
+    /// Statistics of a region.
+    pub fn region_stats(&self, rid: RegionId) -> Result<RegionStats> {
+        let inner = self.inner.lock();
+        Ok(Self::region_ref(&inner.regions, rid)?.stats.clone())
+    }
+
+    /// Configuration/occupancy snapshot of a region.
+    pub fn region_info(&self, rid: RegionId) -> Result<crate::region::RegionInfo> {
+        let inner = self.inner.lock();
+        Ok(Self::region_ref(&inner.regions, rid)?.info(self.device.geometry(), &self.config))
+    }
+
+    /// Number of dies still unassigned.
+    pub fn free_die_count(&self) -> u32 {
+        self.inner.lock().free_dies.len() as u32
+    }
+
+    /// Add `additional_dies` dies from the free pool to a region.
+    pub fn grow_region(&self, rid: RegionId, additional_dies: u32) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if (inner.free_dies.len() as u32) < additional_dies {
+            return Err(NoFtlError::NotEnoughDies {
+                requested: additional_dies,
+                available: inner.free_dies.len() as u32,
+            });
+        }
+        let mut taken = Vec::with_capacity(additional_dies as usize);
+        for _ in 0..additional_dies {
+            taken.push(inner.free_dies.pop().expect("checked above"));
+        }
+        let device = Arc::clone(&self.device);
+        let region = Self::region_mut(&mut inner.regions, rid)?;
+        for die in taken {
+            region.dies.push(crate::region::RegionDie::new(&device, die));
+        }
+        Ok(())
+    }
+
+    /// Remove `remove_dies` dies from a region, migrating their live data
+    /// to the remaining dies (used for global wear leveling / rebalancing,
+    /// which the paper lists as a reason for dynamic region membership).
+    /// Returns the completion time of the migration.
+    pub fn shrink_region(&self, rid: RegionId, remove_dies: u32, at: SimTime) -> Result<SimTime> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let geo = *self.device.geometry();
+        let region = Self::region_mut(&mut inner.regions, rid)?;
+        if region.dies.len() as u32 <= remove_dies {
+            return Err(NoFtlError::Ddl {
+                message: format!(
+                    "cannot remove {remove_dies} die(s) from region '{}' with only {} die(s)",
+                    region.name,
+                    region.dies.len()
+                ),
+            });
+        }
+        let mut done = at;
+        let mut freed = Vec::new();
+        for _ in 0..remove_dies {
+            let mut die = region.dies.pop().expect("length checked above");
+            region.next_die = 0;
+            // Collect every block that may hold valid pages.
+            let mut blocks: Vec<flash_sim::BlockAddr> = die.used_blocks.drain(..).collect();
+            if let Some((b, _)) = die.active.take() {
+                blocks.push(b);
+            }
+            if let Some((b, _)) = die.gc_active.take() {
+                blocks.push(b);
+            }
+            for block in &blocks {
+                for page in 0..geo.pages_per_block {
+                    let src = block.page(page);
+                    if self.device.page_state(src).map(|s| s == PageState::Valid).unwrap_or(false) {
+                        let (data, meta, read_out) = self.device.read_page(src, at)?;
+                        let Some(meta) = meta else { continue };
+                        // Re-write the page on one of the remaining dies.
+                        let ppa = Self::allocate_in_region(
+                            &self.device,
+                            &self.config,
+                            region,
+                            &mut inner.objects,
+                            at,
+                        )
+                        .ok_or(NoFtlError::RegionFull { region: rid })?;
+                        let out = self.device.program_page(ppa, &data, meta, read_out.completed_at)?;
+                        done = done.max(out.completed_at);
+                        self.device.mark_invalid(src)?;
+                        region.stats.rebalance_moves += 1;
+                        if let Some(Some(obj)) = inner.objects.get_mut(meta.object_id as usize) {
+                            if obj.translate(meta.logical_page) == Some(src) {
+                                obj.set_translation(meta.logical_page, ppa);
+                            }
+                        }
+                    }
+                }
+            }
+            // Erase everything on the die before returning it to the pool.
+            for block in blocks {
+                match self.device.erase_block(block, done) {
+                    Ok(out) => {
+                        done = done.max(out.completed_at);
+                        die.free_blocks.push(block);
+                    }
+                    Err(e) if e.is_permanent() => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            freed.push(die.die);
+        }
+        inner.free_dies.extend(freed);
+        Ok(done)
+    }
+
+    // ------------------------------------------------------------------
+    // Object management
+    // ------------------------------------------------------------------
+
+    /// Register a new database object in a region.
+    pub fn create_object(&self, name: &str, region: RegionId) -> Result<ObjectId> {
+        let mut inner = self.inner.lock();
+        if inner.object_by_name.contains_key(name) {
+            return Err(NoFtlError::ObjectExists { name: name.to_string() });
+        }
+        Self::region_ref(&inner.regions, region)?;
+        let id = inner.objects.len() as ObjectId;
+        inner.objects.push(Some(ObjectState::new(name, region)));
+        inner.object_by_name.insert(name.to_string(), id);
+        Self::region_mut(&mut inner.regions, region)?.objects.push(id);
+        Ok(id)
+    }
+
+    /// Register a new object in a region identified by name.
+    pub fn create_object_in(&self, name: &str, region_name: &str) -> Result<ObjectId> {
+        let rid = self
+            .region_id(region_name)
+            .ok_or_else(|| NoFtlError::UnknownRegion { region: region_name.to_string() })?;
+        self.create_object(name, rid)
+    }
+
+    /// Look up an object id by name.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        self.inner.lock().object_by_name.get(name).copied()
+    }
+
+    /// Drop an object: all of its pages become invalid (reclaimable by GC).
+    pub fn drop_object(&self, obj: ObjectId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let state = inner
+            .objects
+            .get_mut(obj as usize)
+            .and_then(|o| o.take())
+            .ok_or_else(|| NoFtlError::UnknownObject { object: obj.to_string() })?;
+        inner.object_by_name.remove(&state.name);
+        if let Ok(region) = Self::region_mut(&mut inner.regions, state.region) {
+            region.objects.retain(|o| *o != obj);
+            for ppa in state.map.iter().flatten() {
+                let _ = self.device.mark_invalid(*ppa);
+                region.record_invalidation(*ppa);
+            }
+        }
+        Ok(())
+    }
+
+    /// Statistics snapshot of one object.
+    pub fn object_stats(&self, obj: ObjectId) -> Result<ObjectStats> {
+        let inner = self.inner.lock();
+        let state = Self::object_ref(&inner.objects, obj)?;
+        Ok(ObjectStats {
+            object_id: obj,
+            name: state.name.clone(),
+            region: state.region,
+            pages: state.mapped_pages(),
+            reads: state.counters.reads,
+            writes: state.counters.writes,
+        })
+    }
+
+    /// Statistics snapshots of all live objects.
+    pub fn all_object_stats(&self) -> Vec<ObjectStats> {
+        let inner = self.inner.lock();
+        inner
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(id, o)| {
+                o.as_ref().map(|state| ObjectStats {
+                    object_id: id as ObjectId,
+                    name: state.name.clone(),
+                    region: state.region,
+                    pages: state.mapped_pages(),
+                    reads: state.counters.reads,
+                    writes: state.counters.writes,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of live (mapped) pages of an object.
+    pub fn object_pages(&self, obj: ObjectId) -> Result<u64> {
+        let inner = self.inner.lock();
+        Ok(Self::object_ref(&inner.objects, obj)?.mapped_pages())
+    }
+
+    /// Logical extent of an object: the highest written logical page number
+    /// plus one (0 for an empty object).  The DBMS layer uses this to size
+    /// its extent allocation.
+    pub fn object_extent(&self, obj: ObjectId) -> Result<u64> {
+        let inner = self.inner.lock();
+        Ok(Self::object_ref(&inner.objects, obj)?.logical_extent())
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    /// Read a logical page of an object.  Returns the payload and the
+    /// completion time.
+    pub fn read(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let (ppa, rid) = {
+            let state = Self::object_mut(&mut inner.objects, obj)?;
+            let ppa = state
+                .translate(page)
+                .ok_or(NoFtlError::PageNotWritten { object: obj, page })?;
+            state.counters.reads += 1;
+            (ppa, state.region)
+        };
+        let (data, _, out) = self.device.read_page(ppa, at)?;
+        let region = Self::region_mut(&mut inner.regions, rid)?;
+        region.stats.host_reads += 1;
+        region.stats.read_latency_sum += out.completed_at - at;
+        Ok((data, out.completed_at))
+    }
+
+    /// Write (out-of-place) a logical page of an object.  Returns the
+    /// completion time.
+    pub fn write(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
+        self.check_page_size(data)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let rid = Self::object_ref(&inner.objects, obj)?.region;
+        let ppa = {
+            let region = Self::region_mut(&mut inner.regions, rid)?;
+            Self::allocate_in_region(&self.device, &self.config, region, &mut inner.objects, at)
+                .ok_or(NoFtlError::RegionFull { region: rid })?
+        };
+        let meta = PageMetadata::new(obj, page);
+        let out = self.device.program_page(ppa, data, meta, at)?;
+        let old = {
+            let state = Self::object_mut(&mut inner.objects, obj)?;
+            state.counters.writes += 1;
+            state.set_translation(page, ppa)
+        };
+        let region = Self::region_mut(&mut inner.regions, rid)?;
+        if let Some(old) = old {
+            let _ = self.device.mark_invalid(old);
+            region.record_invalidation(old);
+        }
+        region.stats.host_writes += 1;
+        region.stats.write_latency_sum += out.completed_at - at;
+        Ok(out.completed_at)
+    }
+
+    /// Write a batch of pages, all issued at `at`.  Because allocation
+    /// stripes consecutive writes over the region's dies, the batch
+    /// executes with die-level parallelism; the returned time is the
+    /// completion of the slowest page (this is the path used by the buffer
+    /// manager's background flushers).
+    pub fn write_batch(&self, writes: &[(ObjectId, u64, Vec<u8>)], at: SimTime) -> Result<SimTime> {
+        let mut done = at;
+        for (obj, page, data) in writes {
+            let t = self.write(*obj, *page, data, at)?;
+            done = done.max(t);
+        }
+        Ok(done)
+    }
+
+    /// Atomically write a batch of pages: either all of them become
+    /// visible or none does.
+    ///
+    /// This exploits NoFTL's direct control over out-of-place updates
+    /// (advantage (iv) in the paper): the new versions are programmed to
+    /// freshly allocated pages first, and only if *all* programs succeed
+    /// are the address translations switched and the old versions
+    /// invalidated.  On any failure the freshly written pages are marked
+    /// invalid and the previous versions remain visible.
+    pub fn write_atomic(&self, writes: &[(ObjectId, u64, Vec<u8>)], at: SimTime) -> Result<SimTime> {
+        for (_, _, data) in writes {
+            self.check_page_size(data)?;
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut staged: Vec<(ObjectId, u64, PageAddr, SimTime)> = Vec::with_capacity(writes.len());
+        let mut failure: Option<NoFtlError> = None;
+        for (obj, page, data) in writes {
+            let rid = match Self::object_ref(&inner.objects, *obj) {
+                Ok(o) => o.region,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let region = match Self::region_mut(&mut inner.regions, rid) {
+                Ok(r) => r,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let Some(ppa) =
+                Self::allocate_in_region(&self.device, &self.config, region, &mut inner.objects, at)
+            else {
+                failure = Some(NoFtlError::RegionFull { region: rid });
+                break;
+            };
+            let meta = PageMetadata::new(*obj, *page);
+            match self.device.program_page(ppa, data, meta, at) {
+                Ok(out) => staged.push((*obj, *page, ppa, out.completed_at)),
+                Err(e) => {
+                    failure = Some(e.into());
+                    break;
+                }
+            }
+        }
+        if let Some(err) = failure {
+            // Abort: the staged versions never become visible.
+            for (_, _, ppa, _) in staged {
+                let _ = self.device.mark_invalid(ppa);
+            }
+            return Err(err);
+        }
+        // Commit: switch the translations.
+        let mut done = at;
+        for (obj, page, ppa, completed) in staged {
+            done = done.max(completed);
+            let rid = Self::object_ref(&inner.objects, obj)?.region;
+            let old = {
+                let state = Self::object_mut(&mut inner.objects, obj)?;
+                state.counters.writes += 1;
+                state.set_translation(page, ppa)
+            };
+            let region = Self::region_mut(&mut inner.regions, rid)?;
+            if let Some(old) = old {
+                let _ = self.device.mark_invalid(old);
+                region.record_invalidation(old);
+            }
+            region.stats.host_writes += 1;
+            region.stats.write_latency_sum += completed - at;
+        }
+        Ok(done)
+    }
+
+    /// Release a logical page: its flash page becomes invalid and the
+    /// translation is removed.
+    pub fn free_page(&self, obj: ObjectId, page: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let (old, rid) = {
+            let state = Self::object_mut(&mut inner.objects, obj)?;
+            (state.clear_translation(page), state.region)
+        };
+        if let Some(old) = old {
+            let _ = self.device.mark_invalid(old);
+            Self::region_mut(&mut inner.regions, rid)?.record_invalidation(old);
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics over all regions.
+    pub fn stats(&self) -> NoFtlStats {
+        let inner = self.inner.lock();
+        let mut agg = NoFtlStats::default();
+        for region in inner.regions.iter().flatten() {
+            agg.accumulate(&region.stats);
+        }
+        agg
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_page_size(&self, data: &[u8]) -> Result<()> {
+        let expected = self.device.geometry().page_size;
+        if !data.is_empty() && data.len() != expected as usize {
+            return Err(NoFtlError::BadPageSize { expected, got: data.len() });
+        }
+        Ok(())
+    }
+
+    fn region_ref(regions: &[Option<RegionRuntime>], rid: RegionId) -> Result<&RegionRuntime> {
+        regions
+            .get(rid.0 as usize)
+            .and_then(|r| r.as_ref())
+            .ok_or_else(|| NoFtlError::UnknownRegion { region: format!("{rid:?}") })
+    }
+
+    fn region_mut(regions: &mut [Option<RegionRuntime>], rid: RegionId) -> Result<&mut RegionRuntime> {
+        regions
+            .get_mut(rid.0 as usize)
+            .and_then(|r| r.as_mut())
+            .ok_or_else(|| NoFtlError::UnknownRegion { region: format!("{rid:?}") })
+    }
+
+    fn object_ref(objects: &[Option<ObjectState>], obj: ObjectId) -> Result<&ObjectState> {
+        objects
+            .get(obj as usize)
+            .and_then(|o| o.as_ref())
+            .ok_or_else(|| NoFtlError::UnknownObject { object: obj.to_string() })
+    }
+
+    fn object_mut(objects: &mut [Option<ObjectState>], obj: ObjectId) -> Result<&mut ObjectState> {
+        objects
+            .get_mut(obj as usize)
+            .and_then(|o| o.as_mut())
+            .ok_or_else(|| NoFtlError::UnknownObject { object: obj.to_string() })
+    }
+
+    /// Allocate the next physical page for a host write in `region`,
+    /// running GC when a die's free-block pool runs low.  Returns `None`
+    /// when the region is completely full.
+    fn allocate_in_region(
+        device: &NandDevice,
+        config: &NoFtlConfig,
+        region: &mut RegionRuntime,
+        objects: &mut [Option<ObjectState>],
+        at: SimTime,
+    ) -> Option<PageAddr> {
+        let pages_per_block = device.geometry().pages_per_block;
+        let die_count = region.dies.len();
+        if die_count == 0 {
+            return None;
+        }
+        for attempt in 0..die_count {
+            let idx = (region.next_die + attempt) % die_count;
+            if (region.dies[idx].free_blocks.len() as u32) <= config.gc_low_watermark {
+                Self::gc_die(device, config, region, objects, idx, at);
+            }
+            if let Some(ppa) =
+                region.dies[idx].next_host_page(device, config.wear_leveling, pages_per_block)
+            {
+                region.next_die = (idx + 1) % die_count;
+                return Some(ppa);
+            }
+        }
+        None
+    }
+
+    /// Run garbage collection on one die of a region until its free-block
+    /// pool reaches the high watermark or no more victims exist.
+    fn gc_die(
+        device: &NandDevice,
+        config: &NoFtlConfig,
+        region: &mut RegionRuntime,
+        objects: &mut [Option<ObjectState>],
+        die_idx: usize,
+        at: SimTime,
+    ) {
+        region.stats.gc_runs += 1;
+        let high = config.gc_high_watermark as usize;
+        let mut guard = 0u32;
+        while region.dies[die_idx].free_blocks.len() < high {
+            guard += 1;
+            if guard > device.geometry().blocks_per_die() * 2 {
+                break;
+            }
+            let now_seq = region.invalidate_seq;
+            let candidates: Vec<GcCandidate> = {
+                let die = &region.dies[die_idx];
+                die.used_blocks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, b)| {
+                        let info = device.block_info(*b).ok()?;
+                        let seq = region
+                            .block_invalidate_seq
+                            .get(&(b.die.0, b.plane, b.block))
+                            .copied()
+                            .unwrap_or(0);
+                        GcCandidate::from_info(slot, &info, seq)
+                    })
+                    .collect()
+            };
+            let Some(slot) = select_victim(config.gc_policy, &candidates, now_seq) else {
+                break;
+            };
+            let victim = region.dies[die_idx].used_blocks[slot];
+            if !Self::collect_block(device, config, region, objects, die_idx, victim, at) {
+                break;
+            }
+        }
+        Self::maybe_static_wl(device, config, region, objects, die_idx, at);
+    }
+
+    /// Relocate all valid pages of `victim` via copyback (updating the
+    /// owning objects' translations) and erase it.  Returns `false` if the
+    /// block could not be fully collected.
+    fn collect_block(
+        device: &NandDevice,
+        config: &NoFtlConfig,
+        region: &mut RegionRuntime,
+        objects: &mut [Option<ObjectState>],
+        die_idx: usize,
+        victim: flash_sim::BlockAddr,
+        at: SimTime,
+    ) -> bool {
+        let pages_per_block = device.geometry().pages_per_block;
+        for page in 0..pages_per_block {
+            let src = victim.page(page);
+            match device.page_state(src) {
+                Ok(PageState::Valid) => {}
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+            let Ok((meta, _)) = device.read_metadata(src, at) else {
+                return false;
+            };
+            let Some(meta) = meta else { continue };
+            let Some(dst) =
+                region.dies[die_idx].next_gc_page(device, config.wear_leveling, pages_per_block)
+            else {
+                return false;
+            };
+            if device.copyback(src, dst, at).is_err() {
+                return false;
+            }
+            region.stats.gc_copybacks += 1;
+            if let Some(Some(obj)) = objects.get_mut(meta.object_id as usize) {
+                if obj.translate(meta.logical_page) == Some(src) {
+                    obj.set_translation(meta.logical_page, dst);
+                }
+            }
+        }
+        match device.erase_block(victim, at) {
+            Ok(_) => {
+                region.stats.gc_erases += 1;
+                let die = &mut region.dies[die_idx];
+                die.used_blocks.retain(|b| *b != victim);
+                die.free_blocks.push(victim);
+                true
+            }
+            Err(e) if e.is_permanent() => {
+                region.dies[die_idx].used_blocks.retain(|b| *b != victim);
+                false
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Threshold-based static wear leveling within one die of a region.
+    fn maybe_static_wl(
+        device: &NandDevice,
+        config: &NoFtlConfig,
+        region: &mut RegionRuntime,
+        objects: &mut [Option<ObjectState>],
+        die_idx: usize,
+        at: SimTime,
+    ) {
+        if !matches!(config.wear_leveling, crate::config::WearLevelingPolicy::Static { .. }) {
+            return;
+        }
+        let counts: Vec<(flash_sim::BlockAddr, u64, flash_sim::BlockState)> = {
+            let die = &region.dies[die_idx];
+            die.used_blocks
+                .iter()
+                .chain(die.free_blocks.iter())
+                .filter_map(|b| device.block_info(*b).ok().map(|i| (*b, i.erase_count, i.state)))
+                .collect()
+        };
+        let Some(max) = counts.iter().map(|(_, c, _)| *c).max() else { return };
+        let Some(min) = counts.iter().map(|(_, c, _)| *c).min() else { return };
+        if !needs_static_wl(config.wear_leveling, min, max) {
+            return;
+        }
+        let victim = counts
+            .iter()
+            .filter(|(b, _, s)| {
+                *s == flash_sim::BlockState::Full && region.dies[die_idx].used_blocks.contains(b)
+            })
+            .min_by_key(|(_, c, _)| *c)
+            .map(|(b, _, _)| *b);
+        if let Some(victim) = victim {
+            if Self::collect_block(device, config, region, objects, die_idx, victim, at) {
+                region.stats.wl_migrations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GcPolicy, WearLevelingPolicy};
+    use flash_sim::{DeviceBuilder, FlashGeometry, TimingModel};
+
+    fn make_noftl() -> NoFtl {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::small_test())
+                .timing(TimingModel::mlc_2015())
+                .build(),
+        );
+        NoFtl::new(device, NoFtlConfig::default())
+    }
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; 4096]
+    }
+
+    #[test]
+    fn create_region_takes_dies_from_pool() {
+        let noftl = make_noftl();
+        assert_eq!(noftl.free_die_count(), 4);
+        let r = noftl.create_region(RegionSpec::named("rgA").with_die_count(3)).unwrap();
+        assert_eq!(noftl.free_die_count(), 1);
+        assert_eq!(noftl.region_dies(r).unwrap().len(), 3);
+        assert_eq!(noftl.region_name(r).unwrap(), "rgA");
+        assert_eq!(noftl.region_ids(), vec![r]);
+    }
+
+    #[test]
+    fn duplicate_region_name_is_rejected() {
+        let noftl = make_noftl();
+        noftl.create_region(RegionSpec::named("rgA").with_die_count(1)).unwrap();
+        let err = noftl.create_region(RegionSpec::named("rgA").with_die_count(1)).unwrap_err();
+        assert!(matches!(err, NoFtlError::RegionExists { .. }));
+    }
+
+    #[test]
+    fn region_creation_fails_without_enough_dies() {
+        let noftl = make_noftl();
+        let err = noftl.create_region(RegionSpec::named("rgBig").with_die_count(5)).unwrap_err();
+        assert!(matches!(err, NoFtlError::NotEnoughDies { requested: 5, available: 4 }));
+    }
+
+    #[test]
+    fn regions_spread_across_channels() {
+        let noftl = make_noftl();
+        let geo = *noftl.device().geometry();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let dies = noftl.region_dies(r).unwrap();
+        let channels: std::collections::HashSet<u32> =
+            dies.iter().map(|d| geo.channel_of_die(*d)).collect();
+        assert_eq!(channels.len(), 2, "two dies should land on two channels");
+    }
+
+    #[test]
+    fn max_channels_limits_channel_spread() {
+        let noftl = make_noftl();
+        let geo = *noftl.device().geometry();
+        let r = noftl
+            .create_region(RegionSpec::named("rg").with_die_count(2).with_max_channels(1))
+            .unwrap();
+        let dies = noftl.region_dies(r).unwrap();
+        let channels: std::collections::HashSet<u32> =
+            dies.iter().map(|d| geo.channel_of_die(*d)).collect();
+        assert_eq!(channels.len(), 1);
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_stats() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let done = noftl.write(obj, 7, &page(0xAA), SimTime::ZERO).unwrap();
+        let (data, done2) = noftl.read(obj, 7, done).unwrap();
+        assert_eq!(data, page(0xAA));
+        assert!(done2 > done);
+        let os = noftl.object_stats(obj).unwrap();
+        assert_eq!(os.reads, 1);
+        assert_eq!(os.writes, 1);
+        assert_eq!(os.pages, 1);
+        let rs = noftl.region_stats(r).unwrap();
+        assert_eq!(rs.host_reads, 1);
+        assert_eq!(rs.host_writes, 1);
+        assert!(rs.avg_write_latency_us() > 0.0);
+        let agg = noftl.stats();
+        assert_eq!(agg.host_writes, 1);
+    }
+
+    #[test]
+    fn overwrites_invalidate_previous_versions() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let mut t = SimTime::ZERO;
+        for i in 0..5u8 {
+            t = noftl.write(obj, 0, &page(i), t).unwrap();
+        }
+        let (data, _) = noftl.read(obj, 0, t).unwrap();
+        assert_eq!(data, page(4));
+        assert_eq!(noftl.object_pages(obj).unwrap(), 1, "only one live page");
+    }
+
+    #[test]
+    fn unwritten_page_read_fails() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        assert!(matches!(
+            noftl.read(obj, 3, SimTime::ZERO),
+            Err(NoFtlError::PageNotWritten { page: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_object_and_region_errors() {
+        let noftl = make_noftl();
+        assert!(matches!(noftl.read(42, 0, SimTime::ZERO), Err(NoFtlError::UnknownObject { .. })));
+        assert!(noftl.region_stats(RegionId(9)).is_err());
+        assert!(noftl.create_object("x", RegionId(9)).is_err());
+        assert!(noftl.create_object_in("x", "nope").is_err());
+        assert!(noftl.object_id("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_object_name_rejected() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        noftl.create_object("t", r).unwrap();
+        assert!(matches!(noftl.create_object("t", r), Err(NoFtlError::ObjectExists { .. })));
+    }
+
+    #[test]
+    fn bad_page_size_rejected() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        assert!(matches!(
+            noftl.write(obj, 0, &[1, 2, 3], SimTime::ZERO),
+            Err(NoFtlError::BadPageSize { .. })
+        ));
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc_and_preserve_data() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let geo = *noftl.device().geometry();
+        // Working set = 60 % of the region's raw capacity.
+        let working_set = (2 * geo.pages_per_die() * 6 / 10) as u64;
+        let mut t = SimTime::ZERO;
+        let mut latest = vec![0u8; working_set as usize];
+        for round in 0..5u8 {
+            for p in 0..working_set {
+                let v = round.wrapping_mul(37).wrapping_add(p as u8);
+                t = noftl.write(obj, p, &page(v), t).unwrap();
+                latest[p as usize] = v;
+            }
+        }
+        let rs = noftl.region_stats(r).unwrap();
+        assert!(rs.gc_runs > 0);
+        assert!(rs.gc_erases > 0);
+        assert!(noftl.device().stats().block_erases > 0);
+        for p in 0..working_set {
+            let (data, _) = noftl.read(obj, p, t).unwrap();
+            assert_eq!(data, page(latest[p as usize]), "page {p}");
+        }
+    }
+
+    #[test]
+    fn hot_cold_separation_reduces_copybacks() {
+        // Two objects: one hot (overwritten constantly) and one cold
+        // (written once).  Placing them in separate regions (the paper's
+        // proposal) must produce fewer GC copybacks than mixing them in a
+        // single region (traditional placement), because in the mixed case
+        // victim blocks contain valid cold pages that have to be relocated.
+        fn run(separate: bool) -> u64 {
+            let device = Arc::new(
+                DeviceBuilder::new(FlashGeometry::small_test())
+                    .timing(TimingModel::instant())
+                    .build(),
+            );
+            let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::default());
+            let (hot_region, cold_region) = if separate {
+                let h = noftl.create_region(RegionSpec::named("rgHot").with_die_count(2)).unwrap();
+                let c = noftl.create_region(RegionSpec::named("rgCold").with_die_count(2)).unwrap();
+                (h, c)
+            } else {
+                let all = noftl.create_region(RegionSpec::named("rgAll").with_die_count(4)).unwrap();
+                (all, all)
+            };
+            let hot = noftl.create_object("hot", hot_region).unwrap();
+            let cold = noftl.create_object("cold", cold_region).unwrap();
+            let geo = *device.geometry();
+            let pages_per_die = geo.pages_per_die();
+            let cold_pages = pages_per_die; // fills a good part of its share
+            let hot_pages = pages_per_die / 4;
+            let t = SimTime::ZERO;
+            // Interleave cold fill with hot updates so blocks mix in the
+            // shared-region case.
+            let mut cold_written = 0u64;
+            for round in 0..40u64 {
+                for p in 0..hot_pages {
+                    noftl.write(hot, p, &page((round % 251) as u8), t).unwrap();
+                }
+                while cold_written < cold_pages && cold_written < (round + 1) * (cold_pages / 40 + 1) {
+                    noftl.write(cold, cold_written, &page(0xCC), t).unwrap();
+                    cold_written += 1;
+                }
+            }
+            device.stats().copybacks
+        }
+        let mixed = run(false);
+        let separated = run(true);
+        assert!(
+            separated < mixed,
+            "region separation should reduce copybacks (separated={separated}, mixed={mixed})"
+        );
+    }
+
+    #[test]
+    fn write_batch_returns_latest_completion() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let writes: Vec<(ObjectId, u64, Vec<u8>)> =
+            (0..4).map(|i| (obj, i as u64, page(i as u8))).collect();
+        let single = noftl.write(obj, 99, &page(9), SimTime::ZERO).unwrap();
+        let batch_done = noftl.write_batch(&writes, SimTime::ZERO).unwrap();
+        // The batch of four pages over two dies takes about two program
+        // times, i.e. it must finish later than a single write but much
+        // earlier than four serialized writes would.
+        assert!(batch_done > single);
+        for i in 0..4u64 {
+            let (data, _) = noftl.read(obj, i, batch_done).unwrap();
+            assert_eq!(data, page(i as u8));
+        }
+    }
+
+    #[test]
+    fn atomic_write_commits_all_or_nothing() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let t0 = SimTime::ZERO;
+        noftl.write(obj, 0, &page(1), t0).unwrap();
+        noftl.write(obj, 1, &page(1), t0).unwrap();
+        // Successful atomic batch.
+        let batch = vec![(obj, 0u64, page(2)), (obj, 1u64, page(2))];
+        let done = noftl.write_atomic(&batch, t0).unwrap();
+        assert_eq!(noftl.read(obj, 0, done).unwrap().0, page(2));
+        assert_eq!(noftl.read(obj, 1, done).unwrap().0, page(2));
+        // Failing atomic batch (unknown object in the middle): nothing changes.
+        let bad = vec![(obj, 0u64, page(3)), (999u32, 0u64, page(3))];
+        assert!(noftl.write_atomic(&bad, done).is_err());
+        assert_eq!(noftl.read(obj, 0, done).unwrap().0, page(2));
+    }
+
+    #[test]
+    fn free_page_and_drop_object_invalidate_pages() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+        noftl.write(obj, 1, &page(1), SimTime::ZERO).unwrap();
+        noftl.free_page(obj, 0).unwrap();
+        assert!(noftl.read(obj, 0, SimTime::ZERO).is_err());
+        assert_eq!(noftl.object_pages(obj).unwrap(), 1);
+        noftl.drop_object(obj).unwrap();
+        assert!(noftl.object_stats(obj).is_err());
+        assert!(noftl.object_id("t").is_none());
+        // Freeing a never-written page is a no-op.
+        let obj2 = noftl.create_object("t2", r).unwrap();
+        noftl.free_page(obj2, 5).unwrap();
+    }
+
+    #[test]
+    fn drop_region_requires_empty_and_returns_dies() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            noftl.drop_region(r, SimTime::ZERO),
+            Err(NoFtlError::RegionNotEmpty { .. })
+        ));
+        noftl.drop_object(obj).unwrap();
+        noftl.drop_region(r, SimTime::ZERO).unwrap();
+        assert_eq!(noftl.free_die_count(), 4);
+        assert!(noftl.region_id("rg").is_none());
+        // The returned dies can immediately back a new region.
+        let r2 = noftl.create_region(RegionSpec::named("rg2").with_die_count(4)).unwrap();
+        let obj2 = noftl.create_object("t2", r2).unwrap();
+        noftl.write(obj2, 0, &page(7), SimTime::ZERO).unwrap();
+        assert_eq!(noftl.read(obj2, 0, SimTime::ZERO).unwrap().0, page(7));
+    }
+
+    #[test]
+    fn grow_and_shrink_region_preserve_data() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let mut t = SimTime::ZERO;
+        for p in 0..20u64 {
+            t = noftl.write(obj, p, &page(p as u8), t).unwrap();
+        }
+        noftl.grow_region(r, 2).unwrap();
+        assert_eq!(noftl.region_dies(r).unwrap().len(), 3);
+        assert_eq!(noftl.free_die_count(), 1);
+        for p in 20..40u64 {
+            t = noftl.write(obj, p, &page(p as u8), t).unwrap();
+        }
+        // Shrink back down to one die; the data written on the removed dies
+        // must be migrated and stay readable.
+        let done = noftl.shrink_region(r, 2, t).unwrap();
+        assert_eq!(noftl.region_dies(r).unwrap().len(), 1);
+        assert_eq!(noftl.free_die_count(), 3);
+        for p in 0..40u64 {
+            let (data, _) = noftl.read(obj, p, done).unwrap();
+            assert_eq!(data, page(p as u8), "page {p}");
+        }
+        let rs = noftl.region_stats(r).unwrap();
+        assert!(rs.rebalance_moves > 0);
+        // Shrinking to zero dies is rejected.
+        assert!(noftl.shrink_region(r, 1, done).is_err());
+        // Growing beyond the pool is rejected.
+        assert!(noftl.grow_region(r, 10).is_err());
+    }
+
+    #[test]
+    fn static_wl_policy_is_exercised() {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::small_test())
+                .timing(TimingModel::instant())
+                .build(),
+        );
+        let config = NoFtlConfig {
+            wear_leveling: WearLevelingPolicy::Static { threshold: 2 },
+            gc_policy: GcPolicy::CostBenefit,
+            ..NoFtlConfig::default()
+        };
+        let noftl = NoFtl::new(Arc::clone(&device), config);
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let cold = noftl.create_object("cold", r).unwrap();
+        let hot = noftl.create_object("hot", r).unwrap();
+        let geo = *device.geometry();
+        let t = SimTime::ZERO;
+        // A block's worth of cold data that never changes...
+        for p in 0..geo.pages_per_block as u64 {
+            noftl.write(cold, p, &page(0xCC), t).unwrap();
+        }
+        // ...and a hot page hammered long enough to wear out the rest.
+        for i in 0..(geo.pages_per_die() * 6) {
+            noftl.write(hot, 0, &page((i % 255) as u8), t).unwrap();
+        }
+        let rs = noftl.region_stats(r).unwrap();
+        assert!(rs.wl_migrations > 0, "static WL should have migrated the cold block");
+        // Cold data is still correct after migration.
+        assert_eq!(noftl.read(cold, 0, t).unwrap().0, page(0xCC));
+    }
+
+    #[test]
+    fn with_single_region_spans_all_dies() {
+        let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
+        let (noftl, rid) = NoFtl::with_single_region(device, NoFtlConfig::default());
+        assert_eq!(noftl.region_dies(rid).unwrap().len(), 4);
+        assert_eq!(noftl.free_die_count(), 0);
+        assert_eq!(noftl.region_name(rid).unwrap(), "rgAll");
+    }
+
+    #[test]
+    fn region_info_and_object_extent() {
+        let noftl = make_noftl();
+        let geo = *noftl.device().geometry();
+        let r = noftl
+            .create_region(RegionSpec::named("rg").with_die_count(2))
+            .unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        noftl.write(obj, 10, &page(1), SimTime::ZERO).unwrap();
+        let info = noftl.region_info(r).unwrap();
+        assert_eq!(info.name, "rg");
+        assert_eq!(info.dies.len(), 2);
+        assert_eq!(info.objects, vec![obj]);
+        assert_eq!(info.capacity_pages, 2 * geo.pages_per_die());
+        assert!(info.effective_capacity_pages <= info.capacity_pages);
+        assert_eq!(info.tracked_blocks, 2 * geo.blocks_per_die() as u64);
+        assert!(info.free_blocks < info.tracked_blocks, "one block is now open");
+        assert_eq!(noftl.object_extent(obj).unwrap(), 11);
+        assert_eq!(noftl.object_pages(obj).unwrap(), 1);
+        assert!(noftl.region_info(RegionId(7)).is_err());
+    }
+
+    #[test]
+    fn all_object_stats_lists_every_object() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let a = noftl.create_object("a", r).unwrap();
+        let _b = noftl.create_object("b", r).unwrap();
+        noftl.write(a, 0, &page(1), SimTime::ZERO).unwrap();
+        let stats = noftl.all_object_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().find(|s| s.name == "a").unwrap().writes, 1);
+        assert_eq!(stats.iter().find(|s| s.name == "b").unwrap().writes, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Database objects as seen by the storage manager.
+//!
+//! The NoFTL storage manager addresses data by `(object, logical page)`.
+//! An object is anything the DBMS stores: a table heap, an index, the
+//! write-ahead log, catalog pages.  Each object lives in exactly one
+//! region and carries its own logical-to-physical page map plus the access
+//! statistics used for hot/cold classification and placement decisions.
+
+use flash_sim::PageAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::region::RegionId;
+
+/// Identifier of a database object.  `0` is reserved; real objects start
+/// at 1 so the id can double as the `object_id` stored in flash page
+/// metadata.
+pub type ObjectId = u32;
+
+/// Per-object access counters used for hot/cold classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectCounters {
+    /// Logical page reads served for this object.
+    pub reads: u64,
+    /// Logical page writes served for this object.
+    pub writes: u64,
+}
+
+/// Runtime state of one object.
+#[derive(Debug, Clone)]
+pub(crate) struct ObjectState {
+    /// Human-readable name (unique).
+    pub name: String,
+    /// The region the object is placed in.
+    pub region: RegionId,
+    /// Logical page number → physical page address.
+    pub map: Vec<Option<PageAddr>>,
+    /// Access counters.
+    pub counters: ObjectCounters,
+}
+
+impl ObjectState {
+    pub(crate) fn new(name: impl Into<String>, region: RegionId) -> Self {
+        ObjectState {
+            name: name.into(),
+            region,
+            map: Vec::new(),
+            counters: ObjectCounters::default(),
+        }
+    }
+
+    /// Current translation of a logical page.
+    pub(crate) fn translate(&self, page: u64) -> Option<PageAddr> {
+        self.map.get(page as usize).copied().flatten()
+    }
+
+    /// Install a translation, growing the map as needed; returns the
+    /// previous translation.
+    pub(crate) fn set_translation(&mut self, page: u64, ppa: PageAddr) -> Option<PageAddr> {
+        let idx = page as usize;
+        if idx >= self.map.len() {
+            self.map.resize(idx + 1, None);
+        }
+        self.map[idx].replace(ppa)
+    }
+
+    /// Remove a translation; returns the previous one.
+    pub(crate) fn clear_translation(&mut self, page: u64) -> Option<PageAddr> {
+        self.map.get_mut(page as usize).and_then(|s| s.take())
+    }
+
+    /// Number of logical pages currently mapped (i.e. the object's size on
+    /// flash in pages).
+    pub(crate) fn mapped_pages(&self) -> u64 {
+        self.map.iter().filter(|e| e.is_some()).count() as u64
+    }
+
+    /// Highest mapped logical page number plus one (the object's logical
+    /// extent), or 0 for an empty object.
+    pub(crate) fn logical_extent(&self) -> u64 {
+        self.map
+            .iter()
+            .rposition(|e| e.is_some())
+            .map(|i| i as u64 + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::DieId;
+
+    fn ppa(block: u32) -> PageAddr {
+        PageAddr::new(DieId(0), 0, block, 0)
+    }
+
+    #[test]
+    fn translation_lifecycle() {
+        let mut o = ObjectState::new("t", RegionId(0));
+        assert_eq!(o.translate(5), None);
+        assert_eq!(o.set_translation(5, ppa(1)), None);
+        assert_eq!(o.translate(5), Some(ppa(1)));
+        assert_eq!(o.set_translation(5, ppa(2)), Some(ppa(1)));
+        assert_eq!(o.mapped_pages(), 1);
+        assert_eq!(o.logical_extent(), 6);
+        assert_eq!(o.clear_translation(5), Some(ppa(2)));
+        assert_eq!(o.mapped_pages(), 0);
+        assert_eq!(o.logical_extent(), 0);
+    }
+
+    #[test]
+    fn sparse_pages_grow_the_map() {
+        let mut o = ObjectState::new("t", RegionId(0));
+        o.set_translation(100, ppa(3));
+        assert_eq!(o.map.len(), 101);
+        assert_eq!(o.translate(99), None);
+        assert_eq!(o.translate(100), Some(ppa(3)));
+        assert_eq!(o.logical_extent(), 101);
+        assert_eq!(o.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn clear_of_unmapped_page_is_none() {
+        let mut o = ObjectState::new("t", RegionId(0));
+        assert_eq!(o.clear_translation(42), None);
+    }
+}

@@ -1,0 +1,343 @@
+//! Placement advisor: derive multi-region configurations from object
+//! statistics.
+//!
+//! The paper's Figure 2 shows a hand-tuned assignment of the TPC-C objects
+//! to 6 regions and of the 64 flash dies to those regions "based on sizes
+//! of objects and their I/O rate (required level of I/O parallelism)".
+//! [`PlacementAdvisor::assign_dies`] automates exactly that computation:
+//! given groups of objects and their measured profiles, it apportions the
+//! available dies proportionally to a weighted combination of I/O rate and
+//! size (largest-remainder method, at least one die per region).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hotcold::ObjectProfile;
+
+/// One region of a placement configuration: its name, the objects placed
+/// in it, and the number of dies assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionAssignment {
+    /// Region name.
+    pub region_name: String,
+    /// Names of the objects placed in this region.
+    pub objects: Vec<String>,
+    /// Number of dies assigned to the region.
+    pub dies: u32,
+}
+
+/// A complete data-placement configuration (the shape of the paper's
+/// Figure 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// The regions, in declaration order.
+    pub regions: Vec<RegionAssignment>,
+}
+
+impl PlacementConfig {
+    /// The "traditional data placement" baseline: a single region spanning
+    /// all dies, holding every object.
+    pub fn traditional(total_dies: u32, objects: impl IntoIterator<Item = String>) -> Self {
+        PlacementConfig {
+            regions: vec![RegionAssignment {
+                region_name: "rgAll".to_string(),
+                objects: objects.into_iter().collect(),
+                dies: total_dies,
+            }],
+        }
+    }
+
+    /// Total number of dies used by the configuration.
+    pub fn total_dies(&self) -> u32 {
+        self.regions.iter().map(|r| r.dies).sum()
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Find the region an object is assigned to.
+    pub fn region_of(&self, object: &str) -> Option<&RegionAssignment> {
+        self.regions.iter().find(|r| r.objects.iter().any(|o| o == object))
+    }
+
+    /// Render the configuration as an ASCII table (mirrors Figure 2).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>9}   {}\n",
+            "Region", "Dies", "DB-Objects"
+        ));
+        for r in &self.regions {
+            out.push_str(&format!(
+                "{:<12} {:>9}   {}\n",
+                r.region_name,
+                r.dies,
+                r.objects.join("; ")
+            ));
+        }
+        out.push_str(&format!("{:<12} {:>9}\n", "TOTAL", self.total_dies()));
+        out
+    }
+}
+
+/// Computes die apportionments from object profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAdvisor {
+    /// Relative weight of a group's I/O rate in the die share.
+    pub io_weight: f64,
+    /// Relative weight of a group's size (pages) in the die share.
+    pub size_weight: f64,
+    /// Minimum number of dies any region receives.
+    pub min_dies_per_region: u32,
+}
+
+impl Default for PlacementAdvisor {
+    fn default() -> Self {
+        PlacementAdvisor {
+            io_weight: 0.6,
+            size_weight: 0.4,
+            min_dies_per_region: 1,
+        }
+    }
+}
+
+impl PlacementAdvisor {
+    /// Apportion `total_dies` dies over the given object groups.
+    ///
+    /// Each group becomes one region named after the group.  The die share
+    /// of a group is proportional to
+    /// `io_weight * (group I/O / total I/O) + size_weight * (group pages / total pages)`,
+    /// subject to the minimum per region, rounded with the largest-remainder
+    /// method so the shares always sum to `total_dies`.
+    ///
+    /// # Panics
+    /// Panics if `total_dies` cannot satisfy the per-region minimum — that
+    /// is a configuration error in the calling experiment.
+    pub fn assign_dies(
+        &self,
+        groups: &[(String, Vec<ObjectProfile>)],
+        total_dies: u32,
+    ) -> PlacementConfig {
+        assert!(
+            !groups.is_empty(),
+            "placement advisor needs at least one object group"
+        );
+        let min_total = self.min_dies_per_region * groups.len() as u32;
+        assert!(
+            total_dies >= min_total,
+            "cannot assign {total_dies} dies to {} regions with a minimum of {} each",
+            groups.len(),
+            self.min_dies_per_region
+        );
+        let total_io: u64 = groups
+            .iter()
+            .flat_map(|(_, ps)| ps.iter())
+            .map(|p| p.io_rate())
+            .sum();
+        let total_pages: u64 = groups
+            .iter()
+            .flat_map(|(_, ps)| ps.iter())
+            .map(|p| p.pages)
+            .sum();
+        let weights: Vec<f64> = groups
+            .iter()
+            .map(|(_, ps)| {
+                let io: u64 = ps.iter().map(|p| p.io_rate()).sum();
+                let pages: u64 = ps.iter().map(|p| p.pages).sum();
+                let io_share = if total_io == 0 { 0.0 } else { io as f64 / total_io as f64 };
+                let size_share = if total_pages == 0 {
+                    0.0
+                } else {
+                    pages as f64 / total_pages as f64
+                };
+                self.io_weight * io_share + self.size_weight * size_share
+            })
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+        // Distribute the dies above the per-region minimum proportionally.
+        let distributable = total_dies - min_total;
+        let mut dies: Vec<u32> = vec![self.min_dies_per_region; groups.len()];
+        if distributable > 0 {
+            let shares: Vec<f64> = weights
+                .iter()
+                .map(|w| {
+                    if weight_sum <= f64::EPSILON {
+                        distributable as f64 / groups.len() as f64
+                    } else {
+                        w / weight_sum * distributable as f64
+                    }
+                })
+                .collect();
+            let floors: Vec<u32> = shares.iter().map(|s| s.floor() as u32).collect();
+            let mut assigned: u32 = floors.iter().sum();
+            for (d, f) in dies.iter_mut().zip(floors.iter()) {
+                *d += *f;
+            }
+            // Largest remainder: hand out the leftover dies to the groups
+            // with the largest fractional parts.
+            let mut remainders: Vec<(usize, f64)> = shares
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s - s.floor()))
+                .collect();
+            remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let mut i = 0;
+            while assigned < distributable {
+                dies[remainders[i % remainders.len()].0] += 1;
+                assigned += 1;
+                i += 1;
+            }
+        }
+        PlacementConfig {
+            regions: groups
+                .iter()
+                .zip(dies)
+                .map(|((name, ps), d)| RegionAssignment {
+                    region_name: name.clone(),
+                    objects: ps.iter().map(|p| p.name.clone()).collect(),
+                    dies: d,
+                })
+                .collect(),
+        }
+    }
+
+    /// Group objects automatically into `num_groups` buckets of similar
+    /// update intensity (hottest group first).  This is the fully automatic
+    /// variant of the manual grouping in the paper's Figure 2.
+    pub fn auto_group(
+        &self,
+        profiles: &[ObjectProfile],
+        num_groups: usize,
+    ) -> Vec<(String, Vec<ObjectProfile>)> {
+        if profiles.is_empty() || num_groups == 0 {
+            return Vec::new();
+        }
+        let mut sorted: Vec<ObjectProfile> = profiles.to_vec();
+        sorted.sort_by(|a, b| {
+            b.update_intensity()
+                .partial_cmp(&a.update_intensity())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let num_groups = num_groups.min(sorted.len());
+        let per_group = sorted.len().div_ceil(num_groups);
+        sorted
+            .chunks(per_group)
+            .enumerate()
+            .map(|(i, chunk)| (format!("rgAuto{i}"), chunk.to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn profile(name: &str, pages: u64, reads: u64, writes: u64) -> ObjectProfile {
+        ObjectProfile { name: name.into(), pages, reads, writes }
+    }
+
+    fn groups() -> Vec<(String, Vec<ObjectProfile>)> {
+        vec![
+            ("rgMeta".into(), vec![profile("metadata", 10, 100, 10), profile("history", 200, 0, 300)]),
+            ("rgOrderline".into(), vec![profile("orderline", 3_000, 4_000, 9_000)]),
+            ("rgCustomer".into(), vec![profile("customer", 2_500, 6_000, 3_000)]),
+            ("rgStock".into(), vec![profile("stock", 8_000, 12_000, 10_000), profile("ol_idx", 1_500, 3_000, 2_000)]),
+            ("rgSmallHot".into(), vec![profile("warehouse", 5, 2_000, 1_500), profile("district", 10, 2_500, 2_000)]),
+            ("rgOrderIdx".into(), vec![profile("no_idx", 300, 1_000, 1_200), profile("o_idx", 400, 900, 800)]),
+        ]
+    }
+
+    #[test]
+    fn traditional_config_uses_one_region() {
+        let cfg = PlacementConfig::traditional(64, ["a".to_string(), "b".to_string()]);
+        assert_eq!(cfg.region_count(), 1);
+        assert_eq!(cfg.total_dies(), 64);
+        assert_eq!(cfg.region_of("a").unwrap().region_name, "rgAll");
+        assert!(cfg.region_of("zzz").is_none());
+    }
+
+    #[test]
+    fn die_shares_sum_to_total_and_respect_minimum() {
+        let advisor = PlacementAdvisor::default();
+        let cfg = advisor.assign_dies(&groups(), 64);
+        assert_eq!(cfg.total_dies(), 64);
+        assert_eq!(cfg.region_count(), 6);
+        assert!(cfg.regions.iter().all(|r| r.dies >= 1));
+        // The biggest, most I/O-intensive group (stock) gets the most dies.
+        let stock = cfg.regions.iter().find(|r| r.region_name == "rgStock").unwrap();
+        assert!(cfg.regions.iter().all(|r| r.dies <= stock.dies));
+        // The metadata group gets the fewest.
+        let meta = cfg.regions.iter().find(|r| r.region_name == "rgMeta").unwrap();
+        assert!(cfg.regions.iter().all(|r| r.dies >= meta.dies));
+    }
+
+    #[test]
+    fn table_rendering_contains_all_regions() {
+        let advisor = PlacementAdvisor::default();
+        let cfg = advisor.assign_dies(&groups(), 64);
+        let table = cfg.to_table();
+        for r in &cfg.regions {
+            assert!(table.contains(&r.region_name));
+        }
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains("64"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot assign")]
+    fn too_few_dies_panics() {
+        PlacementAdvisor::default().assign_dies(&groups(), 3);
+    }
+
+    #[test]
+    fn zero_io_groups_still_get_their_minimum() {
+        let advisor = PlacementAdvisor::default();
+        let gs = vec![
+            ("rgA".into(), vec![profile("a", 0, 0, 0)]),
+            ("rgB".into(), vec![profile("b", 0, 0, 0)]),
+        ];
+        let cfg = advisor.assign_dies(&gs, 8);
+        assert_eq!(cfg.total_dies(), 8);
+        assert!(cfg.regions.iter().all(|r| r.dies >= 1));
+    }
+
+    #[test]
+    fn auto_group_orders_hot_first() {
+        let advisor = PlacementAdvisor::default();
+        let profiles = vec![
+            profile("cold", 1000, 100, 0),
+            profile("hot", 100, 100, 10_000),
+            profile("warm", 500, 100, 500),
+        ];
+        let gs = advisor.auto_group(&profiles, 3);
+        assert_eq!(gs.len(), 3);
+        assert_eq!(gs[0].1[0].name, "hot");
+        assert_eq!(gs[2].1[0].name, "cold");
+        assert!(advisor.auto_group(&[], 3).is_empty());
+        assert!(advisor.auto_group(&profiles, 0).is_empty());
+        // More groups than objects collapses to one object per group.
+        assert_eq!(advisor.auto_group(&profiles, 10).len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn apportionment_always_sums_to_total(
+            dies in 6u32..128,
+            weights in prop::collection::vec((1u64..10_000, 1u64..10_000, 1u64..10_000), 2..6),
+        ) {
+            let gs: Vec<(String, Vec<ObjectProfile>)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, (pages, reads, writes))| {
+                    (format!("g{i}"), vec![profile(&format!("o{i}"), *pages, *reads, *writes)])
+                })
+                .collect();
+            let cfg = PlacementAdvisor::default().assign_dies(&gs, dies);
+            prop_assert_eq!(cfg.total_dies(), dies);
+            prop_assert!(cfg.regions.iter().all(|r| r.dies >= 1));
+        }
+    }
+}

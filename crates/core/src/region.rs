@@ -1,0 +1,463 @@
+//! Regions: the paper's physical storage structure.
+//!
+//! A region owns a set of flash dies.  Within a region, writes are striped
+//! round-robin over the dies (each die maintains its own append point), so
+//! a region with more dies offers more I/O parallelism.  All space
+//! reclamation (GC) and wear leveling happen region-locally.
+
+use flash_sim::{BlockAddr, DieId, FlashGeometry, NandDevice, PageAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::config::{NoFtlConfig, WearLevelingPolicy};
+use crate::stats::RegionStats;
+use crate::wear::{pick_free_block, FreeBlockCandidate};
+
+/// Identifier of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// Declarative description of a region, mirroring the paper's DDL:
+///
+/// ```sql
+/// CREATE REGION rgHotTbl (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=1280M);
+/// ```
+///
+/// The storage manager resolves the spec against the device geometry and
+/// the pool of unassigned dies when the region is created.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region name (unique).
+    pub name: String,
+    /// Explicit number of dies to assign; takes precedence over the limits
+    /// below when set.
+    pub die_count: Option<u32>,
+    /// Upper bound on the number of chips the region may span.
+    pub max_chips: Option<u32>,
+    /// Upper bound on the number of channels the region may span.
+    pub max_channels: Option<u32>,
+    /// Upper bound on the region's raw capacity in bytes.
+    pub max_size_bytes: Option<u64>,
+}
+
+impl RegionSpec {
+    /// A spec with only a name; limits can be added with the builder methods.
+    pub fn named(name: impl Into<String>) -> Self {
+        RegionSpec {
+            name: name.into(),
+            die_count: None,
+            max_chips: None,
+            max_channels: None,
+            max_size_bytes: None,
+        }
+    }
+
+    /// Request an explicit number of dies.
+    pub fn with_die_count(mut self, dies: u32) -> Self {
+        self.die_count = Some(dies);
+        self
+    }
+
+    /// Limit the number of chips the region spans (paper: `MAX_CHIPS`).
+    pub fn with_max_chips(mut self, chips: u32) -> Self {
+        self.max_chips = Some(chips);
+        self
+    }
+
+    /// Limit the number of channels the region spans (paper: `MAX_CHANNELS`).
+    pub fn with_max_channels(mut self, channels: u32) -> Self {
+        self.max_channels = Some(channels);
+        self
+    }
+
+    /// Limit the region's raw size in bytes (paper: `MAX_SIZE`).
+    pub fn with_max_size_bytes(mut self, bytes: u64) -> Self {
+        self.max_size_bytes = Some(bytes);
+        self
+    }
+
+    /// Resolve the spec to a concrete number of dies for `geometry`.
+    ///
+    /// The most restrictive of the given limits wins; a spec with no limits
+    /// at all resolves to a single die.
+    pub fn resolve_die_count(&self, geometry: &FlashGeometry) -> u32 {
+        if let Some(n) = self.die_count {
+            return n.max(1);
+        }
+        let mut bound = u32::MAX;
+        if let Some(chips) = self.max_chips {
+            bound = bound.min(chips.saturating_mul(geometry.dies_per_chip));
+        }
+        if let Some(channels) = self.max_channels {
+            bound = bound.min(channels.saturating_mul(geometry.dies_per_channel()));
+        }
+        if let Some(size) = self.max_size_bytes {
+            let per_die = geometry.die_capacity_bytes().max(1);
+            bound = bound.min(((size + per_die - 1) / per_die) as u32);
+        }
+        if bound == u32::MAX {
+            1
+        } else {
+            bound.max(1)
+        }
+    }
+}
+
+/// Allocation state of one die inside a region.
+#[derive(Debug)]
+pub(crate) struct RegionDie {
+    /// The die's global id.
+    pub die: DieId,
+    /// Erased blocks available for allocation.
+    pub free_blocks: Vec<BlockAddr>,
+    /// Host-write frontier: (block, next page index).
+    pub active: Option<(BlockAddr, u32)>,
+    /// GC-destination frontier: (block, next page index).
+    pub gc_active: Option<(BlockAddr, u32)>,
+    /// Blocks with data (open or full), i.e. GC candidates once full.
+    pub used_blocks: Vec<BlockAddr>,
+}
+
+impl RegionDie {
+    /// Build the allocation state for a die, treating every non-bad block
+    /// of the die as free.  The caller must ensure the die actually is
+    /// erased (true at device start-up and after a die is migrated out of
+    /// another region).
+    pub(crate) fn new(device: &NandDevice, die: DieId) -> Self {
+        let geo = device.geometry();
+        let mut free_blocks = Vec::with_capacity(geo.blocks_per_die() as usize);
+        for plane in 0..geo.planes_per_die {
+            for block in 0..geo.blocks_per_plane {
+                let addr = BlockAddr::new(die, plane, block);
+                if let Ok(info) = device.block_info(addr) {
+                    if info.state != flash_sim::BlockState::Bad {
+                        free_blocks.push(addr);
+                    }
+                }
+            }
+        }
+        RegionDie {
+            die,
+            free_blocks,
+            active: None,
+            gc_active: None,
+            used_blocks: Vec::new(),
+        }
+    }
+
+    /// Total usable blocks currently tracked by this die (free + used +
+    /// frontiers).
+    pub(crate) fn tracked_blocks(&self) -> usize {
+        self.free_blocks.len()
+            + self.used_blocks.len()
+            + usize::from(self.active.is_some())
+            + usize::from(self.gc_active.is_some())
+    }
+
+    /// Pick and open a fresh block for the host frontier.
+    pub(crate) fn open_host_block(&mut self, device: &NandDevice, policy: WearLevelingPolicy) -> bool {
+        let cands: Vec<FreeBlockCandidate> = self
+            .free_blocks
+            .iter()
+            .enumerate()
+            .map(|(slot, b)| FreeBlockCandidate {
+                slot,
+                erase_count: device.block_info(*b).map(|i| i.erase_count).unwrap_or(0),
+            })
+            .collect();
+        match pick_free_block(policy, &cands) {
+            Some(slot) => {
+                let block = self.free_blocks.swap_remove(slot);
+                self.active = Some((block, 0));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pick and open a fresh block for the GC frontier.
+    pub(crate) fn open_gc_block(&mut self, device: &NandDevice, policy: WearLevelingPolicy) -> bool {
+        let cands: Vec<FreeBlockCandidate> = self
+            .free_blocks
+            .iter()
+            .enumerate()
+            .map(|(slot, b)| FreeBlockCandidate {
+                slot,
+                erase_count: device.block_info(*b).map(|i| i.erase_count).unwrap_or(0),
+            })
+            .collect();
+        match pick_free_block(policy, &cands) {
+            Some(slot) => {
+                let block = self.free_blocks.swap_remove(slot);
+                self.gc_active = Some((block, 0));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Next page of the host frontier, opening a new block when necessary.
+    /// Returns `None` when the die has no free blocks left.
+    pub(crate) fn next_host_page(
+        &mut self,
+        device: &NandDevice,
+        policy: WearLevelingPolicy,
+        pages_per_block: u32,
+    ) -> Option<PageAddr> {
+        loop {
+            match self.active {
+                Some((block, next)) if next < pages_per_block => {
+                    self.active = Some((block, next + 1));
+                    return Some(block.page(next));
+                }
+                Some((block, _)) => {
+                    self.used_blocks.push(block);
+                    self.active = None;
+                }
+                None => {
+                    if !self.open_host_block(device, policy) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Next page of the GC frontier, opening a new block when necessary.
+    pub(crate) fn next_gc_page(
+        &mut self,
+        device: &NandDevice,
+        policy: WearLevelingPolicy,
+        pages_per_block: u32,
+    ) -> Option<PageAddr> {
+        loop {
+            match self.gc_active {
+                Some((block, next)) if next < pages_per_block => {
+                    self.gc_active = Some((block, next + 1));
+                    return Some(block.page(next));
+                }
+                Some((block, _)) => {
+                    self.used_blocks.push(block);
+                    self.gc_active = None;
+                }
+                None => {
+                    if !self.open_gc_block(device, policy) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Read-only snapshot of a region's configuration and occupancy, exposed
+/// through [`crate::NoFtl::region_info`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionInfo {
+    /// Region id.
+    pub id: RegionId,
+    /// Region name.
+    pub name: String,
+    /// The spec the region was created from.
+    pub spec: RegionSpec,
+    /// Dies currently owned by the region.
+    pub dies: Vec<DieId>,
+    /// Objects currently placed in the region (ids).
+    pub objects: Vec<u32>,
+    /// Erased blocks currently available across the region's dies.
+    pub free_blocks: u64,
+    /// Blocks tracked by the region in total (free + in use + frontiers).
+    pub tracked_blocks: u64,
+    /// Raw capacity in pages.
+    pub capacity_pages: u64,
+    /// Capacity available to objects after GC headroom.
+    pub effective_capacity_pages: u64,
+}
+
+/// Runtime state of a region.
+#[derive(Debug)]
+pub(crate) struct RegionRuntime {
+    /// Region id.
+    pub id: RegionId,
+    /// Region name.
+    pub name: String,
+    /// The spec the region was created from.
+    pub spec: RegionSpec,
+    /// Per-die allocation state.
+    pub dies: Vec<RegionDie>,
+    /// Round-robin pointer for write striping.
+    pub next_die: usize,
+    /// Objects currently placed in this region (by id).
+    pub objects: Vec<u32>,
+    /// Monotonic invalidation sequence (region-local GC "age" clock).
+    pub invalidate_seq: u64,
+    /// Last invalidation sequence per block.
+    pub block_invalidate_seq: HashMap<(u32, u32, u32), u64>,
+    /// Region-level statistics.
+    pub stats: RegionStats,
+}
+
+impl RegionRuntime {
+    pub(crate) fn new(id: RegionId, spec: RegionSpec, device: &NandDevice, dies: Vec<DieId>) -> Self {
+        let name = spec.name.clone();
+        RegionRuntime {
+            id,
+            name,
+            spec,
+            dies: dies.into_iter().map(|d| RegionDie::new(device, d)).collect(),
+            next_die: 0,
+            objects: Vec::new(),
+            invalidate_seq: 0,
+            block_invalidate_seq: HashMap::new(),
+            stats: RegionStats::default(),
+        }
+    }
+
+    /// Record that a page in `block` has been invalidated (for cost-benefit
+    /// GC aging).
+    pub(crate) fn record_invalidation(&mut self, ppa: PageAddr) {
+        self.invalidate_seq += 1;
+        let seq = self.invalidate_seq;
+        self.block_invalidate_seq
+            .insert((ppa.die.0, ppa.plane, ppa.block), seq);
+    }
+
+    /// The die ids owned by the region.
+    pub(crate) fn die_ids(&self) -> Vec<DieId> {
+        self.dies.iter().map(|d| d.die).collect()
+    }
+
+    /// Number of free blocks summed over all dies of the region.
+    pub(crate) fn total_free_blocks(&self) -> usize {
+        self.dies.iter().map(|d| d.free_blocks.len()).sum()
+    }
+
+    /// Raw capacity of the region in pages, given the device geometry.
+    pub(crate) fn capacity_pages(&self, geo: &FlashGeometry) -> u64 {
+        self.dies.len() as u64 * geo.pages_per_die()
+    }
+
+    /// Effective capacity available to objects after reserving GC headroom.
+    pub(crate) fn effective_capacity_pages(&self, geo: &FlashGeometry, config: &NoFtlConfig) -> u64 {
+        let raw = self.capacity_pages(geo);
+        (raw as f64 * (1.0 - config.gc_headroom)).floor() as u64
+    }
+
+    /// Build the public snapshot of this region.
+    pub(crate) fn info(&self, geo: &FlashGeometry, config: &NoFtlConfig) -> RegionInfo {
+        RegionInfo {
+            id: self.id,
+            name: self.name.clone(),
+            spec: self.spec.clone(),
+            dies: self.die_ids(),
+            objects: self.objects.clone(),
+            free_blocks: self.total_free_blocks() as u64,
+            tracked_blocks: self.dies.iter().map(|d| d.tracked_blocks() as u64).sum(),
+            capacity_pages: self.capacity_pages(geo),
+            effective_capacity_pages: self.effective_capacity_pages(geo, config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::{DeviceBuilder, FlashGeometry};
+
+    #[test]
+    fn spec_builder_and_resolution() {
+        let geo = FlashGeometry::edbt_paper(); // 64 dies, 4 per chip, 16 per channel
+        let spec = RegionSpec::named("rgHotTbl")
+            .with_max_chips(8)
+            .with_max_channels(4)
+            .with_max_size_bytes(1280 * 1024 * 1024);
+        // MAX_CHIPS=8 → 32 dies; MAX_CHANNELS=4 → 64 dies;
+        // MAX_SIZE=1280M with 256 MiB dies → 5 dies; most restrictive wins.
+        assert_eq!(spec.resolve_die_count(&geo), 5);
+        assert_eq!(RegionSpec::named("x").resolve_die_count(&geo), 1);
+        assert_eq!(RegionSpec::named("x").with_die_count(11).resolve_die_count(&geo), 11);
+        assert_eq!(RegionSpec::named("x").with_max_chips(2).resolve_die_count(&geo), 8);
+        assert_eq!(RegionSpec::named("x").with_max_channels(1).resolve_die_count(&geo), 16);
+    }
+
+    #[test]
+    fn die_count_zero_resolves_to_one() {
+        let geo = FlashGeometry::small_test();
+        assert_eq!(RegionSpec::named("x").with_die_count(0).resolve_die_count(&geo), 1);
+    }
+
+    #[test]
+    fn region_die_allocation_walks_blocks_sequentially() {
+        let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
+        let geo = *device.geometry();
+        let mut die = RegionDie::new(&device, DieId(0));
+        let initial_blocks = die.free_blocks.len();
+        assert_eq!(initial_blocks, geo.blocks_per_die() as usize);
+        let p0 = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let p1 = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        assert_eq!(p0.block(), p1.block());
+        assert_eq!(p0.page + 1, p1.page);
+        // Exhaust the first block; the next page must come from a new block.
+        for _ in 2..geo.pages_per_block {
+            die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        }
+        let p_next = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        assert_ne!(p_next.block(), p0.block());
+        assert_eq!(die.used_blocks.len(), 1);
+        assert_eq!(die.tracked_blocks(), initial_blocks);
+    }
+
+    #[test]
+    fn region_die_exhaustion_returns_none() {
+        let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
+        let geo = *device.geometry();
+        let mut die = RegionDie::new(&device, DieId(1));
+        let total_pages = geo.pages_per_die();
+        for _ in 0..total_pages {
+            assert!(die
+                .next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block)
+                .is_some());
+        }
+        assert!(die
+            .next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block)
+            .is_none());
+    }
+
+    #[test]
+    fn gc_frontier_is_separate_from_host_frontier() {
+        let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
+        let geo = *device.geometry();
+        let mut die = RegionDie::new(&device, DieId(0));
+        let host = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let gc = die.next_gc_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        assert_ne!(host.block(), gc.block(), "host and GC data never share a block");
+    }
+
+    #[test]
+    fn region_runtime_capacity_accounting() {
+        let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
+        let geo = *device.geometry();
+        let rt = RegionRuntime::new(
+            RegionId(0),
+            RegionSpec::named("r"),
+            &device,
+            vec![DieId(0), DieId(1)],
+        );
+        assert_eq!(rt.capacity_pages(&geo), 2 * geo.pages_per_die());
+        let config = NoFtlConfig { gc_headroom: 0.5, ..NoFtlConfig::default() };
+        assert_eq!(rt.effective_capacity_pages(&geo, &config), geo.pages_per_die());
+        assert_eq!(rt.die_ids(), vec![DieId(0), DieId(1)]);
+        assert_eq!(rt.total_free_blocks(), 2 * geo.blocks_per_die() as usize);
+    }
+
+    #[test]
+    fn invalidation_sequence_advances() {
+        let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
+        let mut rt = RegionRuntime::new(RegionId(0), RegionSpec::named("r"), &device, vec![DieId(0)]);
+        let p = PageAddr::new(DieId(0), 0, 3, 1);
+        rt.record_invalidation(p);
+        rt.record_invalidation(p);
+        assert_eq!(rt.invalidate_seq, 2);
+        assert_eq!(rt.block_invalidate_seq.get(&(0, 0, 3)), Some(&2));
+    }
+}

@@ -1,0 +1,209 @@
+//! Statistics exposed by the NoFTL storage manager.
+
+use serde::{Deserialize, Serialize};
+
+use flash_sim::Duration;
+
+/// Per-region counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// Host page reads served from this region.
+    pub host_reads: u64,
+    /// Host page writes served by this region.
+    pub host_writes: u64,
+    /// GC invocations in this region.
+    pub gc_runs: u64,
+    /// Valid pages relocated by region GC (copybacks).
+    pub gc_copybacks: u64,
+    /// Blocks erased by region GC.
+    pub gc_erases: u64,
+    /// Static wear-leveling migrations inside the region.
+    pub wl_migrations: u64,
+    /// Pages migrated because a die was removed from the region.
+    pub rebalance_moves: u64,
+    /// Sum of end-to-end host read latencies in this region.
+    pub read_latency_sum: Duration,
+    /// Sum of end-to-end host write latencies in this region.
+    pub write_latency_sum: Duration,
+}
+
+impl RegionStats {
+    /// Mean host read latency in microseconds.
+    pub fn avg_read_latency_us(&self) -> f64 {
+        if self.host_reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum.as_us_f64() / self.host_reads as f64
+        }
+    }
+
+    /// Mean host write latency in microseconds.
+    pub fn avg_write_latency_us(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.write_latency_sum.as_us_f64() / self.host_writes as f64
+        }
+    }
+
+    /// Write amplification within the region: (host writes + GC copybacks)
+    /// per host write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            (self.host_writes + self.gc_copybacks) as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// Aggregate storage-manager statistics (sums over regions).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NoFtlStats {
+    /// Host page reads.
+    pub host_reads: u64,
+    /// Host page writes.
+    pub host_writes: u64,
+    /// GC invocations.
+    pub gc_runs: u64,
+    /// GC copybacks (valid-page relocations).
+    pub gc_copybacks: u64,
+    /// GC erases.
+    pub gc_erases: u64,
+    /// Static wear-leveling migrations.
+    pub wl_migrations: u64,
+    /// Pages moved for region rebalancing.
+    pub rebalance_moves: u64,
+    /// Sum of host read latencies.
+    pub read_latency_sum: Duration,
+    /// Sum of host write latencies.
+    pub write_latency_sum: Duration,
+}
+
+impl NoFtlStats {
+    /// Accumulate a region's counters into the aggregate.
+    pub fn accumulate(&mut self, r: &RegionStats) {
+        self.host_reads += r.host_reads;
+        self.host_writes += r.host_writes;
+        self.gc_runs += r.gc_runs;
+        self.gc_copybacks += r.gc_copybacks;
+        self.gc_erases += r.gc_erases;
+        self.wl_migrations += r.wl_migrations;
+        self.rebalance_moves += r.rebalance_moves;
+        self.read_latency_sum += r.read_latency_sum;
+        self.write_latency_sum += r.write_latency_sum;
+    }
+
+    /// Mean host read latency in microseconds.
+    pub fn avg_read_latency_us(&self) -> f64 {
+        if self.host_reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum.as_us_f64() / self.host_reads as f64
+        }
+    }
+
+    /// Mean host write latency in microseconds.
+    pub fn avg_write_latency_us(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.write_latency_sum.as_us_f64() / self.host_writes as f64
+        }
+    }
+
+    /// Write amplification: (host writes + copybacks) / host writes.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            (self.host_writes + self.gc_copybacks) as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// Per-object statistics snapshot (for the DBA and the placement advisor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectStats {
+    /// Object id.
+    pub object_id: u32,
+    /// Object name.
+    pub name: String,
+    /// Region the object is placed in.
+    pub region: crate::region::RegionId,
+    /// Number of mapped (live) pages.
+    pub pages: u64,
+    /// Logical page reads served.
+    pub reads: u64,
+    /// Logical page writes served.
+    pub writes: u64,
+}
+
+impl ObjectStats {
+    /// Total I/O operations on the object.
+    pub fn io_total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of the object's I/O that is writes (0 when the object has
+    /// seen no I/O).
+    pub fn write_ratio(&self) -> f64 {
+        let total = self.io_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.writes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+
+    #[test]
+    fn region_stats_averages_and_wa() {
+        let r = RegionStats {
+            host_reads: 2,
+            host_writes: 10,
+            gc_copybacks: 5,
+            read_latency_sum: Duration::from_us(300),
+            write_latency_sum: Duration::from_us(1000),
+            ..Default::default()
+        };
+        assert!((r.avg_read_latency_us() - 150.0).abs() < 1e-9);
+        assert!((r.avg_write_latency_us() - 100.0).abs() < 1e-9);
+        assert!((r.write_amplification() - 1.5).abs() < 1e-9);
+        assert_eq!(RegionStats::default().write_amplification(), 0.0);
+        assert_eq!(RegionStats::default().avg_read_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_accumulates_regions() {
+        let mut agg = NoFtlStats::default();
+        let r1 = RegionStats { host_reads: 5, gc_erases: 2, ..Default::default() };
+        let r2 = RegionStats { host_reads: 7, gc_copybacks: 3, ..Default::default() };
+        agg.accumulate(&r1);
+        agg.accumulate(&r2);
+        assert_eq!(agg.host_reads, 12);
+        assert_eq!(agg.gc_erases, 2);
+        assert_eq!(agg.gc_copybacks, 3);
+    }
+
+    #[test]
+    fn object_stats_ratios() {
+        let o = ObjectStats {
+            object_id: 1,
+            name: "orderline".into(),
+            region: RegionId(0),
+            pages: 100,
+            reads: 30,
+            writes: 70,
+        };
+        assert_eq!(o.io_total(), 100);
+        assert!((o.write_ratio() - 0.7).abs() < 1e-9);
+        let idle = ObjectStats { reads: 0, writes: 0, ..o };
+        assert_eq!(idle.write_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Wear leveling inside and across regions.
+//!
+//! Intra-region wear leveling mirrors what an FTL does (allocate least-worn
+//! blocks, occasionally migrate cold data).  In addition the paper notes
+//! that the *membership* of a region (which dies it owns) can change over
+//! time for global wear-leveling purposes; [`region_wear_imbalance`]
+//! quantifies the inter-region wear skew that drives such a rebalance.
+
+use crate::config::WearLevelingPolicy;
+
+/// A free block candidate for allocation inside a region die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeBlockCandidate {
+    /// Index in the caller's free-block list.
+    pub slot: usize,
+    /// Erase count of the block.
+    pub erase_count: u64,
+}
+
+/// Pick the free block to allocate next under `policy`.
+pub fn pick_free_block(policy: WearLevelingPolicy, candidates: &[FreeBlockCandidate]) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match policy {
+        WearLevelingPolicy::None => candidates.first().map(|c| c.slot),
+        WearLevelingPolicy::Dynamic | WearLevelingPolicy::Static { .. } => candidates
+            .iter()
+            .min_by_key(|c| (c.erase_count, c.slot))
+            .map(|c| c.slot),
+    }
+}
+
+/// Whether the wear spread inside a region warrants a static-WL migration.
+pub fn needs_static_wl(policy: WearLevelingPolicy, min_erase: u64, max_erase: u64) -> bool {
+    match policy {
+        WearLevelingPolicy::Static { threshold } => max_erase.saturating_sub(min_erase) > threshold,
+        _ => false,
+    }
+}
+
+/// Inter-region wear imbalance: ratio of the highest to the lowest mean
+/// per-die erase count over a set of regions (1.0 = perfectly balanced).
+/// Regions with no erases are treated as having a mean of zero; if every
+/// region is at zero the imbalance is 1.0.
+pub fn region_wear_imbalance(mean_erases_per_region: &[f64]) -> f64 {
+    let max = mean_erases_per_region.iter().cloned().fold(0.0f64, f64::max);
+    if max <= f64::EPSILON {
+        return 1.0;
+    }
+    let min = mean_erases_per_region
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(f64::EPSILON);
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_free_block_policies() {
+        let cands = vec![
+            FreeBlockCandidate { slot: 0, erase_count: 5 },
+            FreeBlockCandidate { slot: 1, erase_count: 1 },
+        ];
+        assert_eq!(pick_free_block(WearLevelingPolicy::None, &cands), Some(0));
+        assert_eq!(pick_free_block(WearLevelingPolicy::Dynamic, &cands), Some(1));
+        assert_eq!(pick_free_block(WearLevelingPolicy::Dynamic, &[]), None);
+    }
+
+    #[test]
+    fn static_wl_threshold() {
+        let p = WearLevelingPolicy::Static { threshold: 3 };
+        assert!(!needs_static_wl(p, 2, 5));
+        assert!(needs_static_wl(p, 2, 6));
+        assert!(!needs_static_wl(WearLevelingPolicy::Dynamic, 0, 100));
+    }
+
+    #[test]
+    fn inter_region_imbalance() {
+        assert_eq!(region_wear_imbalance(&[]), 1.0);
+        assert_eq!(region_wear_imbalance(&[0.0, 0.0]), 1.0);
+        assert!((region_wear_imbalance(&[10.0, 10.0]) - 1.0).abs() < 1e-9);
+        assert!((region_wear_imbalance(&[20.0, 5.0]) - 4.0).abs() < 1e-9);
+        // A zero-wear region makes the imbalance very large but finite.
+        assert!(region_wear_imbalance(&[20.0, 0.0]).is_finite());
+        assert!(region_wear_imbalance(&[20.0, 0.0]) > 1e6);
+    }
+}

@@ -1,0 +1,589 @@
+//! B+-tree indexes stored in 4 KiB pages.
+//!
+//! Keys are arbitrary byte strings compared lexicographically (the
+//! workload builds order-preserving composite keys, see
+//! [`crate::value::composite_key`]); leaf payloads are [`RecordId`]s.
+//! Leaves are linked for range scans.  Deletion removes entries without
+//! rebalancing — sufficient for TPC-C, whose only index deletes are the
+//! NEW_ORDER removals performed by the Delivery transaction.
+
+use parking_lot::Mutex;
+
+use flash_sim::SimTime;
+
+use crate::buffer::BufferPool;
+use crate::error::DbError;
+use crate::heap::RecordId;
+use crate::storage::ObjectId;
+use crate::Result;
+use crate::PAGE_SIZE;
+
+const NONE_PAGE: u64 = u64::MAX;
+const HEADER: usize = 1 + 2 + 8;
+
+#[derive(Debug, Clone)]
+struct Node {
+    leaf: bool,
+    /// For leaves: the next leaf in key order (`NONE_PAGE` = last leaf).
+    /// For internal nodes: the child covering keys below `keys[0]`.
+    extra: u64,
+    keys: Vec<Vec<u8>>,
+    /// Leaf payloads (parallel to `keys`).
+    rids: Vec<RecordId>,
+    /// Internal children: `children[i]` covers keys in `[keys[i], keys[i+1])`.
+    children: Vec<u64>,
+}
+
+impl Node {
+    fn new_leaf() -> Self {
+        Node { leaf: true, extra: NONE_PAGE, keys: Vec::new(), rids: Vec::new(), children: Vec::new() }
+    }
+
+    fn new_internal(first_child: u64) -> Self {
+        Node { leaf: false, extra: first_child, keys: Vec::new(), rids: Vec::new(), children: Vec::new() }
+    }
+
+    fn serialized_size(&self) -> usize {
+        let payload = if self.leaf { 10 } else { 8 };
+        HEADER + self.keys.iter().map(|k| 2 + k.len() + payload).sum::<usize>()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; PAGE_SIZE];
+        out[0] = u8::from(self.leaf);
+        out[1..3].copy_from_slice(&(self.keys.len() as u16).to_le_bytes());
+        out[3..11].copy_from_slice(&self.extra.to_le_bytes());
+        let mut off = HEADER;
+        for (i, key) in self.keys.iter().enumerate() {
+            out[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+            off += 2;
+            out[off..off + key.len()].copy_from_slice(key);
+            off += key.len();
+            if self.leaf {
+                out[off..off + 10].copy_from_slice(&self.rids[i].encode());
+                off += 10;
+            } else {
+                out[off..off + 8].copy_from_slice(&self.children[i].to_le_bytes());
+                off += 8;
+            }
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < HEADER {
+            return Err(DbError::Corrupted { message: "B+-tree node too short".into() });
+        }
+        let leaf = buf[0] != 0;
+        let n = u16::from_le_bytes(buf[1..3].try_into().expect("2 bytes")) as usize;
+        let extra = u64::from_le_bytes(buf[3..11].try_into().expect("8 bytes"));
+        let mut node = Node { leaf, extra, keys: Vec::with_capacity(n), rids: Vec::new(), children: Vec::new() };
+        let mut off = HEADER;
+        for _ in 0..n {
+            if off + 2 > buf.len() {
+                return Err(DbError::Corrupted { message: "truncated B+-tree entry".into() });
+            }
+            let klen = u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes")) as usize;
+            off += 2;
+            if off + klen > buf.len() {
+                return Err(DbError::Corrupted { message: "truncated B+-tree key".into() });
+            }
+            node.keys.push(buf[off..off + klen].to_vec());
+            off += klen;
+            if leaf {
+                let rid = RecordId::decode(&buf[off..])
+                    .ok_or_else(|| DbError::Corrupted { message: "truncated B+-tree rid".into() })?;
+                node.rids.push(rid);
+                off += 10;
+            } else {
+                if off + 8 > buf.len() {
+                    return Err(DbError::Corrupted { message: "truncated B+-tree child".into() });
+                }
+                node.children.push(u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")));
+                off += 8;
+            }
+        }
+        Ok(node)
+    }
+
+    /// Index of the child to follow for `key` in an internal node.
+    /// Returns the page number.
+    fn child_for(&self, key: &[u8]) -> u64 {
+        let idx = self.keys.partition_point(|k| k.as_slice() <= key);
+        if idx == 0 {
+            self.extra
+        } else {
+            self.children[idx - 1]
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BTreeInner {
+    root: u64,
+    page_count: u64,
+    entries: u64,
+    initialized: bool,
+}
+
+/// A B+-tree index over a storage object.
+#[derive(Debug)]
+pub struct BTree {
+    obj: ObjectId,
+    inner: Mutex<BTreeInner>,
+}
+
+impl BTree {
+    /// Create a (lazily initialised) B+-tree over storage object `obj`.
+    pub fn new(obj: ObjectId) -> Self {
+        BTree {
+            obj,
+            inner: Mutex::new(BTreeInner { root: 0, page_count: 1, entries: 0, initialized: false }),
+        }
+    }
+
+    /// The storage object backing this index.
+    pub fn object_id(&self) -> ObjectId {
+        self.obj
+    }
+
+    /// Number of entries currently in the index.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().entries
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of pages allocated by the index.
+    pub fn page_count(&self) -> u64 {
+        self.inner.lock().page_count
+    }
+
+    fn read_node(&self, pool: &BufferPool, page: u64, now: SimTime) -> Result<(Node, SimTime)> {
+        let (bytes, t) = pool.read_page(self.obj, page, now)?;
+        Ok((Node::decode(&bytes)?, t))
+    }
+
+    fn write_node(&self, pool: &BufferPool, page: u64, node: &Node, now: SimTime) -> Result<SimTime> {
+        pool.write_page(self.obj, page, &node.encode(), now)
+    }
+
+    fn ensure_init(&self, inner: &mut BTreeInner, pool: &BufferPool, now: SimTime) -> Result<SimTime> {
+        if inner.initialized {
+            return Ok(now);
+        }
+        let t = self.write_node(pool, 0, &Node::new_leaf(), now)?;
+        inner.initialized = true;
+        Ok(t)
+    }
+
+    /// Insert (or overwrite) `key` → `rid`.  Returns the completion time.
+    pub fn insert(&self, pool: &BufferPool, key: &[u8], rid: RecordId, now: SimTime) -> Result<SimTime> {
+        if key.is_empty() || key.len() + 12 + HEADER > PAGE_SIZE / 4 {
+            return Err(DbError::TooLarge { message: format!("index key of {} bytes", key.len()) });
+        }
+        let mut inner = self.inner.lock();
+        let mut t = self.ensure_init(&mut inner, pool, now)?;
+        let root = inner.root;
+        let (split, t2, inserted) = self.insert_rec(&mut inner, pool, root, key, rid, t)?;
+        t = t2;
+        if inserted {
+            inner.entries += 1;
+        }
+        if let Some((sep, right_page)) = split {
+            // Grow the tree: new root.
+            let new_root_page = inner.page_count;
+            inner.page_count += 1;
+            let mut new_root = Node::new_internal(inner.root);
+            new_root.keys.push(sep);
+            new_root.children.push(right_page);
+            t = self.write_node(pool, new_root_page, &new_root, t)?;
+            inner.root = new_root_page;
+        }
+        Ok(t)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &self,
+        inner: &mut BTreeInner,
+        pool: &BufferPool,
+        page: u64,
+        key: &[u8],
+        rid: RecordId,
+        now: SimTime,
+    ) -> Result<(Option<(Vec<u8>, u64)>, SimTime, bool)> {
+        let (mut node, mut t) = self.read_node(pool, page, now)?;
+        if node.leaf {
+            match node.keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                Ok(pos) => {
+                    // Upsert: overwrite the payload.
+                    node.rids[pos] = rid;
+                    t = self.write_node(pool, page, &node, t)?;
+                    return Ok((None, t, false));
+                }
+                Err(pos) => {
+                    node.keys.insert(pos, key.to_vec());
+                    node.rids.insert(pos, rid);
+                }
+            }
+            if node.serialized_size() <= PAGE_SIZE {
+                t = self.write_node(pool, page, &node, t)?;
+                return Ok((None, t, true));
+            }
+            // Split the leaf.
+            let mid = node.keys.len() / 2;
+            let right_page = inner.page_count;
+            inner.page_count += 1;
+            let mut right = Node::new_leaf();
+            right.keys = node.keys.split_off(mid);
+            right.rids = node.rids.split_off(mid);
+            right.extra = node.extra;
+            node.extra = right_page;
+            let sep = right.keys[0].clone();
+            t = self.write_node(pool, page, &node, t)?;
+            t = self.write_node(pool, right_page, &right, t)?;
+            return Ok((Some((sep, right_page)), t, true));
+        }
+        // Internal node: descend.
+        let child = node.child_for(key);
+        let (split, t2, inserted) = self.insert_rec(inner, pool, child, key, rid, t)?;
+        t = t2;
+        let Some((sep, new_child)) = split else {
+            return Ok((None, t, inserted));
+        };
+        let pos = node.keys.partition_point(|k| k.as_slice() <= sep.as_slice());
+        node.keys.insert(pos, sep);
+        node.children.insert(pos, new_child);
+        if node.serialized_size() <= PAGE_SIZE {
+            t = self.write_node(pool, page, &node, t)?;
+            return Ok((None, t, inserted));
+        }
+        // Split the internal node; the middle key moves up.
+        let mid = node.keys.len() / 2;
+        let up_key = node.keys[mid].clone();
+        let right_page = inner.page_count;
+        inner.page_count += 1;
+        let mut right = Node::new_internal(node.children[mid]);
+        right.keys = node.keys.split_off(mid + 1);
+        right.children = node.children.split_off(mid + 1);
+        node.keys.pop();
+        node.children.pop();
+        t = self.write_node(pool, page, &node, t)?;
+        t = self.write_node(pool, right_page, &right, t)?;
+        Ok((Some((up_key, right_page)), t, inserted))
+    }
+
+    /// Exact-match lookup.
+    pub fn search(&self, pool: &BufferPool, key: &[u8], now: SimTime) -> Result<(Option<RecordId>, SimTime)> {
+        let mut inner = self.inner.lock();
+        let mut t = self.ensure_init(&mut inner, pool, now)?;
+        let mut page = inner.root;
+        loop {
+            let (node, t2) = self.read_node(pool, page, t)?;
+            t = t2;
+            if node.leaf {
+                let found = node
+                    .keys
+                    .binary_search_by(|k| k.as_slice().cmp(key))
+                    .ok()
+                    .map(|pos| node.rids[pos]);
+                return Ok((found, t));
+            }
+            page = node.child_for(key);
+        }
+    }
+
+    /// Range scan: all `(key, rid)` pairs with `low <= key < high`, in key
+    /// order.
+    pub fn range(
+        &self,
+        pool: &BufferPool,
+        low: &[u8],
+        high: &[u8],
+        now: SimTime,
+    ) -> Result<(Vec<(Vec<u8>, RecordId)>, SimTime)> {
+        let mut inner = self.inner.lock();
+        let mut t = self.ensure_init(&mut inner, pool, now)?;
+        let mut page = inner.root;
+        // Descend to the leaf that would contain `low`.
+        loop {
+            let (node, t2) = self.read_node(pool, page, t)?;
+            t = t2;
+            if node.leaf {
+                break;
+            }
+            page = node.child_for(low);
+        }
+        let mut out = Vec::new();
+        loop {
+            let (node, t2) = self.read_node(pool, page, t)?;
+            t = t2;
+            for (i, key) in node.keys.iter().enumerate() {
+                if key.as_slice() < low {
+                    continue;
+                }
+                if key.as_slice() >= high {
+                    return Ok((out, t));
+                }
+                out.push((key.clone(), node.rids[i]));
+            }
+            if node.extra == NONE_PAGE {
+                return Ok((out, t));
+            }
+            page = node.extra;
+        }
+    }
+
+    /// Range scan for all keys starting with `prefix`.
+    pub fn prefix_scan(
+        &self,
+        pool: &BufferPool,
+        prefix: &[u8],
+        now: SimTime,
+    ) -> Result<(Vec<(Vec<u8>, RecordId)>, SimTime)> {
+        let mut high = prefix.to_vec();
+        // Smallest byte string strictly greater than every string with the
+        // prefix: increment the last non-0xFF byte and truncate.
+        loop {
+            match high.last_mut() {
+                Some(b) if *b < 0xFF => {
+                    *b += 1;
+                    break;
+                }
+                Some(_) => {
+                    high.pop();
+                }
+                None => {
+                    // Prefix was all 0xFF (or empty): scan to the end.
+                    return self.range(pool, prefix, &vec![0xFFu8; prefix.len() + 9], now);
+                }
+            }
+        }
+        self.range(pool, prefix, &high, now)
+    }
+
+    /// Remove `key`.  Returns whether the key existed.
+    pub fn delete(&self, pool: &BufferPool, key: &[u8], now: SimTime) -> Result<(bool, SimTime)> {
+        let mut inner = self.inner.lock();
+        let mut t = self.ensure_init(&mut inner, pool, now)?;
+        let mut page = inner.root;
+        loop {
+            let (mut node, t2) = self.read_node(pool, page, t)?;
+            t = t2;
+            if node.leaf {
+                return match node.keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(pos) => {
+                        node.keys.remove(pos);
+                        node.rids.remove(pos);
+                        t = self.write_node(pool, page, &node, t)?;
+                        inner.entries = inner.entries.saturating_sub(1);
+                        Ok((true, t))
+                    }
+                    Err(_) => Ok((false, t)),
+                };
+            }
+            page = node.child_for(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{NoFtlBackend, StorageBackend};
+    use crate::value::composite_key;
+    use flash_sim::{DeviceBuilder, FlashGeometry, TimingModel};
+    use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn setup(pool_pages: usize) -> (BufferPool, BTree) {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::example())
+                .timing(TimingModel::instant())
+                .build(),
+        );
+        let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
+        let placement = PlacementConfig::traditional(8, ["idx".to_string()]);
+        let backend = Arc::new(NoFtlBackend::new(noftl, &placement).unwrap());
+        let obj = backend.create_object("idx").unwrap();
+        let pool = BufferPool::new(backend, pool_pages);
+        (pool, BTree::new(obj))
+    }
+
+    fn rid(n: u64) -> RecordId {
+        RecordId::new(n, (n % 100) as u16)
+    }
+
+    #[test]
+    fn empty_tree_lookups() {
+        let (pool, tree) = setup(64);
+        assert!(tree.is_empty());
+        let (found, _) = tree.search(&pool, &composite_key(&[1]), SimTime::ZERO).unwrap();
+        assert_eq!(found, None);
+        let (range, _) = tree
+            .range(&pool, &composite_key(&[0]), &composite_key(&[100]), SimTime::ZERO)
+            .unwrap();
+        assert!(range.is_empty());
+        let (deleted, _) = tree.delete(&pool, &composite_key(&[1]), SimTime::ZERO).unwrap();
+        assert!(!deleted);
+    }
+
+    #[test]
+    fn insert_search_roundtrip_with_splits() {
+        let (pool, tree) = setup(256);
+        let mut t = SimTime::ZERO;
+        let n = 5_000i64;
+        // Insert in a shuffled-ish order to exercise splits on both sides.
+        for i in 0..n {
+            let k = (i * 2_654_435_761i64).rem_euclid(n);
+            t = tree.insert(&pool, &composite_key(&[k]), rid(k as u64), t).unwrap();
+        }
+        assert_eq!(tree.len(), n as u64);
+        assert!(tree.page_count() > 1, "tree must have split");
+        for i in 0..n {
+            let (found, t2) = tree.search(&pool, &composite_key(&[i]), t).unwrap();
+            t = t2;
+            assert_eq!(found, Some(rid(i as u64)), "key {i}");
+        }
+        // Missing keys are not found.
+        let (missing, _) = tree.search(&pool, &composite_key(&[n + 10]), t).unwrap();
+        assert_eq!(missing, None);
+    }
+
+    #[test]
+    fn upsert_replaces_payload_without_growing() {
+        let (pool, tree) = setup(64);
+        let key = composite_key(&[7, 8]);
+        let t = tree.insert(&pool, &key, rid(1), SimTime::ZERO).unwrap();
+        let t = tree.insert(&pool, &key, rid(2), t).unwrap();
+        assert_eq!(tree.len(), 1);
+        let (found, _) = tree.search(&pool, &key, t).unwrap();
+        assert_eq!(found, Some(rid(2)));
+    }
+
+    #[test]
+    fn range_scans_return_sorted_results() {
+        let (pool, tree) = setup(256);
+        let mut t = SimTime::ZERO;
+        for i in 0..2_000i64 {
+            t = tree.insert(&pool, &composite_key(&[i]), rid(i as u64), t).unwrap();
+        }
+        let (results, _) = tree
+            .range(&pool, &composite_key(&[100]), &composite_key(&[120]), t)
+            .unwrap();
+        assert_eq!(results.len(), 20);
+        let keys: Vec<i64> = results
+            .iter()
+            .map(|(k, _)| crate::value::decode_key_int(&k[..8]))
+            .collect();
+        assert_eq!(keys, (100..120).collect::<Vec<_>>());
+        assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn prefix_scan_composite_keys() {
+        let (pool, tree) = setup(256);
+        let mut t = SimTime::ZERO;
+        // Keys (warehouse, district, order): scan one district.
+        for w in 1..=2i64 {
+            for d in 1..=3i64 {
+                for o in 1..=50i64 {
+                    t = tree
+                        .insert(&pool, &composite_key(&[w, d, o]), rid((w * 1000 + d * 100 + o) as u64), t)
+                        .unwrap();
+                }
+            }
+        }
+        let (results, _) = tree.prefix_scan(&pool, &composite_key(&[1, 2]), t).unwrap();
+        assert_eq!(results.len(), 50);
+        for (k, _) in &results {
+            assert_eq!(crate::value::decode_key_int(&k[0..8]), 1);
+            assert_eq!(crate::value::decode_key_int(&k[8..16]), 2);
+        }
+    }
+
+    #[test]
+    fn delete_removes_entries() {
+        let (pool, tree) = setup(256);
+        let mut t = SimTime::ZERO;
+        for i in 0..500i64 {
+            t = tree.insert(&pool, &composite_key(&[i]), rid(i as u64), t).unwrap();
+        }
+        for i in (0..500i64).step_by(2) {
+            let (deleted, t2) = tree.delete(&pool, &composite_key(&[i]), t).unwrap();
+            t = t2;
+            assert!(deleted);
+        }
+        assert_eq!(tree.len(), 250);
+        for i in 0..500i64 {
+            let (found, t2) = tree.search(&pool, &composite_key(&[i]), t).unwrap();
+            t = t2;
+            assert_eq!(found.is_some(), i % 2 == 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn oversized_keys_are_rejected() {
+        let (pool, tree) = setup(64);
+        let huge = vec![1u8; PAGE_SIZE];
+        assert!(tree.insert(&pool, &huge, rid(0), SimTime::ZERO).is_err());
+        assert!(tree.insert(&pool, &[], rid(0), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn works_under_buffer_pressure() {
+        // A tiny pool forces every level of the tree to be re-read from
+        // flash constantly; correctness must not depend on caching.
+        let (pool, tree) = setup(4);
+        let mut t = SimTime::ZERO;
+        for i in 0..800i64 {
+            t = tree.insert(&pool, &composite_key(&[i]), rid(i as u64), t).unwrap();
+        }
+        for i in 0..800i64 {
+            let (found, t2) = tree.search(&pool, &composite_key(&[i]), t).unwrap();
+            t = t2;
+            assert_eq!(found, Some(rid(i as u64)));
+        }
+        assert!(pool.stats().evictions > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The tree behaves like a sorted map for arbitrary insert/delete
+        /// interleavings.
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec((0i64..300, any::<bool>()), 1..400)) {
+            let (pool, tree) = setup(128);
+            let mut model = std::collections::BTreeMap::new();
+            let mut t = SimTime::ZERO;
+            for (i, (k, is_insert)) in ops.iter().enumerate() {
+                let key = composite_key(&[*k]);
+                if *is_insert {
+                    let r = rid(i as u64);
+                    t = tree.insert(&pool, &key, r, t).unwrap();
+                    model.insert(*k, r);
+                } else {
+                    let (deleted, t2) = tree.delete(&pool, &key, t).unwrap();
+                    t = t2;
+                    prop_assert_eq!(deleted, model.remove(k).is_some());
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+            for (k, r) in &model {
+                let (found, t2) = tree.search(&pool, &composite_key(&[*k]), t).unwrap();
+                t = t2;
+                prop_assert_eq!(found, Some(*r));
+            }
+            // A full range scan returns exactly the model's keys in order.
+            let (all, _) = tree.range(&pool, &composite_key(&[-1]), &composite_key(&[301]), t).unwrap();
+            let scanned: Vec<i64> = all.iter().map(|(k, _)| crate::value::decode_key_int(&k[..8])).collect();
+            let expected: Vec<i64> = model.keys().copied().collect();
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The `Database` facade used by workloads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use flash_sim::{Duration, SimTime};
+
+use crate::buffer::{BufferPool, BufferStats};
+use crate::catalog::{Catalog, IndexDef, TableDef};
+use crate::error::DbError;
+use crate::heap::{HeapFile, RecordId};
+use crate::schema::Schema;
+use crate::storage::{ObjectId, StorageBackend};
+use crate::txn::{Txn, TxnOutcome};
+use crate::value::Record;
+use crate::wal::{Wal, WalStats};
+use crate::Result;
+use crate::PAGE_SIZE;
+
+/// Name of the storage object holding catalog/metadata pages (appears as
+/// `DBMS-metadata` in the paper's Figure 2 placement).
+pub const METADATA_OBJECT: &str = "DBMS-metadata";
+/// Name of the storage object holding the write-ahead log.
+pub const LOG_OBJECT: &str = "DBMS-log";
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatabaseConfig {
+    /// Buffer pool capacity in pages.
+    pub buffer_pages: usize,
+    /// Whether commits force a WAL page.
+    pub wal_enabled: bool,
+    /// CPU cost charged to a transaction for each record operation.
+    pub op_cpu: Duration,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            buffer_pages: 2_000,
+            wal_enabled: true,
+            op_cpu: Duration::from_us(2),
+        }
+    }
+}
+
+/// A running database instance.
+pub struct Database {
+    backend: Arc<dyn StorageBackend>,
+    pool: BufferPool,
+    catalog: Catalog,
+    wal: Option<Wal>,
+    metadata_obj: ObjectId,
+    metadata_pages: AtomicU64,
+    next_txn: AtomicU64,
+    commits: AtomicU64,
+    rollbacks: AtomicU64,
+    config: DatabaseConfig,
+}
+
+impl Database {
+    /// Open a database over a storage backend.
+    pub fn open(backend: Arc<dyn StorageBackend>, config: DatabaseConfig) -> Result<Self> {
+        let metadata_obj = backend.create_object(METADATA_OBJECT)?;
+        let wal = if config.wal_enabled {
+            let log_obj = backend.create_object(LOG_OBJECT)?;
+            Some(Wal::new(log_obj))
+        } else {
+            None
+        };
+        let pool = BufferPool::new(Arc::clone(&backend), config.buffer_pages);
+        Ok(Database {
+            backend,
+            pool,
+            catalog: Catalog::new(),
+            wal,
+            metadata_obj,
+            metadata_pages: AtomicU64::new(0),
+            next_txn: AtomicU64::new(1),
+            commits: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The storage backend.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// Buffer-pool statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// WAL statistics (zeroes when the WAL is disabled).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
+    }
+
+    /// Committed transaction count.
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Rolled-back transaction count.
+    pub fn rollback_count(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed)
+    }
+
+    /// Write a small catalog-change record into the metadata object.  This
+    /// keeps the `DBMS-metadata` object realistically non-empty (it is one
+    /// of the objects the paper's Figure 2 places in its own region).
+    fn record_metadata_change(&self, description: &str, now: SimTime) -> Result<()> {
+        let page_no = self.metadata_pages.fetch_add(1, Ordering::Relaxed);
+        let mut page = vec![0u8; PAGE_SIZE];
+        let bytes = description.as_bytes();
+        let take = bytes.len().min(PAGE_SIZE - 2);
+        page[..2].copy_from_slice(&(take as u16).to_le_bytes());
+        page[2..2 + take].copy_from_slice(&bytes[..take]);
+        self.pool.write_page(self.metadata_obj, page_no, &page, now)?;
+        Ok(())
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, name: &str, schema: Schema, now: SimTime) -> Result<()> {
+        if schema.is_empty() {
+            return Err(DbError::SchemaMismatch { message: format!("table '{name}' needs columns") });
+        }
+        let obj = self.backend.create_object(name)?;
+        let table = TableDef {
+            name: name.to_string(),
+            schema,
+            heap: HeapFile::new(obj),
+            indexes: RwLock::new(HashMap::new()),
+        };
+        self.catalog.add_table(table)?;
+        self.record_metadata_change(&format!("CREATE TABLE {name}"), now)
+    }
+
+    /// Create a named index on a table.  Key bytes are provided by the
+    /// caller on every insert/delete (see [`Database::insert`]), so the
+    /// index definition itself carries no column list.
+    pub fn create_index(&self, table: &str, index: &str, now: SimTime) -> Result<()> {
+        let table_def = self.catalog.table(table)?;
+        let obj = self.backend.create_object(index)?;
+        {
+            let mut indexes = table_def.indexes.write();
+            if indexes.contains_key(index) {
+                return Err(DbError::AlreadyExists { what: format!("index '{index}'") });
+            }
+            indexes.insert(
+                index.to_string(),
+                Arc::new(IndexDef { name: index.to_string(), tree: crate::btree::BTree::new(obj) }),
+            );
+        }
+        self.record_metadata_change(&format!("CREATE INDEX {index} ON {table}"), now)
+    }
+
+    /// Table definition lookup (schema, heap size, ...).
+    pub fn table(&self, name: &str) -> Result<Arc<TableDef>> {
+        self.catalog.table(name)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    /// Begin a new transaction at simulated time `now`.
+    pub fn begin(&self, now: SimTime) -> Txn {
+        Txn::begin(self.next_txn.fetch_add(1, Ordering::Relaxed), now)
+    }
+
+    /// Insert a record into a table and register it under the given index
+    /// keys (`(index name, key bytes)` pairs).
+    pub fn insert(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        record: &Record,
+        index_keys: &[(&str, Vec<u8>)],
+    ) -> Result<RecordId> {
+        let table_def = self.catalog.table(table)?;
+        let encoded = table_def.schema.encode(record)?;
+        let (rid, t) = table_def.heap.insert(&self.pool, &encoded, txn.now)?;
+        txn.advance_to(t);
+        txn.writes += 1;
+        txn.add_cpu(self.config.op_cpu);
+        for (index, key) in index_keys {
+            let idx = table_def.index(index)?;
+            let t = idx.tree.insert(&self.pool, key, rid, txn.now)?;
+            txn.advance_to(t);
+            txn.writes += 1;
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(format!("INSERT {table} {}:{}", rid.page, rid.slot).as_bytes());
+        }
+        Ok(rid)
+    }
+
+    /// Fetch a record by its id.
+    pub fn get(&self, txn: &mut Txn, table: &str, rid: RecordId) -> Result<Record> {
+        let table_def = self.catalog.table(table)?;
+        let (bytes, t) = table_def.heap.get(&self.pool, rid, txn.now)?;
+        txn.advance_to(t);
+        txn.reads += 1;
+        txn.add_cpu(self.config.op_cpu);
+        table_def.schema.decode(&bytes)
+    }
+
+    /// Overwrite a record in place (the schema's fixed layout guarantees
+    /// the new version fits).
+    pub fn update(&self, txn: &mut Txn, table: &str, rid: RecordId, record: &Record) -> Result<()> {
+        let table_def = self.catalog.table(table)?;
+        let encoded = table_def.schema.encode(record)?;
+        let t = table_def.heap.update(&self.pool, rid, &encoded, txn.now)?;
+        txn.advance_to(t);
+        txn.writes += 1;
+        txn.add_cpu(self.config.op_cpu);
+        if let Some(wal) = &self.wal {
+            wal.append(format!("UPDATE {table} {}:{}", rid.page, rid.slot).as_bytes());
+        }
+        Ok(())
+    }
+
+    /// Delete a record and remove the given index keys.
+    pub fn delete(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        rid: RecordId,
+        index_keys: &[(&str, Vec<u8>)],
+    ) -> Result<()> {
+        let table_def = self.catalog.table(table)?;
+        let t = table_def.heap.delete(&self.pool, rid, txn.now)?;
+        txn.advance_to(t);
+        txn.writes += 1;
+        txn.add_cpu(self.config.op_cpu);
+        for (index, key) in index_keys {
+            let idx = table_def.index(index)?;
+            let (_, t) = idx.tree.delete(&self.pool, key, txn.now)?;
+            txn.advance_to(t);
+            txn.writes += 1;
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(format!("DELETE {table} {}:{}", rid.page, rid.slot).as_bytes());
+        }
+        Ok(())
+    }
+
+    /// Exact-match index lookup, returning the record id if present.
+    pub fn index_lookup(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        index: &str,
+        key: &[u8],
+    ) -> Result<Option<RecordId>> {
+        let table_def = self.catalog.table(table)?;
+        let idx = table_def.index(index)?;
+        let (found, t) = idx.tree.search(&self.pool, key, txn.now)?;
+        txn.advance_to(t);
+        txn.reads += 1;
+        txn.add_cpu(self.config.op_cpu);
+        Ok(found)
+    }
+
+    /// Index lookup followed by a heap fetch.
+    pub fn index_get(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        index: &str,
+        key: &[u8],
+    ) -> Result<Option<(RecordId, Record)>> {
+        match self.index_lookup(txn, table, index, key)? {
+            Some(rid) => Ok(Some((rid, self.get(txn, table, rid)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Range scan over an index: keys in `[low, high)`.
+    pub fn index_range(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        index: &str,
+        low: &[u8],
+        high: &[u8],
+    ) -> Result<Vec<(Vec<u8>, RecordId)>> {
+        let table_def = self.catalog.table(table)?;
+        let idx = table_def.index(index)?;
+        let (out, t) = idx.tree.range(&self.pool, low, high, txn.now)?;
+        txn.advance_to(t);
+        txn.reads += 1;
+        txn.add_cpu(self.config.op_cpu);
+        Ok(out)
+    }
+
+    /// Prefix scan over an index.
+    pub fn index_prefix(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        index: &str,
+        prefix: &[u8],
+    ) -> Result<Vec<(Vec<u8>, RecordId)>> {
+        let table_def = self.catalog.table(table)?;
+        let idx = table_def.index(index)?;
+        let (out, t) = idx.tree.prefix_scan(&self.pool, prefix, txn.now)?;
+        txn.advance_to(t);
+        txn.reads += 1;
+        txn.add_cpu(self.config.op_cpu);
+        Ok(out)
+    }
+
+    /// Commit a transaction: append a commit record and force the log.
+    /// The log force is the synchronous part of the commit and is charged
+    /// to the transaction's response time.
+    pub fn commit(&self, txn: &mut Txn) -> Result<TxnOutcome> {
+        if let Some(wal) = &self.wal {
+            wal.append(format!("COMMIT {}", txn.id).as_bytes());
+            let t = wal.force(&*self.backend, txn.now)?;
+            txn.advance_to(t);
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(TxnOutcome::Committed)
+    }
+
+    /// Roll back a transaction.  The engine's workloads pre-validate their
+    /// inputs before writing (as the TPC-C NewOrder transaction does for
+    /// the 1 % "unused item" case), so rollback only has to be recorded.
+    pub fn rollback(&self, txn: &mut Txn) -> TxnOutcome {
+        if let Some(wal) = &self.wal {
+            wal.append(format!("ROLLBACK {}", txn.id).as_bytes());
+        }
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        TxnOutcome::RolledBack
+    }
+
+    /// Write back every dirty buffered page (checkpoint).
+    pub fn flush_all(&self, now: SimTime) -> Result<SimTime> {
+        self.pool.flush_all(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::storage::NoFtlBackend;
+    use crate::value::{composite_key, Value};
+    use flash_sim::{DeviceBuilder, FlashGeometry, TimingModel};
+    use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig};
+
+    fn open_db(buffer_pages: usize) -> Database {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::example())
+                .timing(TimingModel::mlc_2015())
+                .build(),
+        );
+        let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
+        let placement = PlacementConfig::traditional(8, [METADATA_OBJECT.to_string()]);
+        let backend = Arc::new(NoFtlBackend::new(noftl, &placement).unwrap());
+        Database::open(backend, DatabaseConfig { buffer_pages, ..Default::default() }).unwrap()
+    }
+
+    fn customer_schema() -> Schema {
+        Schema::new(vec![
+            ("c_id", ColumnType::Int),
+            ("c_w_id", ColumnType::Int),
+            ("c_balance", ColumnType::Float),
+            ("c_last", ColumnType::Str(16)),
+        ])
+    }
+
+    fn customer(id: i64, w: i64, balance: f64, last: &str) -> Record {
+        vec![Value::Int(id), Value::Int(w), Value::Float(balance), Value::Str(last.into())]
+    }
+
+    #[test]
+    fn create_insert_lookup_update_delete() {
+        let db = open_db(256);
+        let t0 = SimTime::ZERO;
+        db.create_table("customer", customer_schema(), t0).unwrap();
+        db.create_index("customer", "c_idx", t0).unwrap();
+        let mut txn = db.begin(t0);
+        let key = composite_key(&[1, 42]);
+        let rid = db
+            .insert(&mut txn, "customer", &customer(42, 1, 10.0, "BARBARBAR"), &[("c_idx", key.clone())])
+            .unwrap();
+        assert!(txn.writes >= 2);
+        // Point lookup through the index.
+        let (found_rid, rec) = db.index_get(&mut txn, "customer", "c_idx", &key).unwrap().unwrap();
+        assert_eq!(found_rid, rid);
+        assert_eq!(rec[0], Value::Int(42));
+        // Update in place.
+        db.update(&mut txn, "customer", rid, &customer(42, 1, 99.5, "BARBARBAR")).unwrap();
+        let rec = db.get(&mut txn, "customer", rid).unwrap();
+        assert_eq!(rec[2], Value::Float(99.5));
+        // Delete removes heap record and index entry.
+        db.delete(&mut txn, "customer", rid, &[("c_idx", key.clone())]).unwrap();
+        assert!(db.get(&mut txn, "customer", rid).is_err());
+        assert!(db.index_lookup(&mut txn, "customer", "c_idx", &key).unwrap().is_none());
+        assert_eq!(db.commit(&mut txn).unwrap(), TxnOutcome::Committed);
+        assert_eq!(db.commit_count(), 1);
+        assert!(txn.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn commit_forces_the_log() {
+        let db = open_db(128);
+        db.create_table("t", customer_schema(), SimTime::ZERO).unwrap();
+        let mut txn = db.begin(SimTime::ZERO);
+        db.insert(&mut txn, "t", &customer(1, 1, 0.0, "X"), &[]).unwrap();
+        let before = txn.now;
+        db.commit(&mut txn).unwrap();
+        assert!(txn.now > before, "the WAL force must take simulated time");
+        assert_eq!(db.wal_stats().forces, 1);
+        assert!(db.wal_stats().records >= 2);
+        // Without WAL, commit is free.
+        let device = Arc::new(DeviceBuilder::new(FlashGeometry::example()).build());
+        let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
+        let backend = Arc::new(
+            NoFtlBackend::new(noftl, &PlacementConfig::traditional(8, [METADATA_OBJECT.to_string()]))
+                .unwrap(),
+        );
+        let db2 = Database::open(
+            backend,
+            DatabaseConfig { wal_enabled: false, ..DatabaseConfig::default() },
+        )
+        .unwrap();
+        let mut txn2 = db2.begin(SimTime::ZERO);
+        let before = txn2.now;
+        db2.commit(&mut txn2).unwrap();
+        assert_eq!(txn2.now, before);
+        assert_eq!(db2.wal_stats().forces, 0);
+    }
+
+    #[test]
+    fn rollback_is_counted() {
+        let db = open_db(128);
+        let mut txn = db.begin(SimTime::ZERO);
+        assert_eq!(db.rollback(&mut txn), TxnOutcome::RolledBack);
+        assert_eq!(db.rollback_count(), 1);
+        assert_eq!(db.commit_count(), 0);
+    }
+
+    #[test]
+    fn index_range_and_prefix_queries() {
+        let db = open_db(512);
+        let t0 = SimTime::ZERO;
+        db.create_table("orderline", customer_schema(), t0).unwrap();
+        db.create_index("orderline", "ol_idx", t0).unwrap();
+        let mut txn = db.begin(t0);
+        for o in 1..=20i64 {
+            for line in 1..=5i64 {
+                let key = composite_key(&[1, 1, o, line]);
+                db.insert(&mut txn, "orderline", &customer(o, line, 1.0, "L"), &[("ol_idx", key)])
+                    .unwrap();
+            }
+        }
+        // All lines of order 7.
+        let lines = db
+            .index_prefix(&mut txn, "orderline", "ol_idx", &composite_key(&[1, 1, 7]))
+            .unwrap();
+        assert_eq!(lines.len(), 5);
+        // Orders 5..10 (exclusive).
+        let range = db
+            .index_range(
+                &mut txn,
+                "orderline",
+                "ol_idx",
+                &composite_key(&[1, 1, 5]),
+                &composite_key(&[1, 1, 10]),
+            )
+            .unwrap();
+        assert_eq!(range.len(), 25);
+    }
+
+    #[test]
+    fn errors_for_unknown_entities() {
+        let db = open_db(64);
+        let mut txn = db.begin(SimTime::ZERO);
+        assert!(db.get(&mut txn, "nope", RecordId::new(0, 0)).is_err());
+        assert!(db.insert(&mut txn, "nope", &vec![], &[]).is_err());
+        assert!(db.create_index("nope", "i", SimTime::ZERO).is_err());
+        db.create_table("t", customer_schema(), SimTime::ZERO).unwrap();
+        assert!(db.index_lookup(&mut txn, "t", "missing_idx", b"k").is_err());
+        // Duplicate table / index names.
+        assert!(db.create_table("t", customer_schema(), SimTime::ZERO).is_err());
+        db.create_index("t", "i", SimTime::ZERO).unwrap();
+        assert!(db.create_index("t", "i", SimTime::ZERO).is_err());
+        // Schema mismatch on insert.
+        assert!(db.insert(&mut txn, "t", &vec![Value::Int(1)], &[]).is_err());
+        // Empty schema rejected.
+        assert!(db.create_table("empty", Schema::new(vec![]), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn flush_all_persists_through_restart_of_the_pool() {
+        let db = open_db(64);
+        let t0 = SimTime::ZERO;
+        db.create_table("t", customer_schema(), t0).unwrap();
+        let mut txn = db.begin(t0);
+        let rid = db.insert(&mut txn, "t", &customer(1, 2, 3.0, "A"), &[]).unwrap();
+        let done = db.flush_all(txn.now).unwrap();
+        assert!(done >= txn.now);
+        // Data readable via a fresh transaction.
+        let mut txn2 = db.begin(done);
+        assert_eq!(db.get(&mut txn2, "t", rid).unwrap()[0], Value::Int(1));
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+        assert!(db.table("t").is_ok());
+        assert_eq!(db.buffer_stats().logical_writes > 0, true);
+    }
+}

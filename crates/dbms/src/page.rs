@@ -1,0 +1,274 @@
+//! Slotted 4 KiB data pages.
+//!
+//! Layout:
+//!
+//! ```text
+//! +--------+-----------------------+............+----------------------+
+//! | header | slot directory -->    |   free     |   <-- record data    |
+//! +--------+-----------------------+............+----------------------+
+//! ```
+//!
+//! * header: `slot_count: u16`, `free_end: u16` (offset where record data
+//!   begins, records grow downwards from the page end);
+//! * slot: `offset: u16`, `len: u16`; a slot with `offset == 0` is a
+//!   tombstone (page offsets below the header are impossible, so 0 is free
+//!   to use as the dead marker).
+
+use crate::error::DbError;
+use crate::Result;
+use crate::PAGE_SIZE;
+
+const HEADER_LEN: usize = 4;
+const SLOT_LEN: usize = 4;
+
+/// A slotted page over a fixed 4 KiB buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlottedPage {
+    buf: Vec<u8>,
+}
+
+impl Default for SlottedPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlottedPage {
+    /// Create an empty page.
+    pub fn new() -> Self {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        // slot_count = 0, free_end = PAGE_SIZE
+        buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        SlottedPage { buf }
+    }
+
+    /// Interpret an existing 4 KiB buffer as a slotted page.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self> {
+        if buf.len() != PAGE_SIZE {
+            return Err(DbError::Corrupted {
+                message: format!("page buffer has {} bytes, expected {PAGE_SIZE}", buf.len()),
+            });
+        }
+        Ok(SlottedPage { buf })
+    }
+
+    /// The raw page bytes (for writing back to storage).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the page, returning the raw buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn slot_count(&self) -> u16 {
+        u16::from_le_bytes(self.buf[0..2].try_into().expect("2 bytes"))
+    }
+
+    fn set_slot_count(&mut self, v: u16) {
+        self.buf[0..2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn free_end(&self) -> u16 {
+        u16::from_le_bytes(self.buf[2..4].try_into().expect("2 bytes"))
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.buf[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot(&self, idx: u16) -> (u16, u16) {
+        let base = HEADER_LEN + idx as usize * SLOT_LEN;
+        let off = u16::from_le_bytes(self.buf[base..base + 2].try_into().expect("2 bytes"));
+        let len = u16::from_le_bytes(self.buf[base + 2..base + 4].try_into().expect("2 bytes"));
+        (off, len)
+    }
+
+    fn set_slot(&mut self, idx: u16, off: u16, len: u16) {
+        let base = HEADER_LEN + idx as usize * SLOT_LEN;
+        self.buf[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.buf[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Number of live (non-deleted) records on the page.
+    pub fn live_records(&self) -> usize {
+        (0..self.slot_count()).filter(|i| self.slot(*i).0 != 0).count()
+    }
+
+    /// Number of slots (live or dead).
+    pub fn slots(&self) -> u16 {
+        self.slot_count()
+    }
+
+    /// Contiguous free space available for a new record (including its slot).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER_LEN + self.slot_count() as usize * SLOT_LEN;
+        (self.free_end() as usize).saturating_sub(dir_end)
+    }
+
+    /// True if a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_LEN
+    }
+
+    /// Insert a record, returning its slot number, or `None` if it does not
+    /// fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        if record.is_empty() || record.len() > u16::MAX as usize || !self.fits(record.len()) {
+            return None;
+        }
+        let slot = self.slot_count();
+        let new_end = self.free_end() as usize - record.len();
+        self.buf[new_end..new_end + record.len()].copy_from_slice(record);
+        self.set_free_end(new_end as u16);
+        self.set_slot_count(slot + 1);
+        self.set_slot(slot, new_end as u16, record.len() as u16);
+        Some(slot)
+    }
+
+    /// Read the record in `slot`.
+    pub fn get(&self, slot: u16) -> Result<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(DbError::InvalidRid { message: format!("slot {slot} out of range") });
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return Err(DbError::InvalidRid { message: format!("slot {slot} is deleted") });
+        }
+        Ok(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Overwrite the record in `slot` in place.  The new record must not be
+    /// larger than the existing one (fixed-layout records never are).
+    pub fn update(&mut self, slot: u16, record: &[u8]) -> Result<()> {
+        if slot >= self.slot_count() {
+            return Err(DbError::InvalidRid { message: format!("slot {slot} out of range") });
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return Err(DbError::InvalidRid { message: format!("slot {slot} is deleted") });
+        }
+        if record.len() > len as usize {
+            return Err(DbError::TooLarge {
+                message: format!("update of {} bytes into a {len}-byte record", record.len()),
+            });
+        }
+        self.buf[off as usize..off as usize + record.len()].copy_from_slice(record);
+        if record.len() < len as usize {
+            self.set_slot(slot, off, record.len() as u16);
+        }
+        Ok(())
+    }
+
+    /// Delete the record in `slot` (tombstone; space is not compacted).
+    pub fn delete(&mut self, slot: u16) -> Result<()> {
+        if slot >= self.slot_count() {
+            return Err(DbError::InvalidRid { message: format!("slot {slot} out of range") });
+        }
+        let (off, _) = self.slot(slot);
+        if off == 0 {
+            return Err(DbError::InvalidRid { message: format!("slot {slot} already deleted") });
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Iterate over `(slot, record)` pairs of live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |i| {
+            let (off, len) = self.slot(i);
+            if off == 0 {
+                None
+            } else {
+                Some((i, &self.buf[off as usize..off as usize + len as usize]))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_page_properties() {
+        let p = SlottedPage::new();
+        assert_eq!(p.live_records(), 0);
+        assert_eq!(p.slots(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER_LEN);
+        assert!(p.fits(100));
+        assert_eq!(p.as_bytes().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let mut p = SlottedPage::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0).unwrap(), b"hello");
+        assert_eq!(p.get(s1).unwrap(), b"world!");
+        assert_eq!(p.live_records(), 2);
+        p.update(s0, b"HELLO").unwrap();
+        assert_eq!(p.get(s0).unwrap(), b"HELLO");
+        // Shrinking updates adjust the visible length.
+        p.update(s1, b"hi").unwrap();
+        assert_eq!(p.get(s1).unwrap(), b"hi");
+        // Growing updates are rejected.
+        assert!(matches!(p.update(s1, b"too long now"), Err(DbError::TooLarge { .. })));
+        p.delete(s0).unwrap();
+        assert!(p.get(s0).is_err());
+        assert!(p.delete(s0).is_err());
+        assert_eq!(p.live_records(), 1);
+        let collected: Vec<_> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(collected, vec![(s1, b"hi".to_vec())]);
+    }
+
+    #[test]
+    fn page_fills_up_and_rejects_overflow() {
+        let mut p = SlottedPage::new();
+        let rec = vec![7u8; 100];
+        let mut inserted = 0;
+        while p.insert(&rec).is_some() {
+            inserted += 1;
+        }
+        // 4 KiB / (100 + 4 slot bytes) ≈ 39 records.
+        assert!(inserted >= 35 && inserted <= 40, "inserted {inserted}");
+        assert!(!p.fits(100));
+        // Records survive a serialization roundtrip.
+        let restored = SlottedPage::from_bytes(p.as_bytes().to_vec()).unwrap();
+        assert_eq!(restored.live_records(), inserted);
+        assert_eq!(restored.get(0).unwrap(), &rec[..]);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let mut p = SlottedPage::new();
+        assert!(p.insert(&[]).is_none());
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+        assert!(p.get(0).is_err());
+        assert!(p.update(3, b"x").is_err());
+        assert!(p.delete(3).is_err());
+        assert!(SlottedPage::from_bytes(vec![0u8; 100]).is_err());
+    }
+
+    proptest! {
+        /// Inserted records always read back verbatim, regardless of order
+        /// and interleaved deletes.
+        #[test]
+        fn insert_read_consistency(records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..200), 1..30)) {
+            let mut p = SlottedPage::new();
+            let mut stored: Vec<(u16, Vec<u8>)> = Vec::new();
+            for r in &records {
+                if let Some(slot) = p.insert(r) {
+                    stored.push((slot, r.clone()));
+                }
+            }
+            for (slot, expected) in &stored {
+                prop_assert_eq!(p.get(*slot).unwrap(), &expected[..]);
+            }
+            prop_assert_eq!(p.live_records(), stored.len());
+        }
+    }
+}

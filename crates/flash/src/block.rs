@@ -1,0 +1,173 @@
+//! Erase-block and page state tracking.
+//!
+//! A block is the unit of erasure.  Pages inside a block must be programmed
+//! strictly in order and can only be programmed once per erase cycle; the
+//! block therefore behaves like an append-only log segment, which is what
+//! forces out-of-place updates at the layers above.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metadata::PageMetadata;
+
+/// Lifecycle state of a single flash page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but superseded by a newer out-of-place write;
+    /// space is reclaimed by erasing the block.
+    Invalid,
+}
+
+/// Lifecycle state of an erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Fully erased; no page programmed yet.
+    Free,
+    /// Some pages programmed, more space available (the "write frontier"
+    /// block of a die/plane).
+    Open,
+    /// All pages programmed.
+    Full,
+    /// Factory-bad or retired due to wear; unusable.
+    Bad,
+}
+
+/// Per-block bookkeeping kept by the simulated device.
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    pub state: BlockState,
+    /// Index of the next page that may be programmed (sequential rule).
+    pub write_ptr: u32,
+    /// Number of completed program/erase cycles.
+    pub erase_count: u64,
+    /// Per-page states.
+    pub pages: Vec<PageState>,
+    /// Per-page OOB metadata (None until programmed).
+    pub meta: Vec<Option<PageMetadata>>,
+    /// Page payloads, lazily allocated on first program after an erase.
+    pub data: Option<Vec<u8>>,
+    /// Number of pages currently in `Valid` state.
+    pub valid_pages: u32,
+}
+
+impl Block {
+    pub(crate) fn new(pages_per_block: u32) -> Self {
+        Block {
+            state: BlockState::Free,
+            write_ptr: 0,
+            erase_count: 0,
+            pages: vec![PageState::Free; pages_per_block as usize],
+            meta: vec![None; pages_per_block as usize],
+            data: None,
+            valid_pages: 0,
+        }
+    }
+
+    /// Reset the block to the erased state (does not touch `erase_count`;
+    /// the caller increments it so failed erases can be modelled).
+    pub(crate) fn reset_erased(&mut self) {
+        self.state = BlockState::Free;
+        self.write_ptr = 0;
+        for p in &mut self.pages {
+            *p = PageState::Free;
+        }
+        for m in &mut self.meta {
+            *m = None;
+        }
+        self.data = None;
+        self.valid_pages = 0;
+    }
+
+    /// Number of invalid (reclaimable) pages.
+    pub(crate) fn invalid_pages(&self) -> u32 {
+        self.pages.iter().filter(|p| **p == PageState::Invalid).count() as u32
+    }
+
+    /// Number of still-free pages.
+    pub(crate) fn free_pages(&self) -> u32 {
+        (self.pages.len() as u32).saturating_sub(self.write_ptr)
+    }
+}
+
+/// Read-only snapshot of a block's state, exposed to flash management
+/// layers (the NoFTL storage manager and the FTL) for victim selection,
+/// wear leveling and free-space accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Lifecycle state.
+    pub state: BlockState,
+    /// Next programmable page index.
+    pub write_ptr: u32,
+    /// Completed erase cycles.
+    pub erase_count: u64,
+    /// Pages holding live data.
+    pub valid_pages: u32,
+    /// Pages holding superseded data.
+    pub invalid_pages: u32,
+    /// Pages still erased.
+    pub free_pages: u32,
+}
+
+impl BlockInfo {
+    pub(crate) fn from_block(b: &Block) -> Self {
+        BlockInfo {
+            state: b.state,
+            write_ptr: b.write_ptr,
+            erase_count: b.erase_count,
+            valid_pages: b.valid_pages,
+            invalid_pages: b.invalid_pages(),
+            free_pages: b.free_pages(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_block_is_free() {
+        let b = Block::new(8);
+        assert_eq!(b.state, BlockState::Free);
+        assert_eq!(b.write_ptr, 0);
+        assert_eq!(b.valid_pages, 0);
+        assert_eq!(b.free_pages(), 8);
+        assert_eq!(b.invalid_pages(), 0);
+        assert!(b.data.is_none());
+    }
+
+    #[test]
+    fn reset_clears_everything_but_wear() {
+        let mut b = Block::new(4);
+        b.state = BlockState::Full;
+        b.write_ptr = 4;
+        b.erase_count = 3;
+        b.pages = vec![PageState::Valid, PageState::Invalid, PageState::Valid, PageState::Valid];
+        b.valid_pages = 3;
+        b.data = Some(vec![1u8; 4 * 16]);
+        b.reset_erased();
+        assert_eq!(b.state, BlockState::Free);
+        assert_eq!(b.write_ptr, 0);
+        assert_eq!(b.valid_pages, 0);
+        assert_eq!(b.erase_count, 3, "erase_count is managed by the caller");
+        assert!(b.pages.iter().all(|p| *p == PageState::Free));
+        assert!(b.data.is_none());
+    }
+
+    #[test]
+    fn block_info_snapshot_counts() {
+        let mut b = Block::new(4);
+        b.pages = vec![PageState::Valid, PageState::Invalid, PageState::Invalid, PageState::Free];
+        b.write_ptr = 3;
+        b.valid_pages = 1;
+        b.state = BlockState::Open;
+        let info = BlockInfo::from_block(&b);
+        assert_eq!(info.valid_pages, 1);
+        assert_eq!(info.invalid_pages, 2);
+        assert_eq!(info.free_pages, 1);
+        assert_eq!(info.state, BlockState::Open);
+    }
+}

@@ -1,0 +1,901 @@
+//! The simulated NAND device and its native command interface.
+//!
+//! [`NandDevice`] is the single entry point used by both flash management
+//! layers in this repository: the traditional FTL (`ftl-sim`) and the
+//! NoFTL storage manager (`noftl-core`).  It enforces NAND programming
+//! rules, models per-die/per-channel timing, tracks wear and maintains
+//! the statistics needed to reproduce the paper's evaluation.
+
+use parking_lot::Mutex;
+
+use crate::addr::{BlockAddr, DieId, PageAddr};
+use crate::badblock::BadBlockPolicy;
+use crate::block::{BlockInfo, BlockState, PageState};
+use crate::die::{Channel, Die};
+use crate::error::FlashError;
+use crate::geometry::FlashGeometry;
+use crate::metadata::PageMetadata;
+use crate::sched;
+use crate::stats::{DeviceStats, DieStats, WearSummary};
+use crate::time::SimTime;
+use crate::timing::TimingModel;
+use crate::trace::{FlashOp, OpKind, TraceBuffer};
+use crate::Result;
+
+/// Result of a successfully scheduled flash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// When the operation started executing on the die.
+    pub started_at: SimTime,
+    /// When the operation completed (result available to the host).
+    pub completed_at: SimTime,
+}
+
+/// Builder for [`NandDevice`].
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    geometry: FlashGeometry,
+    timing: TimingModel,
+    bad_blocks: BadBlockPolicy,
+    store_data: bool,
+    trace_capacity: usize,
+    strict_copyback_plane: bool,
+}
+
+impl DeviceBuilder {
+    /// Start building a device with the given geometry and default timing.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        DeviceBuilder {
+            geometry,
+            timing: TimingModel::default(),
+            bad_blocks: BadBlockPolicy::none(),
+            store_data: true,
+            trace_capacity: 0,
+            strict_copyback_plane: false,
+        }
+    }
+
+    /// Use a specific timing model.
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Use a specific bad-block / endurance policy.
+    pub fn bad_blocks(mut self, policy: BadBlockPolicy) -> Self {
+        self.bad_blocks = policy;
+        self
+    }
+
+    /// Whether the device stores page payloads (true by default).  Disable
+    /// for pure performance experiments that never read data back.
+    pub fn store_data(mut self, store: bool) -> Self {
+        self.store_data = store;
+        self
+    }
+
+    /// Retain a trace of the `cap` most recent operations.
+    pub fn trace_capacity(mut self, cap: usize) -> Self {
+        self.trace_capacity = cap;
+        self
+    }
+
+    /// Require copyback source and destination to share a plane (real
+    /// devices often do); off by default.
+    pub fn strict_copyback_plane(mut self, strict: bool) -> Self {
+        self.strict_copyback_plane = strict;
+        self
+    }
+
+    /// Build the device.
+    ///
+    /// # Panics
+    /// Panics if the geometry fails validation; geometry errors are
+    /// programming errors, not runtime conditions.
+    pub fn build(self) -> NandDevice {
+        self.geometry
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid flash geometry: {e}"));
+        let g = self.geometry;
+        let dies: Vec<Die> = (0..g.total_dies())
+            .map(|_| Die::new(g.planes_per_die, g.blocks_per_plane, g.pages_per_block))
+            .collect();
+        let channels: Vec<Channel> = (0..g.channels).map(|_| Channel::default()).collect();
+        let mut inner = Inner {
+            dies,
+            channels,
+            stats: DeviceStats::default(),
+            trace: TraceBuffer::new(self.trace_capacity),
+            epoch: 0,
+        };
+        // Mark factory-bad blocks.
+        let total_blocks = g.total_blocks();
+        for idx in self.bad_blocks.factory_bad_blocks(total_blocks) {
+            let blocks_per_die = g.blocks_per_die() as u64;
+            let die = (idx / blocks_per_die) as u32;
+            let within = idx % blocks_per_die;
+            let plane = (within / g.blocks_per_plane as u64) as u32;
+            let block = (within % g.blocks_per_plane as u64) as u32;
+            inner.dies[die as usize].planes[plane as usize].blocks[block as usize].state = BlockState::Bad;
+        }
+        NandDevice {
+            geometry: g,
+            timing: self.timing,
+            endurance: self.bad_blocks.endurance_cycles,
+            store_data: self.store_data,
+            strict_copyback_plane: self.strict_copyback_plane,
+            inner: Mutex::new(inner),
+        }
+    }
+}
+
+struct Inner {
+    dies: Vec<Die>,
+    channels: Vec<Channel>,
+    stats: DeviceStats,
+    trace: TraceBuffer,
+    /// Device-wide write sequence number, stamped into page metadata when
+    /// the caller does not supply an epoch.
+    epoch: u64,
+}
+
+/// A read-only snapshot of high-level device state, used by tests,
+/// examples and report generators.
+#[derive(Debug, Clone)]
+pub struct DeviceSnapshot {
+    /// Aggregate operation statistics.
+    pub stats: DeviceStats,
+    /// Per-die utilisation.
+    pub die_stats: Vec<DieStats>,
+    /// Wear distribution summary.
+    pub wear: WearSummary,
+}
+
+/// The simulated native NAND flash device.
+///
+/// All methods take the host's issue time and return an [`OpOutcome`]
+/// carrying the completion time; the device never blocks real threads.
+/// The device is `Send + Sync` (internally a single mutex); callers that
+/// need more concurrency shard their work across devices or accept the
+/// serialisation, which is irrelevant for simulated-time experiments.
+pub struct NandDevice {
+    geometry: FlashGeometry,
+    timing: TimingModel,
+    endurance: u64,
+    store_data: bool,
+    strict_copyback_plane: bool,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for NandDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NandDevice")
+            .field("geometry", &self.geometry)
+            .field("timing", &self.timing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NandDevice {
+    /// Device geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// Timing model in use.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    fn check_page(&self, addr: PageAddr) -> Result<()> {
+        if self.geometry.contains_page(addr) {
+            Ok(())
+        } else {
+            Err(FlashError::oob(addr))
+        }
+    }
+
+    fn check_block(&self, addr: BlockAddr) -> Result<()> {
+        if self.geometry.contains_block(addr) {
+            Ok(())
+        } else {
+            Err(FlashError::oob(addr))
+        }
+    }
+
+    /// Read a page: returns the payload (empty if the device does not store
+    /// data), its OOB metadata, and the operation outcome.
+    pub fn read_page(&self, addr: PageAddr, at: SimTime) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
+        self.check_page(addr)?;
+        let ch = self.geometry.channel_of_die(addr.die) as usize;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        {
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            if block.state == BlockState::Bad {
+                inner.stats.errors += 1;
+                return Err(FlashError::BadBlock { addr: addr.block() });
+            }
+            if block.pages[addr.page as usize] == PageState::Free {
+                inner.stats.errors += 1;
+                return Err(FlashError::UnwrittenPage { addr });
+            }
+        }
+        let sched = sched::schedule_read(
+            &mut inner.dies[addr.die.0 as usize],
+            &mut inner.channels[ch],
+            &self.timing,
+            at,
+            self.geometry.page_size,
+        );
+        let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let data = if self.store_data {
+            let psz = self.geometry.page_size as usize;
+            block
+                .data
+                .as_ref()
+                .map(|d| d[addr.page as usize * psz..(addr.page as usize + 1) * psz].to_vec())
+                .unwrap_or_else(|| vec![0u8; psz])
+        } else {
+            Vec::new()
+        };
+        let meta = block.meta[addr.page as usize];
+        inner.stats.page_reads += 1;
+        inner.stats.bytes_transferred += self.geometry.page_size as u64;
+        inner.stats.read_latency_sum += sched.complete - at;
+        inner.trace.record(FlashOp {
+            kind: OpKind::Read,
+            addr,
+            issued_at: at,
+            completed_at: sched.complete,
+        });
+        Ok((data, meta, OpOutcome { started_at: sched.start, completed_at: sched.complete }))
+    }
+
+    /// Read only the OOB metadata of a page (cheaper than a full read);
+    /// used by GC and recovery to discover which logical page a physical
+    /// page holds.
+    pub fn read_metadata(&self, addr: PageAddr, at: SimTime) -> Result<(Option<PageMetadata>, OpOutcome)> {
+        self.check_page(addr)?;
+        let ch = self.geometry.channel_of_die(addr.die) as usize;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        {
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            if block.state == BlockState::Bad {
+                inner.stats.errors += 1;
+                return Err(FlashError::BadBlock { addr: addr.block() });
+            }
+        }
+        let sched = sched::schedule_metadata_read(
+            &mut inner.dies[addr.die.0 as usize],
+            &mut inner.channels[ch],
+            &self.timing,
+            at,
+            self.geometry.oob_size,
+        );
+        let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let meta = block.meta[addr.page as usize];
+        inner.stats.metadata_reads += 1;
+        inner.stats.bytes_transferred += self.geometry.oob_size as u64;
+        inner.trace.record(FlashOp {
+            kind: OpKind::MetadataRead,
+            addr,
+            issued_at: at,
+            completed_at: sched.complete,
+        });
+        Ok((meta, OpOutcome { started_at: sched.start, completed_at: sched.complete }))
+    }
+
+    /// Program a page with payload `data` and OOB metadata `meta`.
+    ///
+    /// Enforces NAND rules: the target page must be erased and must be the
+    /// next sequential page of its block.  If `meta.epoch` is zero the
+    /// device stamps the next device-wide epoch.
+    pub fn program_page(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        mut meta: PageMetadata,
+        at: SimTime,
+    ) -> Result<OpOutcome> {
+        self.check_page(addr)?;
+        if self.store_data && !data.is_empty() && data.len() != self.geometry.page_size as usize {
+            return Err(FlashError::BadPageSize {
+                expected: self.geometry.page_size,
+                got: data.len(),
+            });
+        }
+        let ch = self.geometry.channel_of_die(addr.die) as usize;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        {
+            let block =
+                &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            if block.state == BlockState::Bad {
+                inner.stats.errors += 1;
+                return Err(FlashError::BadBlock { addr: addr.block() });
+            }
+            if block.pages[addr.page as usize] != PageState::Free {
+                inner.stats.errors += 1;
+                return Err(FlashError::PageNotErased { addr });
+            }
+            if addr.page != block.write_ptr {
+                inner.stats.errors += 1;
+                return Err(FlashError::NonSequentialProgram {
+                    addr,
+                    expected_next: block.write_ptr,
+                });
+            }
+        }
+        if meta.epoch == 0 {
+            inner.epoch += 1;
+            meta.epoch = inner.epoch;
+        }
+        let sched = sched::schedule_program(
+            &mut inner.dies[addr.die.0 as usize],
+            &mut inner.channels[ch],
+            &self.timing,
+            at,
+            self.geometry.page_size,
+        );
+        let pages_per_block = self.geometry.pages_per_block;
+        let psz = self.geometry.page_size as usize;
+        let store = self.store_data;
+        let block =
+            &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        if store {
+            let buf = block
+                .data
+                .get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
+            let off = addr.page as usize * psz;
+            if data.is_empty() {
+                buf[off..off + psz].fill(0);
+            } else {
+                buf[off..off + psz].copy_from_slice(data);
+            }
+        }
+        block.pages[addr.page as usize] = PageState::Valid;
+        block.meta[addr.page as usize] = Some(meta);
+        block.valid_pages += 1;
+        block.write_ptr = addr.page + 1;
+        block.state = if block.write_ptr == pages_per_block {
+            BlockState::Full
+        } else {
+            BlockState::Open
+        };
+        inner.stats.page_programs += 1;
+        inner.stats.bytes_transferred += self.geometry.page_size as u64;
+        inner.stats.program_latency_sum += sched.complete - at;
+        inner.trace.record(FlashOp {
+            kind: OpKind::Program,
+            addr,
+            issued_at: at,
+            completed_at: sched.complete,
+        });
+        Ok(OpOutcome { started_at: sched.start, completed_at: sched.complete })
+    }
+
+    /// Erase a block, returning it to the free state.  Fails permanently if
+    /// the block exceeds its endurance budget (the block is then retired).
+    pub fn erase_block(&self, addr: BlockAddr, at: SimTime) -> Result<OpOutcome> {
+        self.check_block(addr)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        {
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            if block.state == BlockState::Bad {
+                inner.stats.errors += 1;
+                return Err(FlashError::BadBlock { addr });
+            }
+            if block.erase_count >= self.endurance {
+                inner.stats.errors += 1;
+                let count = block.erase_count;
+                inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize].state =
+                    BlockState::Bad;
+                return Err(FlashError::WornOut { addr, erase_count: count });
+            }
+        }
+        let sched = sched::schedule_erase(&mut inner.dies[addr.die.0 as usize], &self.timing, at);
+        let block =
+            &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        block.reset_erased();
+        block.erase_count += 1;
+        inner.stats.block_erases += 1;
+        inner.stats.erase_latency_sum += sched.complete - at;
+        inner.trace.record(FlashOp {
+            kind: OpKind::Erase,
+            addr: addr.page(0),
+            issued_at: at,
+            completed_at: sched.complete,
+        });
+        Ok(OpOutcome { started_at: sched.start, completed_at: sched.complete })
+    }
+
+    /// Copy a valid page to a free page **on the same die** without moving
+    /// the data over the channel.  This is the operation GC uses to
+    /// relocate still-valid pages out of a victim block.
+    pub fn copyback(&self, src: PageAddr, dst: PageAddr, at: SimTime) -> Result<OpOutcome> {
+        self.check_page(src)?;
+        self.check_page(dst)?;
+        if src.die != dst.die || (self.strict_copyback_plane && src.plane != dst.plane) {
+            return Err(FlashError::CopybackCrossDie { src, dst });
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        // Validate source.
+        let (src_meta, src_data) = {
+            let sblock = &inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks[src.block as usize];
+            if sblock.state == BlockState::Bad {
+                inner.stats.errors += 1;
+                return Err(FlashError::BadBlock { addr: src.block() });
+            }
+            if sblock.pages[src.page as usize] == PageState::Free {
+                inner.stats.errors += 1;
+                return Err(FlashError::UnwrittenPage { addr: src });
+            }
+            let psz = self.geometry.page_size as usize;
+            let data = if self.store_data {
+                sblock
+                    .data
+                    .as_ref()
+                    .map(|d| d[src.page as usize * psz..(src.page as usize + 1) * psz].to_vec())
+            } else {
+                None
+            };
+            (sblock.meta[src.page as usize], data)
+        };
+        // Validate destination.
+        {
+            let dblock = &inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks[dst.block as usize];
+            if dblock.state == BlockState::Bad {
+                inner.stats.errors += 1;
+                return Err(FlashError::BadBlock { addr: dst.block() });
+            }
+            if dblock.pages[dst.page as usize] != PageState::Free {
+                inner.stats.errors += 1;
+                return Err(FlashError::PageNotErased { addr: dst });
+            }
+            if dst.page != dblock.write_ptr {
+                inner.stats.errors += 1;
+                return Err(FlashError::NonSequentialProgram {
+                    addr: dst,
+                    expected_next: dblock.write_ptr,
+                });
+            }
+        }
+        let sched = sched::schedule_copyback(&mut inner.dies[dst.die.0 as usize], &self.timing, at);
+        let pages_per_block = self.geometry.pages_per_block;
+        let psz = self.geometry.page_size as usize;
+        let store = self.store_data;
+        let dblock =
+            &mut inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks[dst.block as usize];
+        if store {
+            let buf = dblock
+                .data
+                .get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
+            let off = dst.page as usize * psz;
+            match &src_data {
+                Some(d) => buf[off..off + psz].copy_from_slice(d),
+                None => buf[off..off + psz].fill(0),
+            }
+        }
+        dblock.pages[dst.page as usize] = PageState::Valid;
+        dblock.meta[dst.page as usize] = src_meta;
+        dblock.valid_pages += 1;
+        dblock.write_ptr = dst.page + 1;
+        dblock.state = if dblock.write_ptr == pages_per_block {
+            BlockState::Full
+        } else {
+            BlockState::Open
+        };
+        // Source page becomes invalid.
+        let sblock =
+            &mut inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks[src.block as usize];
+        if sblock.pages[src.page as usize] == PageState::Valid {
+            sblock.pages[src.page as usize] = PageState::Invalid;
+            sblock.valid_pages = sblock.valid_pages.saturating_sub(1);
+        }
+        inner.stats.copybacks += 1;
+        inner.stats.copyback_latency_sum += sched.complete - at;
+        inner.trace.record(FlashOp {
+            kind: OpKind::Copyback,
+            addr: dst,
+            issued_at: at,
+            completed_at: sched.complete,
+        });
+        Ok(OpOutcome { started_at: sched.start, completed_at: sched.complete })
+    }
+
+    /// Mark a page as invalid (superseded by an out-of-place update).
+    ///
+    /// This is host-maintained bookkeeping (no flash command is issued and
+    /// no time passes); the simulator keeps it next to the physical page so
+    /// that block-level valid-page counts used by GC victim selection stay
+    /// consistent.
+    pub fn mark_invalid(&self, addr: PageAddr) -> Result<()> {
+        self.check_page(addr)?;
+        let mut inner = self.inner.lock();
+        let block =
+            &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        match block.pages[addr.page as usize] {
+            PageState::Valid => {
+                block.pages[addr.page as usize] = PageState::Invalid;
+                block.valid_pages = block.valid_pages.saturating_sub(1);
+                Ok(())
+            }
+            PageState::Invalid => Ok(()),
+            PageState::Free => Err(FlashError::UnwrittenPage { addr }),
+        }
+    }
+
+    /// Mark a whole block bad (e.g. after a program failure).
+    pub fn retire_block(&self, addr: BlockAddr) -> Result<()> {
+        self.check_block(addr)?;
+        let mut inner = self.inner.lock();
+        inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize].state =
+            BlockState::Bad;
+        Ok(())
+    }
+
+    /// Snapshot of one block's state.
+    pub fn block_info(&self, addr: BlockAddr) -> Result<BlockInfo> {
+        self.check_block(addr)?;
+        let inner = self.inner.lock();
+        Ok(BlockInfo::from_block(
+            &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize],
+        ))
+    }
+
+    /// State of a single page.
+    pub fn page_state(&self, addr: PageAddr) -> Result<PageState> {
+        self.check_page(addr)?;
+        let inner = self.inner.lock();
+        Ok(inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize].pages
+            [addr.page as usize])
+    }
+
+    /// Aggregate device statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Latest completion time over all dies and channels — i.e. when the
+    /// device becomes fully idle given the operations issued so far.
+    pub fn quiesce_time(&self) -> SimTime {
+        let inner = self.inner.lock();
+        let die_max = inner.dies.iter().map(|d| d.busy_until).max().unwrap_or(SimTime::ZERO);
+        let ch_max = inner.channels.iter().map(|c| c.busy_until).max().unwrap_or(SimTime::ZERO);
+        die_max.max(ch_max)
+    }
+
+    /// Busy-until time of a single die (used by allocation policies that
+    /// prefer idle dies).
+    pub fn die_busy_until(&self, die: DieId) -> SimTime {
+        let inner = self.inner.lock();
+        inner
+            .dies
+            .get(die.0 as usize)
+            .map(|d| d.busy_until)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Per-die statistics.
+    pub fn die_stats(&self) -> Vec<DieStats> {
+        let inner = self.inner.lock();
+        inner
+            .dies
+            .iter()
+            .map(|d| {
+                let total_erases: u64 = d
+                    .planes
+                    .iter()
+                    .flat_map(|p| p.blocks.iter())
+                    .map(|b| b.erase_count)
+                    .sum();
+                let max_erase_count = d
+                    .planes
+                    .iter()
+                    .flat_map(|p| p.blocks.iter())
+                    .map(|b| b.erase_count)
+                    .max()
+                    .unwrap_or(0);
+                DieStats {
+                    ops: d.ops,
+                    busy_time: d.busy_time,
+                    total_erases,
+                    max_erase_count,
+                }
+            })
+            .collect()
+    }
+
+    /// Wear distribution over the whole device.
+    pub fn wear_summary(&self) -> WearSummary {
+        let inner = self.inner.lock();
+        let mut bad = 0u64;
+        let counts: Vec<u64> = inner
+            .dies
+            .iter()
+            .flat_map(|d| d.planes.iter())
+            .flat_map(|p| p.blocks.iter())
+            .map(|b| {
+                if b.state == BlockState::Bad {
+                    bad += 1;
+                }
+                b.erase_count
+            })
+            .collect();
+        WearSummary::from_counts(counts.into_iter(), bad)
+    }
+
+    /// Full snapshot (stats + per-die stats + wear).
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            stats: self.stats(),
+            die_stats: self.die_stats(),
+            wear: self.wear_summary(),
+        }
+    }
+
+    /// Retained operation trace (oldest first); empty when tracing is off.
+    pub fn trace(&self) -> Vec<FlashOp> {
+        self.inner.lock().trace.ops().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NandDevice {
+        DeviceBuilder::new(FlashGeometry::small_test()).build()
+    }
+
+    fn page(die: u32, block: u32, page: u32) -> PageAddr {
+        PageAddr::new(DieId(die), 0, block, page)
+    }
+
+    fn payload(byte: u8, dev: &NandDevice) -> Vec<u8> {
+        vec![byte; dev.geometry().page_size as usize]
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_data_and_metadata() {
+        let d = dev();
+        let p = page(0, 0, 0);
+        let data = payload(0xAB, &d);
+        let meta = PageMetadata::new(7, 42);
+        let out = d.program_page(p, &data, meta, SimTime::ZERO).unwrap();
+        assert!(out.completed_at > SimTime::ZERO);
+        let (read, rmeta, _) = d.read_page(p, out.completed_at).unwrap();
+        assert_eq!(read, data);
+        let rmeta = rmeta.unwrap();
+        assert_eq!(rmeta.object_id, 7);
+        assert_eq!(rmeta.logical_page, 42);
+        assert!(rmeta.epoch > 0, "device stamps an epoch");
+    }
+
+    #[test]
+    fn reading_unwritten_page_fails() {
+        let d = dev();
+        let err = d.read_page(page(0, 0, 0), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashError::UnwrittenPage { .. }));
+    }
+
+    #[test]
+    fn in_place_update_is_rejected() {
+        let d = dev();
+        let p = page(0, 0, 0);
+        d.program_page(p, &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        let err = d
+            .program_page(p, &payload(2, &d), PageMetadata::new(1, 0), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::PageNotErased { .. }));
+    }
+
+    #[test]
+    fn non_sequential_program_is_rejected() {
+        let d = dev();
+        let err = d
+            .program_page(page(0, 0, 3), &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::NonSequentialProgram { expected_next: 0, .. }));
+    }
+
+    #[test]
+    fn erase_resets_block_and_counts_wear() {
+        let d = dev();
+        let b = BlockAddr::new(DieId(0), 0, 0);
+        for i in 0..d.geometry().pages_per_block {
+            d.program_page(b.page(i), &payload(i as u8, &d), PageMetadata::new(1, i as u64), SimTime::ZERO)
+                .unwrap();
+        }
+        assert_eq!(d.block_info(b).unwrap().state, BlockState::Full);
+        d.erase_block(b, SimTime::ZERO).unwrap();
+        let info = d.block_info(b).unwrap();
+        assert_eq!(info.state, BlockState::Free);
+        assert_eq!(info.erase_count, 1);
+        assert_eq!(info.valid_pages, 0);
+        // Programmable again from page 0.
+        d.program_page(b.page(0), &payload(9, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn copyback_moves_data_within_a_die() {
+        let d = dev();
+        let src = page(1, 0, 0);
+        let dst = page(1, 1, 0);
+        let data = payload(0x5A, &d);
+        d.program_page(src, &data, PageMetadata::new(3, 10), SimTime::ZERO).unwrap();
+        let stats_before = d.stats();
+        d.copyback(src, dst, SimTime::ZERO).unwrap();
+        let stats_after = d.stats();
+        // No channel traffic for the copyback itself.
+        assert_eq!(stats_after.bytes_transferred, stats_before.bytes_transferred);
+        assert_eq!(stats_after.copybacks, 1);
+        // Source invalidated, destination valid with the same metadata.
+        assert_eq!(d.page_state(src).unwrap(), PageState::Invalid);
+        let (read, meta, _) = d.read_page(dst, SimTime::ZERO).unwrap();
+        assert_eq!(read, data);
+        assert_eq!(meta.unwrap().logical_page, 10);
+    }
+
+    #[test]
+    fn copyback_across_dies_is_rejected() {
+        let d = dev();
+        let src = page(0, 0, 0);
+        d.program_page(src, &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        let err = d.copyback(src, page(1, 0, 0), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashError::CopybackCrossDie { .. }));
+    }
+
+    #[test]
+    fn mark_invalid_updates_block_counts() {
+        let d = dev();
+        let p = page(0, 0, 0);
+        d.program_page(p, &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        assert_eq!(d.block_info(p.block()).unwrap().valid_pages, 1);
+        d.mark_invalid(p).unwrap();
+        assert_eq!(d.block_info(p.block()).unwrap().valid_pages, 0);
+        assert_eq!(d.page_state(p).unwrap(), PageState::Invalid);
+        // Idempotent.
+        d.mark_invalid(p).unwrap();
+        // Marking a free page invalid is an error.
+        assert!(d.mark_invalid(page(0, 0, 5)).is_err());
+    }
+
+    #[test]
+    fn endurance_limit_retires_blocks() {
+        let g = FlashGeometry::small_test();
+        let d = DeviceBuilder::new(g)
+            .bad_blocks(BadBlockPolicy { factory_bad_fraction: 0.0, endurance_cycles: 2, seed: 0 })
+            .build();
+        let b = BlockAddr::new(DieId(0), 0, 0);
+        d.erase_block(b, SimTime::ZERO).unwrap();
+        d.erase_block(b, SimTime::ZERO).unwrap();
+        let err = d.erase_block(b, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashError::WornOut { .. }));
+        // Block is now bad: programs fail too.
+        let err = d
+            .program_page(b.page(0), &[], PageMetadata::new(1, 0), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::BadBlock { .. }));
+    }
+
+    #[test]
+    fn operations_on_different_dies_overlap_in_time() {
+        let d = dev();
+        let t0 = SimTime::ZERO;
+        let a = d.program_page(page(0, 0, 0), &payload(1, &d), PageMetadata::new(1, 0), t0).unwrap();
+        let b = d.program_page(page(2, 0, 0), &payload(2, &d), PageMetadata::new(1, 1), t0).unwrap();
+        // Dies 0 and 2 are on different channels in the small_test geometry,
+        // so the operations complete at the same simulated time.
+        assert_eq!(a.completed_at, b.completed_at);
+        // Same die: the second operation queues.
+        let c = d.program_page(page(0, 0, 1), &payload(3, &d), PageMetadata::new(1, 2), t0).unwrap();
+        assert!(c.completed_at > a.completed_at);
+    }
+
+    #[test]
+    fn stats_track_operations_and_latency() {
+        let d = dev();
+        let p = page(0, 0, 0);
+        d.program_page(p, &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        // Issue the reads once the device is idle so no queueing delay is
+        // included in their latencies.
+        let idle = d.quiesce_time();
+        d.read_page(p, idle).unwrap();
+        d.read_metadata(p, d.quiesce_time()).unwrap();
+        let s = d.stats();
+        assert_eq!(s.page_programs, 1);
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.metadata_reads, 1);
+        assert!(s.avg_read_latency_us() > 0.0);
+        assert!(s.avg_program_latency_us() > s.avg_read_latency_us());
+        assert!(s.total_ops() >= 3);
+    }
+
+    #[test]
+    fn snapshot_and_wear_summary() {
+        let d = dev();
+        let b = BlockAddr::new(DieId(0), 0, 0);
+        d.erase_block(b, SimTime::ZERO).unwrap();
+        let snap = d.snapshot();
+        assert_eq!(snap.stats.block_erases, 1);
+        assert_eq!(snap.wear.total_erases, 1);
+        assert_eq!(snap.die_stats.len(), 4);
+        assert_eq!(snap.die_stats[0].total_erases, 1);
+        assert_eq!(snap.die_stats[1].total_erases, 0);
+    }
+
+    #[test]
+    fn quiesce_time_tracks_latest_completion() {
+        let d = dev();
+        assert_eq!(d.quiesce_time(), SimTime::ZERO);
+        let out = d
+            .program_page(page(0, 0, 0), &payload(1, &d), PageMetadata::new(1, 0), SimTime::from_us(50))
+            .unwrap();
+        assert_eq!(d.quiesce_time(), out.completed_at);
+    }
+
+    #[test]
+    fn out_of_bounds_addresses_are_rejected() {
+        let d = dev();
+        assert!(d.read_page(page(99, 0, 0), SimTime::ZERO).is_err());
+        assert!(d.erase_block(BlockAddr::new(DieId(0), 0, 999), SimTime::ZERO).is_err());
+        assert!(d.block_info(BlockAddr::new(DieId(9), 0, 0)).is_err());
+    }
+
+    #[test]
+    fn bad_page_size_is_rejected() {
+        let d = dev();
+        let err = d
+            .program_page(page(0, 0, 0), &[1, 2, 3], PageMetadata::new(1, 0), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::BadPageSize { .. }));
+    }
+
+    #[test]
+    fn trace_records_operations_when_enabled() {
+        let d = DeviceBuilder::new(FlashGeometry::small_test()).trace_capacity(10).build();
+        d.program_page(page(0, 0, 0), &[], PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        d.read_page(page(0, 0, 0), SimTime::ZERO).unwrap();
+        let trace = d.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].kind, OpKind::Program);
+        assert_eq!(trace[1].kind, OpKind::Read);
+    }
+
+    #[test]
+    fn factory_bad_blocks_reject_operations() {
+        let g = FlashGeometry::small_test();
+        let d = DeviceBuilder::new(g)
+            .bad_blocks(BadBlockPolicy { factory_bad_fraction: 1.0, endurance_cycles: u64::MAX, seed: 1 })
+            .build();
+        // Every block is bad with fraction 1.0.
+        let err = d
+            .program_page(page(0, 0, 0), &[], PageMetadata::new(1, 0), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::BadBlock { .. }));
+        assert!(d.wear_summary().bad_blocks > 0);
+    }
+
+    #[test]
+    fn retire_block_marks_bad() {
+        let d = dev();
+        let b = BlockAddr::new(DieId(1), 0, 3);
+        d.retire_block(b).unwrap();
+        assert_eq!(d.block_info(b).unwrap().state, BlockState::Bad);
+    }
+
+    #[test]
+    fn store_data_false_returns_empty_payload() {
+        let d = DeviceBuilder::new(FlashGeometry::small_test()).store_data(false).build();
+        let p = page(0, 0, 0);
+        d.program_page(p, &[], PageMetadata::new(1, 5), SimTime::ZERO).unwrap();
+        let (data, meta, _) = d.read_page(p, SimTime::ZERO).unwrap();
+        assert!(data.is_empty());
+        assert_eq!(meta.unwrap().logical_page, 5);
+    }
+}

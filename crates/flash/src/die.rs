@@ -1,0 +1,127 @@
+//! Die and plane state.
+//!
+//! A die is the unit of command parallelism: it executes one array
+//! operation (read, program, erase, copyback) at a time, tracked by a
+//! `busy_until` timestamp.  Planes within a die share this command logic
+//! but hold independent block arrays.
+
+use crate::block::Block;
+use crate::time::{Duration, SimTime};
+
+/// One plane: an independent array of erase blocks.
+#[derive(Debug)]
+pub(crate) struct Plane {
+    pub blocks: Vec<Block>,
+}
+
+impl Plane {
+    pub(crate) fn new(blocks_per_plane: u32, pages_per_block: u32) -> Self {
+        Plane {
+            blocks: (0..blocks_per_plane).map(|_| Block::new(pages_per_block)).collect(),
+        }
+    }
+}
+
+/// One die: a set of planes plus the timing/occupancy state used by the
+/// scheduler.
+#[derive(Debug)]
+pub(crate) struct Die {
+    pub planes: Vec<Plane>,
+    /// The die is executing an array operation until this instant.
+    pub busy_until: SimTime,
+    /// Total time the die has spent executing array operations.
+    pub busy_time: Duration,
+    /// Total array operations executed (reads + programs + erases + copybacks).
+    pub ops: u64,
+}
+
+impl Die {
+    pub(crate) fn new(planes_per_die: u32, blocks_per_plane: u32, pages_per_block: u32) -> Self {
+        Die {
+            planes: (0..planes_per_die)
+                .map(|_| Plane::new(blocks_per_plane, pages_per_block))
+                .collect(),
+            busy_until: SimTime::ZERO,
+            busy_time: Duration::ZERO,
+            ops: 0,
+        }
+    }
+
+    /// Reserve the die for an array operation of length `dur` starting no
+    /// earlier than `at`.  Returns `(start, end)` of the operation.
+    pub(crate) fn reserve(&mut self, at: SimTime, dur: Duration) -> (SimTime, SimTime) {
+        let start = at.max(self.busy_until);
+        let end = start + dur;
+        self.busy_until = end;
+        self.busy_time += dur;
+        self.ops += 1;
+        (start, end)
+    }
+}
+
+/// Channel occupancy state: the bus shared by all dies of a channel for
+/// data transfers between controller and page registers.
+#[derive(Debug, Default)]
+pub(crate) struct Channel {
+    pub busy_until: SimTime,
+    pub busy_time: Duration,
+    pub bytes_transferred: u64,
+}
+
+impl Channel {
+    /// Reserve the channel for a transfer of length `dur` starting no
+    /// earlier than `at`.  Returns `(start, end)`.
+    pub(crate) fn reserve(&mut self, at: SimTime, dur: Duration, bytes: u64) -> (SimTime, SimTime) {
+        let start = at.max(self.busy_until);
+        let end = start + dur;
+        self.busy_until = end;
+        self.busy_time += dur;
+        self.bytes_transferred += bytes;
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_reserve_serializes_operations() {
+        let mut die = Die::new(1, 4, 8);
+        let (s1, e1) = die.reserve(SimTime::from_us(0), Duration::from_us(100));
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(e1, SimTime::from_us(100));
+        // A second op issued at t=10 must wait until the first finishes.
+        let (s2, e2) = die.reserve(SimTime::from_us(10), Duration::from_us(50));
+        assert_eq!(s2, SimTime::from_us(100));
+        assert_eq!(e2, SimTime::from_us(150));
+        assert_eq!(die.ops, 2);
+        assert_eq!(die.busy_time.as_us_f64(), 150.0);
+    }
+
+    #[test]
+    fn die_idle_gap_is_not_counted_busy() {
+        let mut die = Die::new(1, 4, 8);
+        die.reserve(SimTime::from_us(0), Duration::from_us(10));
+        // Issued long after the die went idle.
+        let (s, _) = die.reserve(SimTime::from_us(500), Duration::from_us(10));
+        assert_eq!(s, SimTime::from_us(500));
+        assert_eq!(die.busy_time.as_us_f64(), 20.0);
+    }
+
+    #[test]
+    fn channel_reserve_tracks_bytes() {
+        let mut ch = Channel::default();
+        ch.reserve(SimTime::ZERO, Duration::from_us(10), 4096);
+        ch.reserve(SimTime::ZERO, Duration::from_us(10), 4096);
+        assert_eq!(ch.bytes_transferred, 8192);
+        assert_eq!(ch.busy_until, SimTime::from_us(20));
+    }
+
+    #[test]
+    fn plane_holds_blocks() {
+        let p = Plane::new(16, 8);
+        assert_eq!(p.blocks.len(), 16);
+        assert_eq!(p.blocks[0].pages.len(), 8);
+    }
+}

@@ -1,0 +1,145 @@
+//! The legacy block-device interface.
+//!
+//! This is the abstraction the paper argues *against*: a flat array of
+//! logical sectors with in-place update semantics, hiding everything the
+//! DBMS could exploit about the flash underneath.  The DBMS-side storage
+//! backend for the "cooked" (non-NoFTL) configuration talks to this trait
+//! only.
+
+use flash_sim::SimTime;
+
+use crate::Result;
+
+/// A block device with fixed-size sectors addressed by logical block
+/// address (LBA).  All operations are expressed in simulated time.
+pub trait BlockDevice: Send + Sync {
+    /// Sector size in bytes (the host I/O unit; 4 KiB throughout this repo).
+    fn sector_size(&self) -> u32;
+
+    /// Number of exported sectors.
+    fn capacity_sectors(&self) -> u64;
+
+    /// Read one sector.  Returns the data and the completion time.
+    fn read(&self, lba: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)>;
+
+    /// Write one sector (in-place from the host's point of view).
+    /// Returns the completion time.
+    fn write(&self, lba: u64, data: &[u8], at: SimTime) -> Result<SimTime>;
+
+    /// Inform the device that a sector's contents are no longer needed
+    /// (TRIM/UNMAP).  Free of charge in simulated time.
+    fn trim(&self, lba: u64) -> Result<()>;
+
+    /// Exported capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity_sectors() * self.sector_size() as u64
+    }
+}
+
+/// A trivial in-memory block device with constant latency, useful for
+/// testing DBMS components in isolation from flash behaviour.
+#[derive(Debug)]
+pub struct MemBlockDevice {
+    sector_size: u32,
+    latency: flash_sim::Duration,
+    sectors: parking_lot::Mutex<Vec<Option<Vec<u8>>>>,
+}
+
+impl MemBlockDevice {
+    /// Create a device with `capacity_sectors` sectors of `sector_size`
+    /// bytes and a fixed per-operation latency.
+    pub fn new(sector_size: u32, capacity_sectors: u64, latency: flash_sim::Duration) -> Self {
+        MemBlockDevice {
+            sector_size,
+            latency,
+            sectors: parking_lot::Mutex::new(vec![None; capacity_sectors as usize]),
+        }
+    }
+}
+
+impl BlockDevice for MemBlockDevice {
+    fn sector_size(&self) -> u32 {
+        self.sector_size
+    }
+
+    fn capacity_sectors(&self) -> u64 {
+        self.sectors.lock().len() as u64
+    }
+
+    fn read(&self, lba: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {
+        let sectors = self.sectors.lock();
+        let slot = sectors
+            .get(lba as usize)
+            .ok_or(crate::FtlError::LbaOutOfRange { lba, capacity: sectors.len() as u64 })?;
+        let data = match slot {
+            Some(d) => d.clone(),
+            None => vec![0u8; self.sector_size as usize],
+        };
+        Ok((data, at + self.latency))
+    }
+
+    fn write(&self, lba: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
+        if data.len() != self.sector_size as usize {
+            return Err(crate::FtlError::BadSectorSize { expected: self.sector_size, got: data.len() });
+        }
+        let mut sectors = self.sectors.lock();
+        let cap = sectors.len() as u64;
+        let slot = sectors
+            .get_mut(lba as usize)
+            .ok_or(crate::FtlError::LbaOutOfRange { lba, capacity: cap })?;
+        *slot = Some(data.to_vec());
+        Ok(at + self.latency)
+    }
+
+    fn trim(&self, lba: u64) -> Result<()> {
+        let mut sectors = self.sectors.lock();
+        let cap = sectors.len() as u64;
+        let slot = sectors
+            .get_mut(lba as usize)
+            .ok_or(crate::FtlError::LbaOutOfRange { lba, capacity: cap })?;
+        *slot = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::Duration;
+
+    #[test]
+    fn mem_device_roundtrip() {
+        let d = MemBlockDevice::new(4096, 16, Duration::from_us(10));
+        let data = vec![0x11u8; 4096];
+        let done = d.write(5, &data, SimTime::ZERO).unwrap();
+        assert_eq!(done.as_us(), 10);
+        let (read, done2) = d.read(5, done).unwrap();
+        assert_eq!(read, data);
+        assert_eq!(done2.as_us(), 20);
+        assert_eq!(d.capacity_bytes(), 16 * 4096);
+    }
+
+    #[test]
+    fn unwritten_sectors_read_as_zero() {
+        let d = MemBlockDevice::new(512, 4, Duration::ZERO);
+        let (read, _) = d.read(0, SimTime::ZERO).unwrap();
+        assert_eq!(read, vec![0u8; 512]);
+    }
+
+    #[test]
+    fn trim_clears_a_sector() {
+        let d = MemBlockDevice::new(512, 4, Duration::ZERO);
+        d.write(1, &vec![9u8; 512], SimTime::ZERO).unwrap();
+        d.trim(1).unwrap();
+        let (read, _) = d.read(1, SimTime::ZERO).unwrap();
+        assert_eq!(read, vec![0u8; 512]);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_size_errors() {
+        let d = MemBlockDevice::new(512, 4, Duration::ZERO);
+        assert!(d.read(99, SimTime::ZERO).is_err());
+        assert!(d.write(0, &[1, 2], SimTime::ZERO).is_err());
+        assert!(d.trim(99).is_err());
+    }
+}

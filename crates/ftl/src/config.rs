@@ -1,0 +1,148 @@
+//! FTL configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Garbage-collection victim selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pick the full block with the fewest valid pages (minimum copy cost).
+    Greedy,
+    /// Cost-benefit: weigh reclaimable space against copy cost and block
+    /// "age" (time since last invalidation), favouring cold blocks.
+    CostBenefit,
+}
+
+/// Wear-leveling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WearLevelingPolicy {
+    /// No wear leveling: free blocks are taken in arbitrary order.
+    None,
+    /// Dynamic wear leveling: always allocate the free block with the
+    /// lowest erase count.
+    Dynamic,
+    /// Dynamic allocation plus static wear leveling: when the wear spread
+    /// (max − min erase count) exceeds `threshold`, migrate the contents
+    /// of the least-worn block so it can be recycled.
+    Static {
+        /// Maximum tolerated difference between the most and least worn block.
+        threshold: u64,
+    },
+}
+
+/// Logical-to-physical mapping scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingKind {
+    /// Full page-level mapping table held in device RAM.
+    PageLevel,
+    /// DFTL-style demand paging of the mapping table: only `cached_entries`
+    /// translations are cached; misses cost an extra flash page read and
+    /// dirty evictions cost an extra program.
+    Dftl {
+        /// Number of cached L2P entries.
+        cached_entries: usize,
+    },
+}
+
+/// Configuration of the emulated SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FtlConfig {
+    /// Fraction of raw capacity reserved as over-provisioning (not exported).
+    pub overprovisioning: f64,
+    /// GC is triggered when a die's free-block count drops to this value.
+    pub gc_low_watermark: u32,
+    /// GC keeps reclaiming until the die has this many free blocks again.
+    pub gc_high_watermark: u32,
+    /// Victim selection policy.
+    pub gc_policy: GcPolicy,
+    /// Wear-leveling policy.
+    pub wear_leveling: WearLevelingPolicy,
+    /// Address mapping scheme.
+    pub mapping: MappingKind,
+}
+
+impl FtlConfig {
+    /// Configuration resembling a consumer SSD of the paper's era:
+    /// 7 % over-provisioning, greedy GC, dynamic wear leveling, full
+    /// page-level mapping.
+    pub fn consumer() -> Self {
+        FtlConfig {
+            overprovisioning: 0.07,
+            gc_low_watermark: 2,
+            gc_high_watermark: 4,
+            gc_policy: GcPolicy::Greedy,
+            wear_leveling: WearLevelingPolicy::Dynamic,
+            mapping: MappingKind::PageLevel,
+        }
+    }
+
+    /// Enterprise-style configuration with 20 % over-provisioning.
+    pub fn enterprise() -> Self {
+        FtlConfig {
+            overprovisioning: 0.20,
+            ..Self::consumer()
+        }
+    }
+
+    /// Validate the configuration, returning a description of the problem
+    /// if it is not usable.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(0.0..0.9).contains(&self.overprovisioning) {
+            return Err(format!(
+                "overprovisioning must be in [0, 0.9), got {}",
+                self.overprovisioning
+            ));
+        }
+        if self.gc_high_watermark < self.gc_low_watermark {
+            return Err("gc_high_watermark must be >= gc_low_watermark".into());
+        }
+        if self.gc_low_watermark == 0 {
+            return Err("gc_low_watermark must be at least 1".into());
+        }
+        if let MappingKind::Dftl { cached_entries } = self.mapping {
+            if cached_entries == 0 {
+                return Err("DFTL cache must hold at least one entry".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        Self::consumer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(FtlConfig::consumer().validate().is_ok());
+        assert!(FtlConfig::enterprise().validate().is_ok());
+        assert!(FtlConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = FtlConfig::default();
+        c.overprovisioning = 0.95;
+        assert!(c.validate().is_err());
+        c = FtlConfig::default();
+        c.gc_high_watermark = 0;
+        c.gc_low_watermark = 1;
+        assert!(c.validate().is_err());
+        c = FtlConfig::default();
+        c.gc_low_watermark = 0;
+        assert!(c.validate().is_err());
+        c = FtlConfig::default();
+        c.mapping = MappingKind::Dftl { cached_entries: 0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn enterprise_has_more_overprovisioning() {
+        assert!(FtlConfig::enterprise().overprovisioning > FtlConfig::consumer().overprovisioning);
+    }
+}

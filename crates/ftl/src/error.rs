@@ -1,0 +1,72 @@
+//! FTL error type.
+
+use flash_sim::FlashError;
+use std::fmt;
+
+/// Errors surfaced by the FTL block device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// The logical block address is outside the exported capacity.
+    LbaOutOfRange {
+        /// Offending LBA.
+        lba: u64,
+        /// Exported capacity in sectors.
+        capacity: u64,
+    },
+    /// Read of an LBA that has never been written (and not trimmed).
+    Unmapped {
+        /// Offending LBA.
+        lba: u64,
+    },
+    /// The data buffer does not match the sector size.
+    BadSectorSize {
+        /// Expected size in bytes.
+        expected: u32,
+        /// Supplied buffer length.
+        got: usize,
+    },
+    /// The device ran out of usable free blocks (GC could not reclaim
+    /// space); the drive is effectively full.
+    OutOfSpace,
+    /// An underlying native flash error that the FTL could not mask.
+    Flash(FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::LbaOutOfRange { lba, capacity } => {
+                write!(f, "LBA {lba} out of range (capacity {capacity} sectors)")
+            }
+            FtlError::Unmapped { lba } => write!(f, "read of unmapped LBA {lba}"),
+            FtlError::BadSectorSize { expected, got } => {
+                write!(f, "bad sector buffer size: expected {expected}, got {got}")
+            }
+            FtlError::OutOfSpace => write!(f, "no free flash blocks available (device full)"),
+            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::{DieId, PageAddr};
+
+    #[test]
+    fn display_and_from() {
+        let e = FtlError::LbaOutOfRange { lba: 10, capacity: 5 };
+        assert!(e.to_string().contains("LBA 10"));
+        let fe: FtlError = FlashError::UnwrittenPage { addr: PageAddr::new(DieId(0), 0, 0, 0) }.into();
+        assert!(matches!(fe, FtlError::Flash(_)));
+        assert!(fe.to_string().contains("flash error"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Garbage-collection victim selection.
+//!
+//! GC reclaims space by choosing a victim block, relocating its still-valid
+//! pages and erasing it.  The cost of a GC run is dominated by the number
+//! of valid pages that must be copied — which is exactly the quantity the
+//! paper reduces through hot/cold separation into regions.  The policies
+//! here are shared by the FTL SSD and (via re-export) the NoFTL storage
+//! manager's per-region collector.
+
+use flash_sim::{BlockInfo, BlockState};
+use serde::{Deserialize, Serialize};
+
+use crate::config::GcPolicy;
+
+/// A candidate victim block as seen by the selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcCandidate {
+    /// Opaque index used by the caller to identify the block (e.g. an index
+    /// into its block list).
+    pub slot: usize,
+    /// Valid (must-copy) pages in the block.
+    pub valid_pages: u32,
+    /// Invalid (reclaimable) pages in the block.
+    pub invalid_pages: u32,
+    /// Erase count of the block.
+    pub erase_count: u64,
+    /// Age proxy: a monotonically increasing sequence number of the last
+    /// invalidation that hit this block (0 = never invalidated).  Older
+    /// (smaller) values indicate colder blocks.
+    pub last_invalidate_seq: u64,
+}
+
+impl GcCandidate {
+    /// Build a candidate from a device block snapshot.
+    pub fn from_info(slot: usize, info: &BlockInfo, last_invalidate_seq: u64) -> Option<Self> {
+        // Only full blocks with at least one invalid page are worth collecting.
+        if info.state != BlockState::Full || info.invalid_pages == 0 {
+            return None;
+        }
+        Some(GcCandidate {
+            slot,
+            valid_pages: info.valid_pages,
+            invalid_pages: info.invalid_pages,
+            erase_count: info.erase_count,
+            last_invalidate_seq,
+        })
+    }
+
+    /// Cost-benefit score (higher is a better victim): classic
+    /// `benefit/cost = (1 - u)/(2u) * age`, where `u` is the fraction of
+    /// valid pages.  `now_seq` supplies the current invalidation sequence
+    /// number used to compute the age.
+    pub fn cost_benefit_score(&self, now_seq: u64) -> f64 {
+        let total = (self.valid_pages + self.invalid_pages).max(1) as f64;
+        let u = self.valid_pages as f64 / total;
+        let age = now_seq.saturating_sub(self.last_invalidate_seq) as f64 + 1.0;
+        if u <= f64::EPSILON {
+            // Entirely invalid: infinitely attractive; use a huge finite score.
+            return f64::MAX / 2.0;
+        }
+        (1.0 - u) / (2.0 * u) * age
+    }
+}
+
+/// Select a victim among `candidates` according to `policy`.
+///
+/// Returns the `slot` of the chosen candidate, or `None` if the candidate
+/// list is empty.  Ties are broken toward lower erase counts so GC itself
+/// contributes to wear leveling.
+pub fn select_victim(policy: GcPolicy, candidates: &[GcCandidate], now_seq: u64) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match policy {
+        GcPolicy::Greedy => candidates
+            .iter()
+            .min_by_key(|c| (c.valid_pages, c.erase_count, c.slot))
+            .map(|c| c.slot),
+        GcPolicy::CostBenefit => candidates
+            .iter()
+            .max_by(|a, b| {
+                let sa = a.cost_benefit_score(now_seq);
+                let sb = b.cost_benefit_score(now_seq);
+                sa.partial_cmp(&sb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Prefer lower wear, then lower slot, on ties.
+                    .then(b.erase_count.cmp(&a.erase_count))
+                    .then(b.slot.cmp(&a.slot))
+            })
+            .map(|c| c.slot),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(slot: usize, valid: u32, invalid: u32, erase: u64, seq: u64) -> GcCandidate {
+        GcCandidate {
+            slot,
+            valid_pages: valid,
+            invalid_pages: invalid,
+            erase_count: erase,
+            last_invalidate_seq: seq,
+        }
+    }
+
+    #[test]
+    fn greedy_picks_fewest_valid_pages() {
+        let cands = vec![cand(0, 5, 3, 0, 0), cand(1, 2, 6, 0, 0), cand(2, 7, 1, 0, 0)];
+        assert_eq!(select_victim(GcPolicy::Greedy, &cands, 100), Some(1));
+    }
+
+    #[test]
+    fn greedy_breaks_ties_by_wear() {
+        let cands = vec![cand(0, 2, 6, 9, 0), cand(1, 2, 6, 3, 0)];
+        assert_eq!(select_victim(GcPolicy::Greedy, &cands, 100), Some(1));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_cold_blocks_over_marginally_emptier_hot_blocks() {
+        // Block 0: slightly fewer valid pages but invalidated very recently (hot).
+        // Block 1: slightly more valid pages but cold for a long time.
+        let cands = vec![cand(0, 3, 5, 0, 99), cand(1, 4, 4, 0, 1)];
+        assert_eq!(select_victim(GcPolicy::CostBenefit, &cands, 100), Some(1));
+    }
+
+    #[test]
+    fn cost_benefit_all_invalid_block_wins() {
+        let cands = vec![cand(0, 0, 8, 0, 50), cand(1, 1, 7, 0, 1)];
+        assert_eq!(select_victim(GcPolicy::CostBenefit, &cands, 100), Some(0));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(select_victim(GcPolicy::Greedy, &[], 0), None);
+        assert_eq!(select_victim(GcPolicy::CostBenefit, &[], 0), None);
+    }
+
+    #[test]
+    fn candidate_from_info_filters_unsuitable_blocks() {
+        use flash_sim::BlockState;
+        let full_dirty = BlockInfo {
+            state: BlockState::Full,
+            write_ptr: 8,
+            erase_count: 1,
+            valid_pages: 3,
+            invalid_pages: 5,
+            free_pages: 0,
+        };
+        let full_clean = BlockInfo { invalid_pages: 0, valid_pages: 8, ..full_dirty };
+        let open = BlockInfo { state: BlockState::Open, free_pages: 2, ..full_dirty };
+        assert!(GcCandidate::from_info(0, &full_dirty, 1).is_some());
+        assert!(GcCandidate::from_info(1, &full_clean, 1).is_none());
+        assert!(GcCandidate::from_info(2, &open, 1).is_none());
+    }
+
+    #[test]
+    fn score_monotonicity_in_validity() {
+        // With equal age, fewer valid pages → higher score.
+        let low = cand(0, 1, 7, 0, 0).cost_benefit_score(10);
+        let high = cand(1, 6, 2, 0, 0).cost_benefit_score(10);
+        assert!(low > high);
+    }
+}

@@ -1,0 +1,262 @@
+//! Logical-to-physical address mapping.
+//!
+//! The FTL's central data structure: for every exported logical page it
+//! records which physical flash page currently holds the data.  Two
+//! variants are provided:
+//!
+//! * [`PageMap`] — a dense, fully resident page-level table (one entry per
+//!   logical page), the scheme assumed by most high-end SSDs;
+//! * [`DftlCache`] — a bounded LRU cache over the page table, modelling
+//!   DFTL-style demand paging of translations on devices with little RAM.
+//!   Cache misses and dirty evictions are reported to the caller so the
+//!   SSD can charge the corresponding extra flash operations.
+
+use flash_sim::PageAddr;
+use std::collections::VecDeque;
+
+/// Dense page-level mapping table: logical page number → physical page.
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    entries: Vec<Option<PageAddr>>,
+}
+
+impl PageMap {
+    /// Create a table for `logical_pages` logical pages, all unmapped.
+    pub fn new(logical_pages: u64) -> Self {
+        PageMap {
+            entries: vec![None; logical_pages as usize],
+        }
+    }
+
+    /// Number of logical pages the table covers.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True if the table covers zero logical pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current translation for `lpn`, if any.
+    pub fn get(&self, lpn: u64) -> Option<PageAddr> {
+        self.entries.get(lpn as usize).copied().flatten()
+    }
+
+    /// Install a translation, returning the previous one (which the caller
+    /// must invalidate on flash).
+    pub fn set(&mut self, lpn: u64, ppa: PageAddr) -> Option<PageAddr> {
+        let slot = &mut self.entries[lpn as usize];
+        slot.replace(ppa)
+    }
+
+    /// Remove a translation (TRIM), returning the previous one.
+    pub fn clear(&mut self, lpn: u64) -> Option<PageAddr> {
+        self.entries.get_mut(lpn as usize).and_then(|slot| slot.take())
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_count(&self) -> u64 {
+        self.entries.iter().filter(|e| e.is_some()).count() as u64
+    }
+}
+
+/// Outcome of a DFTL cache access, telling the SSD what extra flash work
+/// the access implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DftlAccess {
+    /// The access missed the cache: one translation page must be read from
+    /// flash before the host operation can proceed.
+    pub miss: bool,
+    /// A dirty translation had to be evicted: one translation page must be
+    /// written back to flash.
+    pub dirty_eviction: bool,
+}
+
+impl DftlAccess {
+    const HIT: DftlAccess = DftlAccess { miss: false, dirty_eviction: false };
+}
+
+/// A bounded LRU cache of L2P translations layered over [`PageMap`].
+///
+/// Only the *performance* of the cache is modelled: the authoritative
+/// mapping is always available in the backing [`PageMap`], but every
+/// access reports whether it would have required flash traffic.
+#[derive(Debug)]
+pub struct DftlCache {
+    capacity: usize,
+    /// LRU order, most recent at the back.  Entries are (lpn, dirty).
+    lru: VecDeque<(u64, bool)>,
+    hits: u64,
+    misses: u64,
+    dirty_evictions: u64,
+}
+
+impl DftlCache {
+    /// Create a cache holding at most `capacity` translations.
+    pub fn new(capacity: usize) -> Self {
+        DftlCache {
+            capacity: capacity.max(1),
+            lru: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, lpn: u64, mark_dirty: bool) -> DftlAccess {
+        if let Some(pos) = self.lru.iter().position(|(l, _)| *l == lpn) {
+            let (_, dirty) = self.lru.remove(pos).expect("position exists");
+            self.lru.push_back((lpn, dirty || mark_dirty));
+            self.hits += 1;
+            return DftlAccess::HIT;
+        }
+        self.misses += 1;
+        let mut dirty_eviction = false;
+        if self.lru.len() == self.capacity {
+            if let Some((_, dirty)) = self.lru.pop_front() {
+                if dirty {
+                    dirty_eviction = true;
+                    self.dirty_evictions += 1;
+                }
+            }
+        }
+        self.lru.push_back((lpn, mark_dirty));
+        DftlAccess { miss: true, dirty_eviction }
+    }
+
+    /// Record a read access to the translation of `lpn`.
+    pub fn access_for_read(&mut self, lpn: u64) -> DftlAccess {
+        self.touch(lpn, false)
+    }
+
+    /// Record a write access (the translation will change, so the cached
+    /// entry becomes dirty).
+    pub fn access_for_write(&mut self, lpn: u64) -> DftlAccess {
+        self.touch(lpn, true)
+    }
+
+    /// (hits, misses, dirty evictions) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.dirty_evictions)
+    }
+
+    /// Cache hit ratio in [0, 1]; 1.0 when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::DieId;
+    use proptest::prelude::*;
+
+    fn ppa(block: u32, page: u32) -> PageAddr {
+        PageAddr::new(DieId(0), 0, block, page)
+    }
+
+    #[test]
+    fn page_map_set_get_clear() {
+        let mut m = PageMap::new(16);
+        assert_eq!(m.len(), 16);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.set(3, ppa(1, 2)), None);
+        assert_eq!(m.get(3), Some(ppa(1, 2)));
+        assert_eq!(m.set(3, ppa(4, 5)), Some(ppa(1, 2)));
+        assert_eq!(m.mapped_count(), 1);
+        assert_eq!(m.clear(3), Some(ppa(4, 5)));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.mapped_count(), 0);
+    }
+
+    #[test]
+    fn page_map_out_of_range_get_is_none() {
+        let m = PageMap::new(4);
+        assert_eq!(m.get(100), None);
+    }
+
+    #[test]
+    fn dftl_cache_hits_and_misses() {
+        let mut c = DftlCache::new(2);
+        assert!(c.access_for_read(1).miss);
+        assert!(c.access_for_read(2).miss);
+        assert!(!c.access_for_read(1).miss, "1 is now cached");
+        // Accessing 3 evicts 2 (LRU order: 2 was least recently used).
+        assert!(c.access_for_read(3).miss);
+        assert!(c.access_for_read(2).miss, "2 was evicted");
+        let (hits, misses, _) = c.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 4);
+        assert!(c.hit_ratio() < 0.5);
+    }
+
+    #[test]
+    fn dftl_dirty_evictions_are_reported() {
+        let mut c = DftlCache::new(1);
+        c.access_for_write(1); // miss, cached dirty
+        let a = c.access_for_read(2); // evicts dirty 1
+        assert!(a.miss);
+        assert!(a.dirty_eviction);
+        let b = c.access_for_read(3); // evicts clean 2
+        assert!(b.miss);
+        assert!(!b.dirty_eviction);
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn dftl_write_hit_marks_dirty() {
+        let mut c = DftlCache::new(2);
+        c.access_for_read(1); // clean
+        c.access_for_write(1); // hit, becomes dirty
+        c.access_for_read(2);
+        let a = c.access_for_read(3); // evicts 1 which is dirty
+        assert!(a.dirty_eviction);
+    }
+
+    #[test]
+    fn empty_cache_hit_ratio_is_one() {
+        let c = DftlCache::new(8);
+        assert_eq!(c.hit_ratio(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn page_map_behaves_like_a_hashmap(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+            let mut m = PageMap::new(64);
+            let mut model = std::collections::HashMap::new();
+            let mut counter = 0u32;
+            for (lpn, is_set) in ops {
+                if is_set {
+                    counter += 1;
+                    let p = ppa(counter, 0);
+                    let prev = m.set(lpn, p);
+                    let model_prev = model.insert(lpn, p);
+                    prop_assert_eq!(prev, model_prev);
+                } else {
+                    prop_assert_eq!(m.clear(lpn), model.remove(&lpn));
+                }
+            }
+            for lpn in 0..64u64 {
+                prop_assert_eq!(m.get(lpn), model.get(&lpn).copied());
+            }
+            prop_assert_eq!(m.mapped_count(), model.len() as u64);
+        }
+
+        #[test]
+        fn dftl_cache_never_exceeds_capacity(cap in 1usize..16, accesses in prop::collection::vec(0u64..100, 1..300)) {
+            let mut c = DftlCache::new(cap);
+            for a in accesses {
+                c.access_for_write(a);
+                prop_assert!(c.lru.len() <= cap);
+            }
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! The emulated FTL-based SSD.
+//!
+//! [`FtlSsd`] glues the pieces together: it exports a linear array of 4 KiB
+//! sectors ([`BlockDevice`]), translates LBAs to physical flash pages
+//! through a page-level mapping, performs out-of-place writes with
+//! round-robin striping over all dies, and runs garbage collection and
+//! wear leveling *transparently to the host* — which is precisely the
+//! "black box" behaviour the paper criticises: the host cannot influence
+//! placement, and GC interference shows up as unpredictable latency.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use flash_sim::{
+    BlockAddr, BlockState, FlashGeometry, NandDevice, PageAddr, PageMetadata, SimTime,
+};
+
+use crate::block_device::BlockDevice;
+use crate::config::{FtlConfig, MappingKind, WearLevelingPolicy};
+use crate::error::FtlError;
+use crate::gc::{select_victim, GcCandidate};
+use crate::mapping::{DftlCache, PageMap};
+use crate::stats::FtlStats;
+use crate::wear::{needs_static_wl, pick_free_block, FreeBlockCandidate};
+use crate::Result;
+
+/// Object id stamped into page metadata for host data written through the
+/// FTL (the FTL has no notion of database objects — that is the point).
+const FTL_OBJECT_ID: u32 = 1;
+
+/// Per-die allocation state.
+#[derive(Debug)]
+struct DieAlloc {
+    /// Erased blocks available for allocation.
+    free_blocks: Vec<BlockAddr>,
+    /// Current host-write frontier: (block, next page index).
+    active: Option<(BlockAddr, u32)>,
+    /// Current GC destination frontier: (block, next page index).
+    gc_active: Option<(BlockAddr, u32)>,
+    /// Blocks that have been written to and are not free (open or full).
+    used_blocks: Vec<BlockAddr>,
+}
+
+struct SsdInner {
+    map: PageMap,
+    dftl: Option<DftlCache>,
+    dies: Vec<DieAlloc>,
+    next_die: usize,
+    invalidate_seq: u64,
+    /// Last invalidation sequence number per block (packed block key).
+    block_invalidate_seq: HashMap<(u32, u32, u32), u64>,
+    stats: FtlStats,
+}
+
+/// A page-mapped FTL SSD over a [`NandDevice`].
+pub struct FtlSsd {
+    device: Arc<NandDevice>,
+    config: FtlConfig,
+    exported_sectors: u64,
+    inner: Mutex<SsdInner>,
+}
+
+impl std::fmt::Debug for FtlSsd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FtlSsd")
+            .field("exported_sectors", &self.exported_sectors)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FtlSsd {
+    /// Create an SSD over `device` with configuration `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation (a programming error).
+    pub fn new(device: Arc<NandDevice>, config: FtlConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid FTL configuration: {e}"));
+        let geo = *device.geometry();
+        let total_pages = geo.total_pages();
+        let exported_sectors = ((total_pages as f64) * (1.0 - config.overprovisioning)).floor() as u64;
+        let dies = geo
+            .dies()
+            .map(|die| {
+                let mut free_blocks = Vec::with_capacity(geo.blocks_per_die() as usize);
+                for plane in 0..geo.planes_per_die {
+                    for block in 0..geo.blocks_per_plane {
+                        let addr = BlockAddr::new(die, plane, block);
+                        // Skip factory-bad blocks.
+                        if let Ok(info) = device.block_info(addr) {
+                            if info.state != BlockState::Bad {
+                                free_blocks.push(addr);
+                            }
+                        }
+                    }
+                }
+                DieAlloc {
+                    free_blocks,
+                    active: None,
+                    gc_active: None,
+                    used_blocks: Vec::new(),
+                }
+            })
+            .collect();
+        let dftl = match config.mapping {
+            MappingKind::PageLevel => None,
+            MappingKind::Dftl { cached_entries } => Some(DftlCache::new(cached_entries)),
+        };
+        FtlSsd {
+            device,
+            config,
+            exported_sectors,
+            inner: Mutex::new(SsdInner {
+                map: PageMap::new(exported_sectors),
+                dftl,
+                dies,
+                next_die: 0,
+                invalidate_seq: 0,
+                block_invalidate_seq: HashMap::new(),
+                stats: FtlStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying native flash device (for reading device statistics).
+    pub fn device(&self) -> &Arc<NandDevice> {
+        &self.device
+    }
+
+    /// FTL configuration.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Host-level statistics.
+    pub fn stats(&self) -> FtlStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Current write amplification (physical programs + copybacks per host write).
+    pub fn write_amplification(&self) -> f64 {
+        let dev = self.device.stats();
+        self.inner
+            .lock()
+            .stats
+            .write_amplification(dev.page_programs + dev.copybacks)
+    }
+
+    /// DFTL mapping-cache hit ratio, if DFTL is configured.
+    pub fn mapping_hit_ratio(&self) -> Option<f64> {
+        self.inner.lock().dftl.as_ref().map(|c| c.hit_ratio())
+    }
+
+    fn geometry(&self) -> &FlashGeometry {
+        self.device.geometry()
+    }
+
+    fn check_lba(&self, lba: u64) -> Result<()> {
+        if lba < self.exported_sectors {
+            Ok(())
+        } else {
+            Err(FtlError::LbaOutOfRange { lba, capacity: self.exported_sectors })
+        }
+    }
+
+    /// Charge the latency of DFTL mapping-table traffic (approximated as
+    /// additional array/transfer time without touching real flash pages).
+    fn dftl_penalty(&self, miss: bool, dirty_eviction: bool, stats: &mut FtlStats) -> flash_sim::Duration {
+        let mut extra = flash_sim::Duration::ZERO;
+        let timing = self.device.timing();
+        if miss {
+            extra += timing.read_array_time() + timing.transfer_time(self.geometry().page_size);
+            stats.mapping_reads += 1;
+        }
+        if dirty_eviction {
+            extra += timing.program_array_time() + timing.transfer_time(self.geometry().page_size);
+            stats.mapping_writes += 1;
+        }
+        extra
+    }
+
+    fn record_invalidation(inner: &mut SsdInner, ppa: PageAddr) {
+        inner.invalidate_seq += 1;
+        let seq = inner.invalidate_seq;
+        inner
+            .block_invalidate_seq
+            .insert((ppa.die.0, ppa.plane, ppa.block), seq);
+    }
+
+    /// Ensure the die has an active block with at least one free page,
+    /// running GC if the free-block pool is low.  Returns the page address
+    /// to program next, or `None` if the die is completely out of space.
+    fn next_host_page(&self, inner: &mut SsdInner, die_idx: usize, at: SimTime) -> Option<PageAddr> {
+        // Run GC if the pool is low.
+        if (inner.dies[die_idx].free_blocks.len() as u32) <= self.config.gc_low_watermark {
+            self.run_gc(inner, die_idx, at);
+        }
+        let pages_per_block = self.geometry().pages_per_block;
+        let d = &mut inner.dies[die_idx];
+        loop {
+            match d.active {
+                Some((block, next)) if next < pages_per_block => {
+                    d.active = Some((block, next + 1));
+                    return Some(block.page(next));
+                }
+                Some((block, _)) => {
+                    // Block is full; retire it to the used list.
+                    d.used_blocks.push(block);
+                    d.active = None;
+                }
+                None => {
+                    let cands: Vec<FreeBlockCandidate> = d
+                        .free_blocks
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, b)| FreeBlockCandidate {
+                            slot,
+                            erase_count: self.device.block_info(*b).map(|i| i.erase_count).unwrap_or(0),
+                        })
+                        .collect();
+                    let slot = pick_free_block(self.config.wear_leveling, &cands)?;
+                    let block = d.free_blocks.swap_remove(slot);
+                    d.active = Some((block, 0));
+                }
+            }
+        }
+    }
+
+    /// Get the next GC-destination page on a die, allocating a fresh block
+    /// from the free pool when needed (without recursing into GC).
+    fn next_gc_page(&self, inner: &mut SsdInner, die_idx: usize) -> Option<PageAddr> {
+        let pages_per_block = self.geometry().pages_per_block;
+        let d = &mut inner.dies[die_idx];
+        loop {
+            match d.gc_active {
+                Some((block, next)) if next < pages_per_block => {
+                    d.gc_active = Some((block, next + 1));
+                    return Some(block.page(next));
+                }
+                Some((block, _)) => {
+                    d.used_blocks.push(block);
+                    d.gc_active = None;
+                }
+                None => {
+                    if d.free_blocks.is_empty() {
+                        return None;
+                    }
+                    let cands: Vec<FreeBlockCandidate> = d
+                        .free_blocks
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, b)| FreeBlockCandidate {
+                            slot,
+                            erase_count: self.device.block_info(*b).map(|i| i.erase_count).unwrap_or(0),
+                        })
+                        .collect();
+                    let slot = pick_free_block(self.config.wear_leveling, &cands)?;
+                    let block = d.free_blocks.swap_remove(slot);
+                    d.gc_active = Some((block, 0));
+                }
+            }
+        }
+    }
+
+    /// Relocate all valid pages of `victim` (updating the mapping) and
+    /// erase it.  Returns `false` if relocation could not complete (no
+    /// destination space); in that case the victim is left as-is.
+    fn collect_block(&self, inner: &mut SsdInner, die_idx: usize, victim: BlockAddr, at: SimTime) -> bool {
+        let pages_per_block = self.geometry().pages_per_block;
+        for page in 0..pages_per_block {
+            let src = victim.page(page);
+            let state = match self.device.page_state(src) {
+                Ok(s) => s,
+                Err(_) => return false,
+            };
+            if state != flash_sim::PageState::Valid {
+                continue;
+            }
+            // Discover which LBA lives here from the OOB metadata.
+            let (meta, _) = match self.device.read_metadata(src, at) {
+                Ok(m) => m,
+                Err(_) => return false,
+            };
+            let Some(meta) = meta else { continue };
+            let dst = match self.next_gc_page(inner, die_idx) {
+                Some(p) => p,
+                None => return false,
+            };
+            if self.device.copyback(src, dst, at).is_err() {
+                return false;
+            }
+            inner.stats.gc_page_moves += 1;
+            // Re-point the mapping at the new location.
+            let lpn = meta.logical_page;
+            if inner.map.get(lpn) == Some(src) {
+                inner.map.set(lpn, dst);
+            }
+        }
+        // All valid pages moved; erase and return the block to the pool.
+        match self.device.erase_block(victim, at) {
+            Ok(_) => {
+                inner.stats.gc_erases += 1;
+                let d = &mut inner.dies[die_idx];
+                d.used_blocks.retain(|b| *b != victim);
+                d.free_blocks.push(victim);
+                true
+            }
+            Err(e) if e.is_permanent() => {
+                // Block retired by the device; drop it from our pools.
+                inner.dies[die_idx].used_blocks.retain(|b| *b != victim);
+                false
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Run garbage collection on one die until the free pool reaches the
+    /// high watermark or no more victims exist.
+    fn run_gc(&self, inner: &mut SsdInner, die_idx: usize, at: SimTime) {
+        inner.stats.gc_runs += 1;
+        let high = self.config.gc_high_watermark as usize;
+        let mut guard = 0u32;
+        while inner.dies[die_idx].free_blocks.len() < high {
+            guard += 1;
+            if guard > self.geometry().blocks_per_die() * 2 {
+                break;
+            }
+            let now_seq = inner.invalidate_seq;
+            let candidates: Vec<GcCandidate> = inner.dies[die_idx]
+                .used_blocks
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, b)| {
+                    let info = self.device.block_info(*b).ok()?;
+                    let seq = inner
+                        .block_invalidate_seq
+                        .get(&(b.die.0, b.plane, b.block))
+                        .copied()
+                        .unwrap_or(0);
+                    GcCandidate::from_info(slot, &info, seq)
+                })
+                .collect();
+            let Some(slot) = select_victim(self.config.gc_policy, &candidates, now_seq) else {
+                break;
+            };
+            let victim = inner.dies[die_idx].used_blocks[slot];
+            if !self.collect_block(inner, die_idx, victim, at) {
+                break;
+            }
+        }
+        self.maybe_static_wl(inner, die_idx, at);
+    }
+
+    /// Threshold-based static wear leveling within one die: migrate the
+    /// least-worn used block when the wear spread grows too large.
+    fn maybe_static_wl(&self, inner: &mut SsdInner, die_idx: usize, at: SimTime) {
+        let WearLevelingPolicy::Static { .. } = self.config.wear_leveling else {
+            return;
+        };
+        let infos: Vec<(BlockAddr, u64)> = inner.dies[die_idx]
+            .used_blocks
+            .iter()
+            .chain(inner.dies[die_idx].free_blocks.iter())
+            .filter_map(|b| self.device.block_info(*b).ok().map(|i| (*b, i.erase_count)))
+            .collect();
+        let Some(max) = infos.iter().map(|(_, c)| *c).max() else { return };
+        let Some(min) = infos.iter().map(|(_, c)| *c).min() else { return };
+        if !needs_static_wl(self.config.wear_leveling, min, max) {
+            return;
+        }
+        // Victim: least-worn *used* block (holding cold data).
+        let victim = inner.dies[die_idx]
+            .used_blocks
+            .iter()
+            .filter_map(|b| self.device.block_info(*b).ok().map(|i| (*b, i.erase_count, i.state)))
+            .filter(|(_, _, s)| *s == BlockState::Full)
+            .min_by_key(|(_, c, _)| *c)
+            .map(|(b, _, _)| b);
+        if let Some(victim) = victim {
+            if self.collect_block(inner, die_idx, victim, at) {
+                inner.stats.wl_migrations += 1;
+            }
+        }
+    }
+}
+
+impl BlockDevice for FtlSsd {
+    fn sector_size(&self) -> u32 {
+        self.geometry().page_size
+    }
+
+    fn capacity_sectors(&self) -> u64 {
+        self.exported_sectors
+    }
+
+    fn read(&self, lba: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {
+        self.check_lba(lba)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut extra = flash_sim::Duration::ZERO;
+        if let Some(dftl) = inner.dftl.as_mut() {
+            let access = dftl.access_for_read(lba);
+            extra = self.dftl_penalty(access.miss, access.dirty_eviction, &mut inner.stats);
+        }
+        let ppa = inner.map.get(lba).ok_or(FtlError::Unmapped { lba })?;
+        let (data, _, out) = self.device.read_page(ppa, at + extra)?;
+        inner.stats.host_reads += 1;
+        inner.stats.host_read_latency_sum += out.completed_at - at;
+        Ok((data, out.completed_at))
+    }
+
+    fn write(&self, lba: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
+        self.check_lba(lba)?;
+        if data.len() != self.geometry().page_size as usize {
+            return Err(FtlError::BadSectorSize {
+                expected: self.geometry().page_size,
+                got: data.len(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut extra = flash_sim::Duration::ZERO;
+        if let Some(dftl) = inner.dftl.as_mut() {
+            let access = dftl.access_for_write(lba);
+            extra = self.dftl_penalty(access.miss, access.dirty_eviction, &mut inner.stats);
+        }
+        // Round-robin die selection ("dynamic striping" for parallelism).
+        let die_count = inner.dies.len();
+        let mut chosen = None;
+        for attempt in 0..die_count {
+            let idx = (inner.next_die + attempt) % die_count;
+            if let Some(ppa) = self.next_host_page(inner, idx, at) {
+                chosen = Some((idx, ppa));
+                break;
+            }
+        }
+        let Some((die_idx, ppa)) = chosen else {
+            return Err(FtlError::OutOfSpace);
+        };
+        inner.next_die = (die_idx + 1) % die_count;
+        let meta = PageMetadata::new(FTL_OBJECT_ID, lba);
+        let out = self.device.program_page(ppa, data, meta, at + extra)?;
+        // Invalidate the previous location, if any.
+        if let Some(old) = inner.map.set(lba, ppa) {
+            let _ = self.device.mark_invalid(old);
+            Self::record_invalidation(inner, old);
+        }
+        inner.stats.host_writes += 1;
+        inner.stats.host_write_latency_sum += out.completed_at - at;
+        Ok(out.completed_at)
+    }
+
+    fn trim(&self, lba: u64) -> Result<()> {
+        self.check_lba(lba)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if let Some(old) = inner.map.clear(lba) {
+            let _ = self.device.mark_invalid(old);
+            Self::record_invalidation(inner, old);
+        }
+        inner.stats.trims += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::{DeviceBuilder, FlashGeometry, TimingModel};
+
+    fn small_ssd(op: f64) -> FtlSsd {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::small_test())
+                .timing(TimingModel::mlc_2015())
+                .build(),
+        );
+        let config = FtlConfig {
+            overprovisioning: op,
+            gc_low_watermark: 2,
+            gc_high_watermark: 3,
+            ..FtlConfig::consumer()
+        };
+        FtlSsd::new(device, config)
+    }
+
+    fn sector(byte: u8) -> Vec<u8> {
+        vec![byte; 4096]
+    }
+
+    #[test]
+    fn capacity_respects_overprovisioning() {
+        let ssd = small_ssd(0.25);
+        let geo = FlashGeometry::small_test();
+        assert_eq!(ssd.capacity_sectors(), (geo.total_pages() as f64 * 0.75) as u64);
+        assert_eq!(ssd.sector_size(), 4096);
+        assert_eq!(ssd.capacity_bytes(), ssd.capacity_sectors() * 4096);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let ssd = small_ssd(0.25);
+        let done = ssd.write(10, &sector(0xCD), SimTime::ZERO).unwrap();
+        let (data, done2) = ssd.read(10, done).unwrap();
+        assert_eq!(data, sector(0xCD));
+        assert!(done2 > done);
+        let s = ssd.stats();
+        assert_eq!(s.host_reads, 1);
+        assert_eq!(s.host_writes, 1);
+        assert!(s.avg_host_read_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest_value() {
+        let ssd = small_ssd(0.25);
+        let mut t = SimTime::ZERO;
+        for i in 0..5u8 {
+            t = ssd.write(3, &sector(i), t).unwrap();
+        }
+        let (data, _) = ssd.read(3, t).unwrap();
+        assert_eq!(data, sector(4));
+    }
+
+    #[test]
+    fn read_of_unmapped_lba_fails() {
+        let ssd = small_ssd(0.25);
+        assert!(matches!(ssd.read(7, SimTime::ZERO), Err(FtlError::Unmapped { lba: 7 })));
+    }
+
+    #[test]
+    fn lba_out_of_range_rejected() {
+        let ssd = small_ssd(0.25);
+        let cap = ssd.capacity_sectors();
+        assert!(matches!(
+            ssd.write(cap, &sector(0), SimTime::ZERO),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+        assert!(ssd.read(cap + 5, SimTime::ZERO).is_err());
+        assert!(ssd.trim(cap).is_err());
+    }
+
+    #[test]
+    fn bad_sector_size_rejected() {
+        let ssd = small_ssd(0.25);
+        assert!(matches!(
+            ssd.write(0, &[1, 2, 3], SimTime::ZERO),
+            Err(FtlError::BadSectorSize { .. })
+        ));
+    }
+
+    #[test]
+    fn trim_unmaps_the_sector() {
+        let ssd = small_ssd(0.25);
+        ssd.write(4, &sector(1), SimTime::ZERO).unwrap();
+        ssd.trim(4).unwrap();
+        assert!(matches!(ssd.read(4, SimTime::ZERO), Err(FtlError::Unmapped { .. })));
+        assert_eq!(ssd.stats().trims, 1);
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc_and_stay_correct() {
+        let ssd = small_ssd(0.40);
+        let working_set = (ssd.capacity_sectors() / 2).max(8);
+        let mut t = SimTime::ZERO;
+        // Write the working set several times over to force garbage collection.
+        let mut last_value = vec![0u8; working_set as usize];
+        for round in 0..6u8 {
+            for lba in 0..working_set {
+                let v = round.wrapping_mul(31).wrapping_add(lba as u8);
+                t = ssd.write(lba, &sector(v), t).unwrap();
+                last_value[lba as usize] = v;
+            }
+        }
+        let dev = ssd.device().stats();
+        assert!(dev.block_erases > 0, "GC must have erased blocks");
+        assert!(ssd.stats().gc_runs > 0);
+        assert!(ssd.write_amplification() >= 1.0);
+        // Every LBA still reads back its latest value.
+        for lba in 0..working_set {
+            let (data, _) = ssd.read(lba, t).unwrap();
+            assert_eq!(data, sector(last_value[lba as usize]), "lba {lba}");
+        }
+    }
+
+    #[test]
+    fn gc_copybacks_happen_when_blocks_are_mixed() {
+        let ssd = small_ssd(0.40);
+        let cap = ssd.capacity_sectors();
+        // Interleave a small hot working set with a stream of cold,
+        // write-once pages: because the FTL fills blocks in arrival order,
+        // every physical block ends up holding a mix of hot (soon invalid)
+        // and cold (still valid) pages, so GC has to relocate the cold ones.
+        let mut cold_next = 8u64;
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            for hot in 0..8u64 {
+                t = ssd.write(hot, &sector(1), t).unwrap();
+            }
+            for _ in 0..4 {
+                if cold_next < cap / 2 {
+                    t = ssd.write(cold_next, &sector(9), t).unwrap();
+                    cold_next += 1;
+                }
+            }
+        }
+        assert!(ssd.device().stats().copybacks > 0, "mixed blocks force page moves");
+        assert!(ssd.stats().gc_page_moves > 0);
+    }
+
+    #[test]
+    fn dftl_mapping_misses_are_charged() {
+        let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
+        let config = FtlConfig {
+            overprovisioning: 0.25,
+            mapping: MappingKind::Dftl { cached_entries: 4 },
+            ..FtlConfig::consumer()
+        };
+        let ssd = FtlSsd::new(device, config);
+        let mut t = SimTime::ZERO;
+        for lba in 0..32u64 {
+            t = ssd.write(lba, &sector(lba as u8), t).unwrap();
+        }
+        // Far more distinct LBAs than cache entries → misses must occur.
+        let s = ssd.stats();
+        assert!(s.mapping_reads > 0);
+        assert!(ssd.mapping_hit_ratio().unwrap() < 1.0);
+        // Page-level mapping has no hit ratio.
+        assert!(small_ssd(0.25).mapping_hit_ratio().is_none());
+    }
+
+    #[test]
+    fn writes_stripe_across_dies() {
+        let ssd = small_ssd(0.25);
+        let mut t = SimTime::ZERO;
+        for lba in 0..8u64 {
+            t = ssd.write(lba, &sector(lba as u8), t).unwrap();
+        }
+        let die_stats = ssd.device().die_stats();
+        let used: usize = die_stats.iter().filter(|d| d.ops > 0).count();
+        assert_eq!(used, 4, "round-robin striping should touch every die");
+    }
+
+    #[test]
+    fn static_wear_leveling_migrates_cold_blocks() {
+        let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
+        let config = FtlConfig {
+            overprovisioning: 0.40,
+            gc_low_watermark: 2,
+            gc_high_watermark: 3,
+            wear_leveling: WearLevelingPolicy::Static { threshold: 2 },
+            ..FtlConfig::consumer()
+        };
+        let ssd = FtlSsd::new(device, config);
+        let working_set = ssd.capacity_sectors();
+        let mut t = SimTime::ZERO;
+        // Cold data: written once, never updated.
+        for lba in 0..working_set / 2 {
+            t = ssd.write(lba, &sector(0xC0), t).unwrap();
+        }
+        // Hot data: hammered repeatedly so hot blocks accumulate many more
+        // erase cycles than the cold blocks.
+        for _ in 0..400 {
+            for lba in working_set / 2..working_set / 2 + 8 {
+                t = ssd.write(lba, &sector(0x0F), t).unwrap();
+            }
+        }
+        let s = ssd.stats();
+        assert!(s.wl_migrations > 0, "wear spread should trigger static WL");
+        // Cold data still intact.
+        let (data, _) = ssd.read(0, t).unwrap();
+        assert_eq!(data, sector(0xC0));
+    }
+}

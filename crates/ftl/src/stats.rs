@@ -1,0 +1,96 @@
+//! FTL-level (host-visible) statistics.
+
+use serde::{Deserialize, Serialize};
+
+use flash_sim::Duration;
+
+/// Counters maintained by the FTL, complementing the device-level
+/// [`flash_sim::DeviceStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host sector reads served.
+    pub host_reads: u64,
+    /// Host sector writes served.
+    pub host_writes: u64,
+    /// TRIM commands served.
+    pub trims: u64,
+    /// GC invocations.
+    pub gc_runs: u64,
+    /// Valid pages relocated by GC (via copyback).
+    pub gc_page_moves: u64,
+    /// Blocks erased by GC.
+    pub gc_erases: u64,
+    /// Static wear-leveling migrations performed.
+    pub wl_migrations: u64,
+    /// Extra flash reads caused by mapping-table misses (DFTL only).
+    pub mapping_reads: u64,
+    /// Extra flash writes caused by dirty mapping evictions (DFTL only).
+    pub mapping_writes: u64,
+    /// Sum of end-to-end host read latencies.
+    pub host_read_latency_sum: Duration,
+    /// Sum of end-to-end host write latencies.
+    pub host_write_latency_sum: Duration,
+}
+
+impl FtlStats {
+    /// Write amplification factor: physical page programs per host write.
+    /// `physical_programs` comes from the device statistics (programs +
+    /// copybacks).
+    pub fn write_amplification(&self, physical_programs: u64) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            physical_programs as f64 / self.host_writes as f64
+        }
+    }
+
+    /// Mean end-to-end host read latency in microseconds.
+    pub fn avg_host_read_latency_us(&self) -> f64 {
+        if self.host_reads == 0 {
+            0.0
+        } else {
+            self.host_read_latency_sum.as_us_f64() / self.host_reads as f64
+        }
+    }
+
+    /// Mean end-to-end host write latency in microseconds.
+    pub fn avg_host_write_latency_us(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.host_write_latency_sum.as_us_f64() / self.host_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_guards_division_by_zero() {
+        let s = FtlStats::default();
+        assert_eq!(s.write_amplification(100), 0.0);
+    }
+
+    #[test]
+    fn write_amplification_ratio() {
+        let s = FtlStats { host_writes: 100, ..Default::default() };
+        assert!((s.write_amplification(150) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_averages() {
+        let s = FtlStats {
+            host_reads: 2,
+            host_writes: 4,
+            host_read_latency_sum: Duration::from_us(200),
+            host_write_latency_sum: Duration::from_us(100),
+            ..Default::default()
+        };
+        assert!((s.avg_host_read_latency_us() - 100.0).abs() < 1e-9);
+        assert!((s.avg_host_write_latency_us() - 25.0).abs() < 1e-9);
+        assert_eq!(FtlStats::default().avg_host_read_latency_us(), 0.0);
+        assert_eq!(FtlStats::default().avg_host_write_latency_us(), 0.0);
+    }
+}

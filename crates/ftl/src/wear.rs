@@ -1,0 +1,91 @@
+//! Wear-leveling policies.
+//!
+//! NAND blocks endure a limited number of program/erase cycles, so flash
+//! management layers must spread erasures evenly.  Two complementary
+//! mechanisms are modelled:
+//!
+//! * **dynamic wear leveling** — when allocating a fresh block for writing,
+//!   prefer the least-worn free block;
+//! * **static wear leveling** — when the gap between the most- and
+//!   least-worn blocks exceeds a threshold, proactively migrate cold data
+//!   out of low-wear blocks so they re-enter the allocation pool.
+
+use crate::config::WearLevelingPolicy;
+
+/// A free block candidate for allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeBlockCandidate {
+    /// Opaque index used by the caller to identify the block.
+    pub slot: usize,
+    /// Erase count of the block.
+    pub erase_count: u64,
+}
+
+/// Choose which free block to allocate next under the given policy.
+///
+/// With [`WearLevelingPolicy::None`] the first candidate is returned
+/// (arbitrary but deterministic); otherwise the least-worn block wins, with
+/// the slot index as a tie-breaker.
+pub fn pick_free_block(policy: WearLevelingPolicy, candidates: &[FreeBlockCandidate]) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match policy {
+        WearLevelingPolicy::None => candidates.first().map(|c| c.slot),
+        WearLevelingPolicy::Dynamic | WearLevelingPolicy::Static { .. } => candidates
+            .iter()
+            .min_by_key(|c| (c.erase_count, c.slot))
+            .map(|c| c.slot),
+    }
+}
+
+/// Decide whether a static wear-leveling migration should run, given the
+/// current minimum and maximum per-block erase counts.
+pub fn needs_static_wl(policy: WearLevelingPolicy, min_erase: u64, max_erase: u64) -> bool {
+    match policy {
+        WearLevelingPolicy::Static { threshold } => max_erase.saturating_sub(min_erase) > threshold,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands() -> Vec<FreeBlockCandidate> {
+        vec![
+            FreeBlockCandidate { slot: 0, erase_count: 7 },
+            FreeBlockCandidate { slot: 1, erase_count: 2 },
+            FreeBlockCandidate { slot: 2, erase_count: 2 },
+            FreeBlockCandidate { slot: 3, erase_count: 9 },
+        ]
+    }
+
+    #[test]
+    fn none_policy_takes_first() {
+        assert_eq!(pick_free_block(WearLevelingPolicy::None, &cands()), Some(0));
+    }
+
+    #[test]
+    fn dynamic_policy_takes_least_worn_with_slot_tiebreak() {
+        assert_eq!(pick_free_block(WearLevelingPolicy::Dynamic, &cands()), Some(1));
+        assert_eq!(
+            pick_free_block(WearLevelingPolicy::Static { threshold: 10 }, &cands()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(pick_free_block(WearLevelingPolicy::Dynamic, &[]), None);
+    }
+
+    #[test]
+    fn static_wl_trigger_threshold() {
+        let policy = WearLevelingPolicy::Static { threshold: 5 };
+        assert!(!needs_static_wl(policy, 10, 15));
+        assert!(needs_static_wl(policy, 10, 16));
+        assert!(!needs_static_wl(WearLevelingPolicy::Dynamic, 0, 1000));
+        assert!(!needs_static_wl(WearLevelingPolicy::None, 0, 1000));
+    }
+}

@@ -1,0 +1,186 @@
+//! Data-placement configurations for the TPC-C experiment.
+//!
+//! Two configurations are compared in the paper's Figure 3:
+//!
+//! * **traditional data placement** — every object striped over all dies
+//!   (one region), i.e. the DBMS exercises no placement control;
+//! * **multi-region placement (Figure 2)** — six regions whose die counts
+//!   (2 / 11 / 10 / 29 / 6 / 6 on 64 dies) reflect object sizes and I/O
+//!   rates.
+//!
+//! The poster's Figure 2 table is typeset in a way that loses the exact
+//! row/object pairing; the reconstruction below keeps the published die
+//! counts and groups objects by the update behaviour the text describes
+//! (hot insert streams, hot updates, large read-mostly objects, small hot
+//! tables, order indexes, metadata/history).  EXPERIMENTS.md documents
+//! this reconstruction explicitly.
+
+use noftl_core::{ObjectProfile, PlacementAdvisor, PlacementConfig, RegionAssignment};
+
+use crate::schema::object_names;
+
+/// The traditional single-region placement over `total_dies` dies.
+pub fn traditional(total_dies: u32) -> PlacementConfig {
+    PlacementConfig::traditional(total_dies, object_names())
+}
+
+/// The six-region Figure 2 placement, scaled to `total_dies` dies.
+///
+/// With `total_dies == 64` the die counts are exactly the paper's
+/// (2, 11, 10, 29, 6, 6); for other device sizes the counts are scaled
+/// proportionally (largest-remainder, at least one die each).
+pub fn figure2(total_dies: u32) -> PlacementConfig {
+    // The engine's write-ahead log (an append/overwrite-hot object that
+    // Shore-MT kept on a separate device) is grouped with the other hot
+    // insert streams rather than with the 2-die metadata region, so that
+    // commit forces are not bottlenecked on two dies.
+    let groups: Vec<(&str, Vec<&str>, u32)> = vec![
+        ("rgMeta", vec!["DBMS-metadata", "HISTORY"], 2),
+        ("rgOrderStream", vec!["ORDERLINE", "NEW_ORDER", "ORDER", "DBMS-log"], 11),
+        ("rgCustomer", vec!["CUSTOMER", "C_IDX", "I_IDX", "S_IDX", "W_IDX"], 10),
+        ("rgStock", vec!["OL_IDX", "STOCK", "C_NAME_IDX", "ITEM", "D_IDX"], 29),
+        ("rgWhDist", vec!["WAREHOUSE", "DISTRICT"], 6),
+        ("rgOrderIdx", vec!["NO_IDX", "O_IDX", "O_CUST_IDX"], 6),
+    ];
+    let paper_total: u32 = groups.iter().map(|(_, _, d)| *d).sum();
+    assert_eq!(paper_total, 64, "paper assigns 64 dies");
+    let mut regions: Vec<RegionAssignment> = Vec::with_capacity(groups.len());
+    if total_dies == paper_total {
+        for (name, objects, dies) in groups {
+            regions.push(RegionAssignment {
+                region_name: name.to_string(),
+                objects: objects.iter().map(|s| s.to_string()).collect(),
+                dies,
+            });
+        }
+    } else {
+        assert!(
+            total_dies >= groups.len() as u32,
+            "need at least {} dies for the six-region placement",
+            groups.len()
+        );
+        // Scale proportionally with a largest-remainder pass.
+        let shares: Vec<f64> = groups
+            .iter()
+            .map(|(_, _, d)| *d as f64 / paper_total as f64 * total_dies as f64)
+            .collect();
+        let mut dies: Vec<u32> = shares.iter().map(|s| (s.floor() as u32).max(1)).collect();
+        let mut assigned: u32 = dies.iter().sum();
+        let mut order: Vec<(usize, f64)> =
+            shares.iter().enumerate().map(|(i, s)| (i, s - s.floor())).collect();
+        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut i = 0;
+        while assigned < total_dies {
+            dies[order[i % order.len()].0] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        while assigned > total_dies {
+            // Remove from the largest region(s) but never below one die.
+            let max_idx = (0..dies.len()).max_by_key(|&i| dies[i]).expect("non-empty");
+            if dies[max_idx] > 1 {
+                dies[max_idx] -= 1;
+                assigned -= 1;
+            } else {
+                break;
+            }
+        }
+        for ((name, objects, _), d) in groups.into_iter().zip(dies) {
+            regions.push(RegionAssignment {
+                region_name: name.to_string(),
+                objects: objects.iter().map(|s| s.to_string()).collect(),
+                dies: d,
+            });
+        }
+    }
+    PlacementConfig { regions }
+}
+
+/// Derive a placement automatically from measured object statistics using
+/// the [`PlacementAdvisor`] — the automated counterpart of the paper's
+/// hand-built Figure 2 (used by the `figure2` bench binary to show that
+/// the measured I/O profile reproduces the paper's die shares).
+pub fn advised(
+    profiles: &[ObjectProfile],
+    groups: &[(String, Vec<String>)],
+    total_dies: u32,
+) -> PlacementConfig {
+    let advisor = PlacementAdvisor::default();
+    let grouped: Vec<(String, Vec<ObjectProfile>)> = groups
+        .iter()
+        .map(|(name, members)| {
+            let members: Vec<ObjectProfile> = profiles
+                .iter()
+                .filter(|p| members.contains(&p.name))
+                .cloned()
+                .collect();
+            (name.clone(), members)
+        })
+        .collect();
+    advisor.assign_dies(&grouped, total_dies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traditional_uses_one_region() {
+        let cfg = traditional(64);
+        assert_eq!(cfg.region_count(), 1);
+        assert_eq!(cfg.total_dies(), 64);
+        assert!(cfg.region_of("STOCK").is_some());
+        assert!(cfg.region_of("DBMS-log").is_some());
+    }
+
+    #[test]
+    fn figure2_reproduces_paper_die_counts() {
+        let cfg = figure2(64);
+        assert_eq!(cfg.region_count(), 6);
+        assert_eq!(cfg.total_dies(), 64);
+        let dies: Vec<u32> = cfg.regions.iter().map(|r| r.dies).collect();
+        assert_eq!(dies, vec![2, 11, 10, 29, 6, 6]);
+        // STOCK lands in the big region, ORDERLINE in the 11-die region.
+        assert_eq!(cfg.region_of("STOCK").unwrap().dies, 29);
+        assert_eq!(cfg.region_of("ORDERLINE").unwrap().dies, 11);
+        assert_eq!(cfg.region_of("HISTORY").unwrap().dies, 2);
+    }
+
+    #[test]
+    fn figure2_scales_to_other_device_sizes() {
+        for dies in [6u32, 8, 16, 32, 128] {
+            let cfg = figure2(dies);
+            assert_eq!(cfg.total_dies(), dies, "total for {dies} dies");
+            assert_eq!(cfg.region_count(), 6);
+            assert!(cfg.regions.iter().all(|r| r.dies >= 1));
+            // Relative ordering is preserved: the stock region is the largest.
+            let stock = cfg.region_of("STOCK").unwrap().dies;
+            assert!(cfg.regions.iter().all(|r| r.dies <= stock));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn figure2_needs_six_dies() {
+        figure2(3);
+    }
+
+    #[test]
+    fn advised_placement_covers_groups() {
+        let profiles = vec![
+            ObjectProfile { name: "STOCK".into(), pages: 10_000, reads: 50_000, writes: 40_000 },
+            ObjectProfile { name: "ORDERLINE".into(), pages: 5_000, reads: 10_000, writes: 30_000 },
+            ObjectProfile { name: "ITEM".into(), pages: 2_000, reads: 20_000, writes: 0 },
+            ObjectProfile { name: "HISTORY".into(), pages: 1_000, reads: 0, writes: 5_000 },
+        ];
+        let groups = vec![
+            ("rgHot".to_string(), vec!["STOCK".to_string(), "ORDERLINE".to_string()]),
+            ("rgCold".to_string(), vec!["ITEM".to_string(), "HISTORY".to_string()]),
+        ];
+        let cfg = advised(&profiles, &groups, 16);
+        assert_eq!(cfg.total_dies(), 16);
+        let hot = cfg.regions.iter().find(|r| r.region_name == "rgHot").unwrap();
+        let cold = cfg.regions.iter().find(|r| r.region_name == "rgCold").unwrap();
+        assert!(hot.dies > cold.dies, "the hot group should receive more dies");
+    }
+}

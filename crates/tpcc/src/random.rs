@@ -1,0 +1,147 @@
+//! TPC-C input generation: NURand, last names, random strings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The C constants used by NURand; fixed values keep runs reproducible.
+/// `C_LAST` drives the last-name distribution used by Payment/OrderStatus.
+pub const C_LAST: i64 = 123;
+/// NURand C constant for customer ids.
+pub const C_CUST_ID: i64 = 259;
+/// NURand C constant for item ids.
+pub const C_ITEM_ID: i64 = 7911;
+
+/// Uniform random integer in `[lo, hi]` (inclusive).
+pub fn uniform(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    if lo >= hi {
+        return lo;
+    }
+    rng.random_range(lo..=hi)
+}
+
+/// The TPC-C non-uniform random distribution:
+/// `NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y - x + 1)) + x`.
+pub fn nurand(rng: &mut StdRng, a: i64, c: i64, x: i64, y: i64) -> i64 {
+    (((uniform(rng, 0, a) | uniform(rng, x, y)) + c) % (y - x + 1)) + x
+}
+
+/// Non-uniform customer id in `[1, customers]`.
+pub fn nurand_customer_id(rng: &mut StdRng, customers: i64) -> i64 {
+    nurand(rng, 1023, C_CUST_ID, 1, customers.max(1))
+}
+
+/// Non-uniform item id in `[1, items]`.
+pub fn nurand_item_id(rng: &mut StdRng, items: i64) -> i64 {
+    nurand(rng, 8191, C_ITEM_ID, 1, items.max(1))
+}
+
+/// The TPC-C last-name syllables.
+const SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// Build the last name for a number in `[0, 999]`.
+pub fn last_name(num: i64) -> String {
+    let num = num.clamp(0, 999);
+    format!(
+        "{}{}{}",
+        SYLLABLES[(num / 100) as usize],
+        SYLLABLES[((num / 10) % 10) as usize],
+        SYLLABLES[(num % 10) as usize]
+    )
+}
+
+/// A random last name for transaction input (NURand(255) over [0, 999]).
+pub fn random_last_name(rng: &mut StdRng) -> String {
+    last_name(nurand(rng, 255, C_LAST, 0, 999))
+}
+
+/// Random alphanumeric string with length in `[lo, hi]`.
+pub fn a_string(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let len = uniform(rng, lo as i64, hi as i64) as usize;
+    (0..len).map(|_| CHARS[rng.random_range(0..CHARS.len())] as char).collect()
+}
+
+/// Random numeric string with length in `[lo, hi]`.
+pub fn n_string(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = uniform(rng, lo as i64, hi as i64) as usize;
+    (0..len).map(|_| char::from(b'0' + rng.random_range(0..10) as u8)).collect()
+}
+
+/// Random zip code: 4 digits followed by "11111".
+pub fn zip(rng: &mut StdRng) -> String {
+    format!("{}11111", n_string(rng, 4, 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = uniform(&mut r, 3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(uniform(&mut r, 5, 5), 5);
+        assert_eq!(uniform(&mut r, 7, 3), 7, "degenerate range returns lo");
+    }
+
+    #[test]
+    fn nurand_stays_in_range_and_skews() {
+        let mut r = rng();
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            let v = nurand(&mut r, 1023, C_CUST_ID, 1, 100);
+            assert!((1..=100).contains(&v));
+            counts[v as usize] += 1;
+        }
+        // Non-uniform: the most popular value should be clearly more common
+        // than the least popular one.
+        let max = counts.iter().skip(1).max().unwrap();
+        let min = counts.iter().skip(1).min().unwrap();
+        assert!(max > &(min + 50), "distribution should be skewed (max={max}, min={min})");
+    }
+
+    #[test]
+    fn last_names_follow_the_syllable_table() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+        assert_eq!(last_name(-5), "BARBARBAR", "clamped");
+        assert_eq!(last_name(5000), "EINGEINGEING", "clamped");
+        let mut r = rng();
+        let name = random_last_name(&mut r);
+        assert!(name.len() >= 9 && name.len() <= 15);
+    }
+
+    #[test]
+    fn string_generators_respect_lengths() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = a_string(&mut r, 8, 16);
+            assert!(s.len() >= 8 && s.len() <= 16);
+            let n = n_string(&mut r, 4, 4);
+            assert_eq!(n.len(), 4);
+            assert!(n.chars().all(|c| c.is_ascii_digit()));
+        }
+        assert_eq!(zip(&mut r).len(), 9);
+    }
+
+    #[test]
+    fn helpers_for_customer_and_item_ids() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!((1..=3000).contains(&nurand_customer_id(&mut r, 3000)));
+            assert!((1..=100_000).contains(&nurand_item_id(&mut r, 100_000)));
+        }
+        // Tiny domains do not panic.
+        assert_eq!(nurand_customer_id(&mut r, 1), 1);
+    }
+}

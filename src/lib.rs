@@ -1,0 +1,27 @@
+//! # noftl-regions — workspace facade
+//!
+//! Reproduction of *"Revisiting DBMS Space Management for Native Flash"*
+//! (Hardock, Petrov, Gottstein, Buchmann — EDBT 2016).  This crate simply
+//! re-exports the workspace members under short names so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`flash`] — the native NAND flash device simulator (`flash-sim`);
+//! * [`ftl`] — the conventional FTL-based SSD baseline (`ftl-sim`);
+//! * [`noftl`] — NoFTL regions, the paper's contribution (`noftl-core`);
+//! * [`dbms`] — the storage engine that runs on either stack (`dbms-engine`);
+//! * [`tpcc`] — the TPC-C workload and placement configurations
+//!   (`tpcc-workload`);
+//! * [`bench`] — the experiment harness used by the figure binaries
+//!   (`noftl-bench`).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub use dbms_engine as dbms;
+pub use flash_sim as flash;
+pub use ftl_sim as ftl;
+pub use noftl_bench as bench;
+pub use noftl_core as noftl;
+pub use tpcc_workload as tpcc;
