@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, and the workspace never
+//! actually serializes anything — `Serialize`/`Deserialize` are derived on
+//! stats/config types only so that downstream users *could* persist them.
+//! This stub keeps those derives compiling: the traits are empty markers and
+//! the derive macros (re-exported from the `serde_derive` stub) emit empty
+//! impls. Swapping in real serde later is a Cargo.toml-only change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. The real trait is
+/// `Deserialize<'de>`; the lifetime is dropped here because no call site in
+/// the workspace names the trait with a lifetime.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

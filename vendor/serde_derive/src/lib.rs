@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a marker
+//! (no wire format is ever produced — reports are printed as text tables), so
+//! the derive macros only need to emit empty impls of the marker traits
+//! defined by the sibling `serde` stub. Implemented directly on
+//! `proc_macro::TokenStream` to avoid a dependency on `syn`/`quote`, which are
+//! unavailable in the offline build environment.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emit `impl ::serde::<Trait> for <Type> {}` for the struct/enum in `input`.
+///
+/// Only non-generic types are supported; generic types would need their
+/// parameters forwarded, which nothing in this workspace requires.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input).expect("serde_derive stub: could not find type name");
+    format!("impl ::serde::{trait_name} for {name} {{}}").parse().unwrap()
+}
+
+/// Scan the item's tokens for the identifier following `struct` or `enum`.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
