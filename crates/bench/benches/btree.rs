@@ -12,9 +12,7 @@ use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig};
 
 fn setup(pool_pages: usize) -> (BufferPool, BTree) {
     let device = Arc::new(
-        DeviceBuilder::new(FlashGeometry::example())
-            .timing(TimingModel::instant())
-            .build(),
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
     );
     let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
     let backend = Arc::new(
@@ -34,8 +32,13 @@ fn bench_btree(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             black_box(
-                tree.insert(&pool, &composite_key(&[1, 1, i]), RecordId::new(i as u64, 0), SimTime::ZERO)
-                    .unwrap(),
+                tree.insert(
+                    &pool,
+                    &composite_key(&[1, 1, i]),
+                    RecordId::new(i as u64, 0),
+                    SimTime::ZERO,
+                )
+                .unwrap(),
             );
         });
     });
@@ -43,8 +46,13 @@ fn bench_btree(c: &mut Criterion) {
     group.bench_function("search_cached", |b| {
         let (pool, tree) = setup(4096);
         for i in 0..20_000i64 {
-            tree.insert(&pool, &composite_key(&[1, 1, i]), RecordId::new(i as u64, 0), SimTime::ZERO)
-                .unwrap();
+            tree.insert(
+                &pool,
+                &composite_key(&[1, 1, i]),
+                RecordId::new(i as u64, 0),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let mut i: i64 = 0;
         b.iter(|| {

@@ -16,10 +16,7 @@ fn make_ssd(mapping: MappingKind) -> FtlSsd {
             .store_data(false)
             .build(),
     );
-    FtlSsd::new(
-        device,
-        FtlConfig { overprovisioning: 0.25, mapping, ..FtlConfig::consumer() },
-    )
+    FtlSsd::new(device, FtlConfig { overprovisioning: 0.25, mapping, ..FtlConfig::consumer() })
 }
 
 fn bench_ftl(c: &mut Criterion) {

@@ -34,7 +34,7 @@ fn bench_noftl(c: &mut Criterion) {
             i += 1;
             // Interleave hot overwrites with an ever-growing cold object.
             black_box(noftl.write(hot, i % 32, &page, SimTime::ZERO).unwrap());
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 black_box(noftl.write(cold, i / 4 % 2_000, &page, SimTime::ZERO).unwrap());
             }
         });
@@ -50,7 +50,7 @@ fn bench_noftl(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             black_box(noftl.write(hot, i % 32, &page, SimTime::ZERO).unwrap());
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 black_box(noftl.write(cold, i / 4 % 2_000, &page, SimTime::ZERO).unwrap());
             }
         });

@@ -15,13 +15,12 @@ use tpcc_workload::{loader::Loader, placement, transactions, ScaleConfig};
 
 fn setup() -> (Database, ScaleConfig, SimTime) {
     let device = Arc::new(
-        DeviceBuilder::new(FlashGeometry::example())
-            .timing(TimingModel::instant())
-            .build(),
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
     );
     let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
     let backend = Arc::new(NoFtlBackend::new(noftl, &placement::traditional(8)).unwrap());
-    let db = Database::open(backend, DatabaseConfig { buffer_pages: 2_048, ..Default::default() }).unwrap();
+    let db = Database::open(backend, DatabaseConfig { buffer_pages: 2_048, ..Default::default() })
+        .unwrap();
     let scale = ScaleConfig::tiny();
     let (_, loaded) = Loader::new(scale, 1).load(&db, SimTime::ZERO).unwrap();
     (db, scale, loaded)

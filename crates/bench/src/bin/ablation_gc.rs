@@ -23,11 +23,12 @@ fn main() {
         "{:<14} {:<14} {:>9} {:>10} {:>12} {:>12} {:>8}",
         "Placement", "GC policy", "Headroom", "TPS", "Copybacks", "Erases", "WA"
     );
-    for (placement_label, placement) in [
-        ("traditional", placement::traditional(dies)),
-        ("figure2", placement::figure2(dies)),
-    ] {
-        for (policy_label, policy) in [("greedy", GcPolicy::Greedy), ("cost-benefit", GcPolicy::CostBenefit)] {
+    for (placement_label, placement) in
+        [("traditional", placement::traditional(dies)), ("figure2", placement::figure2(dies))]
+    {
+        for (policy_label, policy) in
+            [("greedy", GcPolicy::Greedy), ("cost-benefit", GcPolicy::CostBenefit)]
+        {
             for headroom in [0.05f64, 0.10, 0.20] {
                 let mut exp = Experiment::figure3_base(placement.clone(), placement_label);
                 exp.driver.total_transactions = txns;

@@ -18,11 +18,28 @@ use tpcc_workload::placement;
 /// A two-region hot/cold split: update-heavy objects vs. everything else.
 fn two_region(total_dies: u32) -> PlacementConfig {
     let hot = vec![
-        "STOCK", "ORDERLINE", "NEW_ORDER", "ORDER", "DISTRICT", "WAREHOUSE", "OL_IDX", "NO_IDX", "O_IDX",
-        "O_CUST_IDX", "DBMS-log",
+        "STOCK",
+        "ORDERLINE",
+        "NEW_ORDER",
+        "ORDER",
+        "DISTRICT",
+        "WAREHOUSE",
+        "OL_IDX",
+        "NO_IDX",
+        "O_IDX",
+        "O_CUST_IDX",
+        "DBMS-log",
     ];
     let cold = vec![
-        "CUSTOMER", "C_IDX", "C_NAME_IDX", "ITEM", "I_IDX", "S_IDX", "W_IDX", "D_IDX", "HISTORY",
+        "CUSTOMER",
+        "C_IDX",
+        "C_NAME_IDX",
+        "ITEM",
+        "I_IDX",
+        "S_IDX",
+        "W_IDX",
+        "D_IDX",
+        "HISTORY",
         "DBMS-metadata",
     ];
     let hot_dies = (total_dies * 3 / 4).max(1);

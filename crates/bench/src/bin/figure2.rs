@@ -33,17 +33,14 @@ fn main() {
     let result = exp.run();
     // Group the measured objects exactly as the paper's Figure 2 groups them,
     // then let the advisor apportion the dies from the measured profiles.
-    let groups: Vec<(String, Vec<String>)> = paper
-        .regions
-        .iter()
-        .map(|r| (r.region_name.clone(), r.objects.clone()))
-        .collect();
+    let groups: Vec<(String, Vec<String>)> =
+        paper.regions.iter().map(|r| (r.region_name.clone(), r.objects.clone())).collect();
     let advised = placement::advised(&result.object_profiles, &groups, dies);
     println!("{}", advised.to_table());
 
     println!("-- Measured object profiles (pages / reads / writes) --\n");
     let mut profiles = result.object_profiles.clone();
-    profiles.sort_by(|a, b| (b.reads + b.writes).cmp(&(a.reads + a.writes)));
+    profiles.sort_by_key(|p| std::cmp::Reverse(p.reads + p.writes));
     println!("{:<16} {:>10} {:>12} {:>12}", "Object", "Pages", "Reads", "Writes");
     for p in profiles {
         println!("{:<16} {:>10} {:>12} {:>12}", p.name, p.pages, p.reads, p.writes);

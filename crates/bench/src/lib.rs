@@ -107,11 +107,7 @@ impl Experiment {
     /// deltas over the measured phase only) plus the device and storage
     /// manager handles for further inspection.
     pub fn run(&self) -> ExperimentResult {
-        let device = Arc::new(
-            DeviceBuilder::new(self.geometry)
-                .timing(self.timing)
-                .build(),
-        );
+        let device = Arc::new(DeviceBuilder::new(self.geometry).timing(self.timing).build());
         let noftl = Arc::new(NoFtl::new(Arc::clone(&device), self.noftl));
         let backend = Arc::new(
             NoFtlBackend::new(Arc::clone(&noftl), &self.placement)
@@ -130,11 +126,7 @@ impl Experiment {
         report.label = self.label.clone();
         let after = device.stats();
         report.attach_device(&after.delta_since(&before), &device.wear_summary());
-        let profiles = noftl
-            .all_object_stats()
-            .iter()
-            .map(ObjectProfile::from_stats)
-            .collect();
+        let profiles = noftl.all_object_stats().iter().map(ObjectProfile::from_stats).collect();
         ExperimentResult {
             report,
             device,

@@ -89,15 +89,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = NoFtlConfig::default();
-        c.gc_low_watermark = 0;
+        let c = NoFtlConfig { gc_low_watermark: 0, ..NoFtlConfig::default() };
         assert!(c.validate().is_err());
-        c = NoFtlConfig::default();
-        c.gc_high_watermark = 1;
-        c.gc_low_watermark = 2;
+        let c = NoFtlConfig { gc_high_watermark: 1, gc_low_watermark: 2, ..NoFtlConfig::default() };
         assert!(c.validate().is_err());
-        c = NoFtlConfig::default();
-        c.gc_headroom = 0.95;
+        let c = NoFtlConfig { gc_headroom: 0.95, ..NoFtlConfig::default() };
         assert!(c.validate().is_err());
     }
 }

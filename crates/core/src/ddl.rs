@@ -196,13 +196,17 @@ fn parse_create_region(rest: &str) -> Result<DdlStatement> {
         let opts = parse_kv_options(&body)?;
         for (k, v) in opts {
             match k.as_str() {
-                "DIES" => dies = Some(v.parse().map_err(|_| ddl_err(format!("bad DIES value '{v}'")))?),
+                "DIES" => {
+                    dies = Some(v.parse().map_err(|_| ddl_err(format!("bad DIES value '{v}'")))?)
+                }
                 "MAX_CHIPS" => {
-                    max_chips = Some(v.parse().map_err(|_| ddl_err(format!("bad MAX_CHIPS value '{v}'")))?)
+                    max_chips =
+                        Some(v.parse().map_err(|_| ddl_err(format!("bad MAX_CHIPS value '{v}'")))?)
                 }
                 "MAX_CHANNELS" => {
-                    max_channels =
-                        Some(v.parse().map_err(|_| ddl_err(format!("bad MAX_CHANNELS value '{v}'")))?)
+                    max_channels = Some(
+                        v.parse().map_err(|_| ddl_err(format!("bad MAX_CHANNELS value '{v}'")))?,
+                    )
                 }
                 "MAX_SIZE" => max_size_bytes = Some(parse_size(&v)?),
                 other => return Err(ddl_err(format!("unknown CREATE REGION option '{other}'"))),
@@ -253,11 +257,7 @@ fn parse_create_table(rest: &str) -> Result<DdlStatement> {
 
 /// Parse a script of `;`-separated statements (blank statements are skipped).
 pub fn parse_script(sql: &str) -> Result<Vec<DdlStatement>> {
-    sql.split(';')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(parse_statement)
-        .collect()
+    sql.split(';').map(str::trim).filter(|s| !s.is_empty()).map(parse_statement).collect()
 }
 
 /// A tablespace: a named binding to a region (plus the declared extent
@@ -283,11 +283,7 @@ pub struct Ddl<'a> {
 impl<'a> Ddl<'a> {
     /// Create an executor bound to a storage manager.
     pub fn new(noftl: &'a NoFtl) -> Self {
-        Ddl {
-            noftl,
-            tablespaces: Mutex::new(HashMap::new()),
-            tables: Mutex::new(HashMap::new()),
-        }
+        Ddl { noftl, tablespaces: Mutex::new(HashMap::new()), tables: Mutex::new(HashMap::new()) }
     }
 
     /// Execute a single parsed statement.
@@ -313,7 +309,11 @@ impl<'a> Ddl<'a> {
                 }
                 tablespaces.insert(
                     name.clone(),
-                    Tablespace { name: name.clone(), region: rid, extent_size_bytes: *extent_size_bytes },
+                    Tablespace {
+                        name: name.clone(),
+                        region: rid,
+                        extent_size_bytes: *extent_size_bytes,
+                    },
                 );
                 Ok(())
             }
@@ -401,7 +401,8 @@ mod tests {
                 max_size_bytes: Some(1280 * 1024 * 1024),
             }
         );
-        let s = parse_statement("CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT_SIZE=128K)").unwrap();
+        let s = parse_statement("CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT_SIZE=128K)")
+            .unwrap();
         assert_eq!(
             s,
             DdlStatement::CreateTablespace {

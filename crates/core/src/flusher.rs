@@ -92,7 +92,12 @@ impl Flusher {
         self.write_out(noftl, batch, at)
     }
 
-    fn write_out(&self, noftl: &NoFtl, batch: Vec<(ObjectId, u64, Vec<u8>)>, at: SimTime) -> Result<SimTime> {
+    fn write_out(
+        &self,
+        noftl: &NoFtl,
+        batch: Vec<(ObjectId, u64, Vec<u8>)>,
+        at: SimTime,
+    ) -> Result<SimTime> {
         let n = batch.len() as u64;
         let done = noftl.write_batch(&batch, at)?;
         let mut stats = self.stats.lock();
@@ -113,9 +118,7 @@ mod tests {
 
     fn setup() -> (NoFtl, ObjectId) {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::small_test())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
         );
         let noftl = NoFtl::new(device, NoFtlConfig::default());
         let r = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();

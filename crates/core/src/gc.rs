@@ -63,10 +63,9 @@ pub fn select_victim(policy: GcPolicy, candidates: &[GcCandidate], now_seq: u64)
         return None;
     }
     match policy {
-        GcPolicy::Greedy => candidates
-            .iter()
-            .min_by_key(|c| (c.valid_pages, c.erase_count, c.slot))
-            .map(|c| c.slot),
+        GcPolicy::Greedy => {
+            candidates.iter().min_by_key(|c| (c.valid_pages, c.erase_count, c.slot)).map(|c| c.slot)
+        }
         GcPolicy::CostBenefit => candidates
             .iter()
             .max_by(|a, b| {

@@ -69,10 +69,7 @@ impl ObjectProfile {
 pub fn classify(profiles: &[ObjectProfile], hot_fraction: f64) -> Vec<(String, Temperature)> {
     let total_writes: u64 = profiles.iter().map(|p| p.writes).sum();
     if total_writes == 0 {
-        return profiles
-            .iter()
-            .map(|p| (p.name.clone(), Temperature::Cold))
-            .collect();
+        return profiles.iter().map(|p| (p.name.clone(), Temperature::Cold)).collect();
     }
     // Sort by update intensity, hottest first.
     let mut order: Vec<&ObjectProfile> = profiles.iter().collect();
@@ -136,7 +133,7 @@ mod tests {
     #[test]
     fn classification_separates_hot_and_cold() {
         let profiles = vec![
-            profile("stock", 100, 100, 10_000),   // very hot
+            profile("stock", 100, 100, 10_000),    // very hot
             profile("orderline", 500, 100, 5_000), // hot
             profile("item", 200, 5_000, 0),        // read-only → cold
             profile("history", 300, 0, 100),       // appends, low intensity → warm/cold-ish

@@ -51,7 +51,7 @@ pub mod stats;
 pub mod wear;
 
 pub use config::{GcPolicy, NoFtlConfig, WearLevelingPolicy};
-pub use ddl::{DdlStatement, Ddl};
+pub use ddl::{Ddl, DdlStatement};
 pub use error::NoFtlError;
 pub use hotcold::{ObjectProfile, Temperature};
 pub use manager::NoFtl;
@@ -73,9 +73,7 @@ mod lib_tests {
     fn end_to_end_smoke() {
         let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
         let noftl = NoFtl::new(device, NoFtlConfig::default());
-        let region = noftl
-            .create_region(RegionSpec::named("rgSmoke").with_die_count(2))
-            .unwrap();
+        let region = noftl.create_region(RegionSpec::named("rgSmoke").with_die_count(2)).unwrap();
         let obj = noftl.create_object("t_smoke", region).unwrap();
         let data = vec![0x42u8; 4096];
         let done = noftl.write(obj, 0, &data, SimTime::ZERO).unwrap();

@@ -58,9 +58,7 @@ impl NoFtl {
     /// # Panics
     /// Panics if the configuration fails validation (a programming error).
     pub fn new(device: Arc<NandDevice>, config: NoFtlConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid NoFTL configuration: {e}"));
+        config.validate().unwrap_or_else(|e| panic!("invalid NoFTL configuration: {e}"));
         let free_dies: Vec<DieId> = device.geometry().dies().collect();
         NoFtl {
             device,
@@ -116,11 +114,8 @@ impl NoFtl {
             by_channel[geo.channel_of_die(*die) as usize].push(*die);
         }
         let channel_limit = spec.max_channels.unwrap_or(geo.channels).max(1) as usize;
-        let usable: Vec<&mut Vec<DieId>> = by_channel
-            .iter_mut()
-            .filter(|v| !v.is_empty())
-            .take(channel_limit)
-            .collect();
+        let usable: Vec<&mut Vec<DieId>> =
+            by_channel.iter_mut().filter(|v| !v.is_empty()).take(channel_limit).collect();
         let available: u32 = usable.iter().map(|v| v.len() as u32).sum();
         if available < want {
             return Err(NoFtlError::NotEnoughDies { requested: want, available });
@@ -204,12 +199,7 @@ impl NoFtl {
 
     /// Ids of all live regions.
     pub fn region_ids(&self) -> Vec<RegionId> {
-        self.inner
-            .lock()
-            .regions
-            .iter()
-            .filter_map(|r| r.as_ref().map(|r| r.id))
-            .collect()
+        self.inner.lock().regions.iter().filter_map(|r| r.as_ref().map(|r| r.id)).collect()
     }
 
     /// Name of a region.
@@ -308,7 +298,8 @@ impl NoFtl {
                             at,
                         )
                         .ok_or(NoFtlError::RegionFull { region: rid })?;
-                        let out = self.device.program_page(ppa, &data, meta, read_out.completed_at)?;
+                        let out =
+                            self.device.program_page(ppa, &data, meta, read_out.completed_at)?;
                         done = done.max(out.completed_at);
                         self.device.mark_invalid(src)?;
                         region.stats.rebalance_moves += 1;
@@ -447,9 +438,8 @@ impl NoFtl {
         let inner = &mut *inner;
         let (ppa, rid) = {
             let state = Self::object_mut(&mut inner.objects, obj)?;
-            let ppa = state
-                .translate(page)
-                .ok_or(NoFtlError::PageNotWritten { object: obj, page })?;
+            let ppa =
+                state.translate(page).ok_or(NoFtlError::PageNotWritten { object: obj, page })?;
             state.counters.reads += 1;
             (ppa, state.region)
         };
@@ -512,7 +502,11 @@ impl NoFtl {
     /// are the address translations switched and the old versions
     /// invalidated.  On any failure the freshly written pages are marked
     /// invalid and the previous versions remain visible.
-    pub fn write_atomic(&self, writes: &[(ObjectId, u64, Vec<u8>)], at: SimTime) -> Result<SimTime> {
+    pub fn write_atomic(
+        &self,
+        writes: &[(ObjectId, u64, Vec<u8>)],
+        at: SimTime,
+    ) -> Result<SimTime> {
         for (_, _, data) in writes {
             self.check_page_size(data)?;
         }
@@ -535,9 +529,13 @@ impl NoFtl {
                     break;
                 }
             };
-            let Some(ppa) =
-                Self::allocate_in_region(&self.device, &self.config, region, &mut inner.objects, at)
-            else {
+            let Some(ppa) = Self::allocate_in_region(
+                &self.device,
+                &self.config,
+                region,
+                &mut inner.objects,
+                at,
+            ) else {
                 failure = Some(NoFtlError::RegionFull { region: rid });
                 break;
             };
@@ -623,7 +621,10 @@ impl NoFtl {
             .ok_or_else(|| NoFtlError::UnknownRegion { region: format!("{rid:?}") })
     }
 
-    fn region_mut(regions: &mut [Option<RegionRuntime>], rid: RegionId) -> Result<&mut RegionRuntime> {
+    fn region_mut(
+        regions: &mut [Option<RegionRuntime>],
+        rid: RegionId,
+    ) -> Result<&mut RegionRuntime> {
         regions
             .get_mut(rid.0 as usize)
             .and_then(|r| r.as_mut())
@@ -823,9 +824,7 @@ mod tests {
 
     fn make_noftl() -> NoFtl {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::small_test())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
         );
         NoFtl::new(device, NoFtlConfig::default())
     }
@@ -966,7 +965,7 @@ mod tests {
         let obj = noftl.create_object("t", r).unwrap();
         let geo = *noftl.device().geometry();
         // Working set = 60 % of the region's raw capacity.
-        let working_set = (2 * geo.pages_per_die() * 6 / 10) as u64;
+        let working_set = 2 * geo.pages_per_die() * 6 / 10;
         let mut t = SimTime::ZERO;
         let mut latest = vec![0u8; working_set as usize];
         for round in 0..5u8 {
@@ -1005,7 +1004,8 @@ mod tests {
                 let c = noftl.create_region(RegionSpec::named("rgCold").with_die_count(2)).unwrap();
                 (h, c)
             } else {
-                let all = noftl.create_region(RegionSpec::named("rgAll").with_die_count(4)).unwrap();
+                let all =
+                    noftl.create_region(RegionSpec::named("rgAll").with_die_count(4)).unwrap();
                 (all, all)
             };
             let hot = noftl.create_object("hot", hot_region).unwrap();
@@ -1022,7 +1022,9 @@ mod tests {
                 for p in 0..hot_pages {
                     noftl.write(hot, p, &page((round % 251) as u8), t).unwrap();
                 }
-                while cold_written < cold_pages && cold_written < (round + 1) * (cold_pages / 40 + 1) {
+                while cold_written < cold_pages
+                    && cold_written < (round + 1) * (cold_pages / 40 + 1)
+                {
                     noftl.write(cold, cold_written, &page(0xCC), t).unwrap();
                     cold_written += 1;
                 }
@@ -1149,9 +1151,7 @@ mod tests {
     #[test]
     fn static_wl_policy_is_exercised() {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::small_test())
-                .timing(TimingModel::instant())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::instant()).build(),
         );
         let config = NoFtlConfig {
             wear_leveling: WearLevelingPolicy::Static { threshold: 2 },
@@ -1191,9 +1191,7 @@ mod tests {
     fn region_info_and_object_extent() {
         let noftl = make_noftl();
         let geo = *noftl.device().geometry();
-        let r = noftl
-            .create_region(RegionSpec::named("rg").with_die_count(2))
-            .unwrap();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
         let obj = noftl.create_object("t", r).unwrap();
         noftl.write(obj, 10, &page(1), SimTime::ZERO).unwrap();
         let info = noftl.region_info(r).unwrap();

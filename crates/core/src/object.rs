@@ -77,11 +77,7 @@ impl ObjectState {
     /// Highest mapped logical page number plus one (the object's logical
     /// extent), or 0 for an empty object.
     pub(crate) fn logical_extent(&self) -> u64 {
-        self.map
-            .iter()
-            .rposition(|e| e.is_some())
-            .map(|i| i as u64 + 1)
-            .unwrap_or(0)
+        self.map.iter().rposition(|e| e.is_some()).map(|i| i as u64 + 1).unwrap_or(0)
     }
 }
 

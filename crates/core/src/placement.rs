@@ -64,10 +64,7 @@ impl PlacementConfig {
     /// Render the configuration as an ASCII table (mirrors Figure 2).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<12} {:>9}   {}\n",
-            "Region", "Dies", "DB-Objects"
-        ));
+        out.push_str(&format!("{:<12} {:>9}   {}\n", "Region", "Dies", "DB-Objects"));
         for r in &self.regions {
             out.push_str(&format!(
                 "{:<12} {:>9}   {}\n",
@@ -94,11 +91,7 @@ pub struct PlacementAdvisor {
 
 impl Default for PlacementAdvisor {
     fn default() -> Self {
-        PlacementAdvisor {
-            io_weight: 0.6,
-            size_weight: 0.4,
-            min_dies_per_region: 1,
-        }
+        PlacementAdvisor { io_weight: 0.6, size_weight: 0.4, min_dies_per_region: 1 }
     }
 }
 
@@ -119,10 +112,7 @@ impl PlacementAdvisor {
         groups: &[(String, Vec<ObjectProfile>)],
         total_dies: u32,
     ) -> PlacementConfig {
-        assert!(
-            !groups.is_empty(),
-            "placement advisor needs at least one object group"
-        );
+        assert!(!groups.is_empty(), "placement advisor needs at least one object group");
         let min_total = self.min_dies_per_region * groups.len() as u32;
         assert!(
             total_dies >= min_total,
@@ -130,27 +120,16 @@ impl PlacementAdvisor {
             groups.len(),
             self.min_dies_per_region
         );
-        let total_io: u64 = groups
-            .iter()
-            .flat_map(|(_, ps)| ps.iter())
-            .map(|p| p.io_rate())
-            .sum();
-        let total_pages: u64 = groups
-            .iter()
-            .flat_map(|(_, ps)| ps.iter())
-            .map(|p| p.pages)
-            .sum();
+        let total_io: u64 = groups.iter().flat_map(|(_, ps)| ps.iter()).map(|p| p.io_rate()).sum();
+        let total_pages: u64 = groups.iter().flat_map(|(_, ps)| ps.iter()).map(|p| p.pages).sum();
         let weights: Vec<f64> = groups
             .iter()
             .map(|(_, ps)| {
                 let io: u64 = ps.iter().map(|p| p.io_rate()).sum();
                 let pages: u64 = ps.iter().map(|p| p.pages).sum();
                 let io_share = if total_io == 0 { 0.0 } else { io as f64 / total_io as f64 };
-                let size_share = if total_pages == 0 {
-                    0.0
-                } else {
-                    pages as f64 / total_pages as f64
-                };
+                let size_share =
+                    if total_pages == 0 { 0.0 } else { pages as f64 / total_pages as f64 };
                 self.io_weight * io_share + self.size_weight * size_share
             })
             .collect();
@@ -176,11 +155,8 @@ impl PlacementAdvisor {
             }
             // Largest remainder: hand out the leftover dies to the groups
             // with the largest fractional parts.
-            let mut remainders: Vec<(usize, f64)> = shares
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i, s - s.floor()))
-                .collect();
+            let mut remainders: Vec<(usize, f64)> =
+                shares.iter().enumerate().map(|(i, s)| (i, s - s.floor())).collect();
             remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let mut i = 0;
             while assigned < distributable {
@@ -241,12 +217,27 @@ mod tests {
 
     fn groups() -> Vec<(String, Vec<ObjectProfile>)> {
         vec![
-            ("rgMeta".into(), vec![profile("metadata", 10, 100, 10), profile("history", 200, 0, 300)]),
+            (
+                "rgMeta".into(),
+                vec![profile("metadata", 10, 100, 10), profile("history", 200, 0, 300)],
+            ),
             ("rgOrderline".into(), vec![profile("orderline", 3_000, 4_000, 9_000)]),
             ("rgCustomer".into(), vec![profile("customer", 2_500, 6_000, 3_000)]),
-            ("rgStock".into(), vec![profile("stock", 8_000, 12_000, 10_000), profile("ol_idx", 1_500, 3_000, 2_000)]),
-            ("rgSmallHot".into(), vec![profile("warehouse", 5, 2_000, 1_500), profile("district", 10, 2_500, 2_000)]),
-            ("rgOrderIdx".into(), vec![profile("no_idx", 300, 1_000, 1_200), profile("o_idx", 400, 900, 800)]),
+            (
+                "rgStock".into(),
+                vec![
+                    profile("stock", 8_000, 12_000, 10_000),
+                    profile("ol_idx", 1_500, 3_000, 2_000),
+                ],
+            ),
+            (
+                "rgSmallHot".into(),
+                vec![profile("warehouse", 5, 2_000, 1_500), profile("district", 10, 2_500, 2_000)],
+            ),
+            (
+                "rgOrderIdx".into(),
+                vec![profile("no_idx", 300, 1_000, 1_200), profile("o_idx", 400, 900, 800)],
+            ),
         ]
     }
 

@@ -93,7 +93,7 @@ impl RegionSpec {
         }
         if let Some(size) = self.max_size_bytes {
             let per_die = geometry.die_capacity_bytes().max(1);
-            bound = bound.min(((size + per_die - 1) / per_die) as u32);
+            bound = bound.min(size.div_ceil(per_die) as u32);
         }
         if bound == u32::MAX {
             1
@@ -136,13 +136,7 @@ impl RegionDie {
                 }
             }
         }
-        RegionDie {
-            die,
-            free_blocks,
-            active: None,
-            gc_active: None,
-            used_blocks: Vec::new(),
-        }
+        RegionDie { die, free_blocks, active: None, gc_active: None, used_blocks: Vec::new() }
     }
 
     /// Total usable blocks currently tracked by this die (free + used +
@@ -155,7 +149,11 @@ impl RegionDie {
     }
 
     /// Pick and open a fresh block for the host frontier.
-    pub(crate) fn open_host_block(&mut self, device: &NandDevice, policy: WearLevelingPolicy) -> bool {
+    pub(crate) fn open_host_block(
+        &mut self,
+        device: &NandDevice,
+        policy: WearLevelingPolicy,
+    ) -> bool {
         let cands: Vec<FreeBlockCandidate> = self
             .free_blocks
             .iter()
@@ -176,7 +174,11 @@ impl RegionDie {
     }
 
     /// Pick and open a fresh block for the GC frontier.
-    pub(crate) fn open_gc_block(&mut self, device: &NandDevice, policy: WearLevelingPolicy) -> bool {
+    pub(crate) fn open_gc_block(
+        &mut self,
+        device: &NandDevice,
+        policy: WearLevelingPolicy,
+    ) -> bool {
         let cands: Vec<FreeBlockCandidate> = self
             .free_blocks
             .iter()
@@ -298,7 +300,12 @@ pub(crate) struct RegionRuntime {
 }
 
 impl RegionRuntime {
-    pub(crate) fn new(id: RegionId, spec: RegionSpec, device: &NandDevice, dies: Vec<DieId>) -> Self {
+    pub(crate) fn new(
+        id: RegionId,
+        spec: RegionSpec,
+        device: &NandDevice,
+        dies: Vec<DieId>,
+    ) -> Self {
         let name = spec.name.clone();
         RegionRuntime {
             id,
@@ -318,8 +325,7 @@ impl RegionRuntime {
     pub(crate) fn record_invalidation(&mut self, ppa: PageAddr) {
         self.invalidate_seq += 1;
         let seq = self.invalidate_seq;
-        self.block_invalidate_seq
-            .insert((ppa.die.0, ppa.plane, ppa.block), seq);
+        self.block_invalidate_seq.insert((ppa.die.0, ppa.plane, ppa.block), seq);
     }
 
     /// The die ids owned by the region.
@@ -338,7 +344,11 @@ impl RegionRuntime {
     }
 
     /// Effective capacity available to objects after reserving GC headroom.
-    pub(crate) fn effective_capacity_pages(&self, geo: &FlashGeometry, config: &NoFtlConfig) -> u64 {
+    pub(crate) fn effective_capacity_pages(
+        &self,
+        geo: &FlashGeometry,
+        config: &NoFtlConfig,
+    ) -> u64 {
         let raw = self.capacity_pages(geo);
         (raw as f64 * (1.0 - config.gc_headroom)).floor() as u64
     }
@@ -393,15 +403,18 @@ mod tests {
         let mut die = RegionDie::new(&device, DieId(0));
         let initial_blocks = die.free_blocks.len();
         assert_eq!(initial_blocks, geo.blocks_per_die() as usize);
-        let p0 = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
-        let p1 = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let p0 =
+            die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let p1 =
+            die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
         assert_eq!(p0.block(), p1.block());
         assert_eq!(p0.page + 1, p1.page);
         // Exhaust the first block; the next page must come from a new block.
         for _ in 2..geo.pages_per_block {
             die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
         }
-        let p_next = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let p_next =
+            die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
         assert_ne!(p_next.block(), p0.block());
         assert_eq!(die.used_blocks.len(), 1);
         assert_eq!(die.tracked_blocks(), initial_blocks);
@@ -428,8 +441,10 @@ mod tests {
         let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
         let geo = *device.geometry();
         let mut die = RegionDie::new(&device, DieId(0));
-        let host = die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
-        let gc = die.next_gc_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let host =
+            die.next_host_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
+        let gc =
+            die.next_gc_page(&device, WearLevelingPolicy::Dynamic, geo.pages_per_block).unwrap();
         assert_ne!(host.block(), gc.block(), "host and GC data never share a block");
     }
 
@@ -453,7 +468,8 @@ mod tests {
     #[test]
     fn invalidation_sequence_advances() {
         let device = DeviceBuilder::new(FlashGeometry::small_test()).build();
-        let mut rt = RegionRuntime::new(RegionId(0), RegionSpec::named("r"), &device, vec![DieId(0)]);
+        let mut rt =
+            RegionRuntime::new(RegionId(0), RegionSpec::named("r"), &device, vec![DieId(0)]);
         let p = PageAddr::new(DieId(0), 0, 3, 1);
         rt.record_invalidation(p);
         rt.record_invalidation(p);

@@ -18,16 +18,18 @@ pub struct FreeBlockCandidate {
 }
 
 /// Pick the free block to allocate next under `policy`.
-pub fn pick_free_block(policy: WearLevelingPolicy, candidates: &[FreeBlockCandidate]) -> Option<usize> {
+pub fn pick_free_block(
+    policy: WearLevelingPolicy,
+    candidates: &[FreeBlockCandidate],
+) -> Option<usize> {
     if candidates.is_empty() {
         return None;
     }
     match policy {
         WearLevelingPolicy::None => candidates.first().map(|c| c.slot),
-        WearLevelingPolicy::Dynamic | WearLevelingPolicy::Static { .. } => candidates
-            .iter()
-            .min_by_key(|c| (c.erase_count, c.slot))
-            .map(|c| c.slot),
+        WearLevelingPolicy::Dynamic | WearLevelingPolicy::Static { .. } => {
+            candidates.iter().min_by_key(|c| (c.erase_count, c.slot)).map(|c| c.slot)
+        }
     }
 }
 
@@ -48,11 +50,8 @@ pub fn region_wear_imbalance(mean_erases_per_region: &[f64]) -> f64 {
     if max <= f64::EPSILON {
         return 1.0;
     }
-    let min = mean_erases_per_region
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min)
-        .max(f64::EPSILON);
+    let min =
+        mean_erases_per_region.iter().cloned().fold(f64::INFINITY, f64::min).max(f64::EPSILON);
     max / min
 }
 

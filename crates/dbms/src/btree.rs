@@ -36,11 +36,23 @@ struct Node {
 
 impl Node {
     fn new_leaf() -> Self {
-        Node { leaf: true, extra: NONE_PAGE, keys: Vec::new(), rids: Vec::new(), children: Vec::new() }
+        Node {
+            leaf: true,
+            extra: NONE_PAGE,
+            keys: Vec::new(),
+            rids: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     fn new_internal(first_child: u64) -> Self {
-        Node { leaf: false, extra: first_child, keys: Vec::new(), rids: Vec::new(), children: Vec::new() }
+        Node {
+            leaf: false,
+            extra: first_child,
+            keys: Vec::new(),
+            rids: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     fn serialized_size(&self) -> usize {
@@ -77,7 +89,13 @@ impl Node {
         let leaf = buf[0] != 0;
         let n = u16::from_le_bytes(buf[1..3].try_into().expect("2 bytes")) as usize;
         let extra = u64::from_le_bytes(buf[3..11].try_into().expect("8 bytes"));
-        let mut node = Node { leaf, extra, keys: Vec::with_capacity(n), rids: Vec::new(), children: Vec::new() };
+        let mut node = Node {
+            leaf,
+            extra,
+            keys: Vec::with_capacity(n),
+            rids: Vec::new(),
+            children: Vec::new(),
+        };
         let mut off = HEADER;
         for _ in 0..n {
             if off + 2 > buf.len() {
@@ -91,15 +109,17 @@ impl Node {
             node.keys.push(buf[off..off + klen].to_vec());
             off += klen;
             if leaf {
-                let rid = RecordId::decode(&buf[off..])
-                    .ok_or_else(|| DbError::Corrupted { message: "truncated B+-tree rid".into() })?;
+                let rid = RecordId::decode(&buf[off..]).ok_or_else(|| DbError::Corrupted {
+                    message: "truncated B+-tree rid".into(),
+                })?;
                 node.rids.push(rid);
                 off += 10;
             } else {
                 if off + 8 > buf.len() {
                     return Err(DbError::Corrupted { message: "truncated B+-tree child".into() });
                 }
-                node.children.push(u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")));
+                node.children
+                    .push(u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")));
                 off += 8;
             }
         }
@@ -126,6 +146,10 @@ struct BTreeInner {
     initialized: bool,
 }
 
+/// `(key bytes, record id)` pairs produced by a scan, together with the
+/// simulated time at which the scan completed.
+pub type ScanResult = (Vec<(Vec<u8>, RecordId)>, SimTime);
+
 /// A B+-tree index over a storage object.
 #[derive(Debug)]
 pub struct BTree {
@@ -138,7 +162,12 @@ impl BTree {
     pub fn new(obj: ObjectId) -> Self {
         BTree {
             obj,
-            inner: Mutex::new(BTreeInner { root: 0, page_count: 1, entries: 0, initialized: false }),
+            inner: Mutex::new(BTreeInner {
+                root: 0,
+                page_count: 1,
+                entries: 0,
+                initialized: false,
+            }),
         }
     }
 
@@ -167,11 +196,22 @@ impl BTree {
         Ok((Node::decode(&bytes)?, t))
     }
 
-    fn write_node(&self, pool: &BufferPool, page: u64, node: &Node, now: SimTime) -> Result<SimTime> {
+    fn write_node(
+        &self,
+        pool: &BufferPool,
+        page: u64,
+        node: &Node,
+        now: SimTime,
+    ) -> Result<SimTime> {
         pool.write_page(self.obj, page, &node.encode(), now)
     }
 
-    fn ensure_init(&self, inner: &mut BTreeInner, pool: &BufferPool, now: SimTime) -> Result<SimTime> {
+    fn ensure_init(
+        &self,
+        inner: &mut BTreeInner,
+        pool: &BufferPool,
+        now: SimTime,
+    ) -> Result<SimTime> {
         if inner.initialized {
             return Ok(now);
         }
@@ -181,7 +221,13 @@ impl BTree {
     }
 
     /// Insert (or overwrite) `key` → `rid`.  Returns the completion time.
-    pub fn insert(&self, pool: &BufferPool, key: &[u8], rid: RecordId, now: SimTime) -> Result<SimTime> {
+    pub fn insert(
+        &self,
+        pool: &BufferPool,
+        key: &[u8],
+        rid: RecordId,
+        now: SimTime,
+    ) -> Result<SimTime> {
         if key.is_empty() || key.len() + 12 + HEADER > PAGE_SIZE / 4 {
             return Err(DbError::TooLarge { message: format!("index key of {} bytes", key.len()) });
         }
@@ -278,7 +324,12 @@ impl BTree {
     }
 
     /// Exact-match lookup.
-    pub fn search(&self, pool: &BufferPool, key: &[u8], now: SimTime) -> Result<(Option<RecordId>, SimTime)> {
+    pub fn search(
+        &self,
+        pool: &BufferPool,
+        key: &[u8],
+        now: SimTime,
+    ) -> Result<(Option<RecordId>, SimTime)> {
         let mut inner = self.inner.lock();
         let mut t = self.ensure_init(&mut inner, pool, now)?;
         let mut page = inner.root;
@@ -305,7 +356,7 @@ impl BTree {
         low: &[u8],
         high: &[u8],
         now: SimTime,
-    ) -> Result<(Vec<(Vec<u8>, RecordId)>, SimTime)> {
+    ) -> Result<ScanResult> {
         let mut inner = self.inner.lock();
         let mut t = self.ensure_init(&mut inner, pool, now)?;
         let mut page = inner.root;
@@ -344,7 +395,7 @@ impl BTree {
         pool: &BufferPool,
         prefix: &[u8],
         now: SimTime,
-    ) -> Result<(Vec<(Vec<u8>, RecordId)>, SimTime)> {
+    ) -> Result<ScanResult> {
         let mut high = prefix.to_vec();
         // Smallest byte string strictly greater than every string with the
         // prefix: increment the last non-0xFF byte and truncate.
@@ -403,9 +454,7 @@ mod tests {
 
     fn setup(pool_pages: usize) -> (BufferPool, BTree) {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::instant())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let placement = PlacementConfig::traditional(8, ["idx".to_string()]);
@@ -425,9 +474,8 @@ mod tests {
         assert!(tree.is_empty());
         let (found, _) = tree.search(&pool, &composite_key(&[1]), SimTime::ZERO).unwrap();
         assert_eq!(found, None);
-        let (range, _) = tree
-            .range(&pool, &composite_key(&[0]), &composite_key(&[100]), SimTime::ZERO)
-            .unwrap();
+        let (range, _) =
+            tree.range(&pool, &composite_key(&[0]), &composite_key(&[100]), SimTime::ZERO).unwrap();
         assert!(range.is_empty());
         let (deleted, _) = tree.delete(&pool, &composite_key(&[1]), SimTime::ZERO).unwrap();
         assert!(!deleted);
@@ -473,14 +521,11 @@ mod tests {
         for i in 0..2_000i64 {
             t = tree.insert(&pool, &composite_key(&[i]), rid(i as u64), t).unwrap();
         }
-        let (results, _) = tree
-            .range(&pool, &composite_key(&[100]), &composite_key(&[120]), t)
-            .unwrap();
+        let (results, _) =
+            tree.range(&pool, &composite_key(&[100]), &composite_key(&[120]), t).unwrap();
         assert_eq!(results.len(), 20);
-        let keys: Vec<i64> = results
-            .iter()
-            .map(|(k, _)| crate::value::decode_key_int(&k[..8]))
-            .collect();
+        let keys: Vec<i64> =
+            results.iter().map(|(k, _)| crate::value::decode_key_int(&k[..8])).collect();
         assert_eq!(keys, (100..120).collect::<Vec<_>>());
         assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
     }
@@ -494,7 +539,12 @@ mod tests {
             for d in 1..=3i64 {
                 for o in 1..=50i64 {
                     t = tree
-                        .insert(&pool, &composite_key(&[w, d, o]), rid((w * 1000 + d * 100 + o) as u64), t)
+                        .insert(
+                            &pool,
+                            &composite_key(&[w, d, o]),
+                            rid((w * 1000 + d * 100 + o) as u64),
+                            t,
+                        )
                         .unwrap();
                 }
             }

@@ -157,7 +157,8 @@ impl BufferPool {
         if data.len() != PAGE_SIZE {
             data.resize(PAGE_SIZE, 0);
         }
-        inner.frames[idx] = Some(Frame { key: (obj, page), data: data.clone(), dirty: false, ref_bit: true });
+        inner.frames[idx] =
+            Some(Frame { key: (obj, page), data: data.clone(), dirty: false, ref_bit: true });
         inner.map.insert((obj, page), idx);
         Ok((data, done))
     }
@@ -165,7 +166,13 @@ impl BufferPool {
     /// Write a page into the pool (dirtying it).  No flash I/O happens now;
     /// the page reaches storage on eviction or an explicit flush.  Returns
     /// `now` unchanged — the caller is not charged.
-    pub fn write_page(&self, obj: ObjectId, page: u64, data: &[u8], now: SimTime) -> Result<SimTime> {
+    pub fn write_page(
+        &self,
+        obj: ObjectId,
+        page: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<SimTime> {
         if data.len() != PAGE_SIZE {
             return Err(DbError::TooLarge {
                 message: format!("page write of {} bytes, expected {PAGE_SIZE}", data.len()),
@@ -181,12 +188,8 @@ impl BufferPool {
             return Ok(now);
         }
         let idx = self.find_victim(&mut inner, now)?;
-        inner.frames[idx] = Some(Frame {
-            key: (obj, page),
-            data: data.to_vec(),
-            dirty: true,
-            ref_bit: true,
-        });
+        inner.frames[idx] =
+            Some(Frame { key: (obj, page), data: data.to_vec(), dirty: true, ref_bit: true });
         inner.map.insert((obj, page), idx);
         Ok(now)
     }
@@ -231,13 +234,7 @@ impl BufferPool {
 
     /// Number of dirty pages currently in the pool.
     pub fn dirty_pages(&self) -> usize {
-        self.inner
-            .lock()
-            .frames
-            .iter()
-            .flatten()
-            .filter(|f| f.dirty)
-            .count()
+        self.inner.lock().frames.iter().flatten().filter(|f| f.dirty).count()
     }
 }
 
@@ -250,9 +247,7 @@ mod tests {
 
     fn backend() -> Arc<NoFtlBackend> {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::small_test())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let placement = PlacementConfig::traditional(4, ["t".to_string()]);

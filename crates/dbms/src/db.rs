@@ -39,11 +39,7 @@ pub struct DatabaseConfig {
 
 impl Default for DatabaseConfig {
     fn default() -> Self {
-        DatabaseConfig {
-            buffer_pages: 2_000,
-            wal_enabled: true,
-            op_cpu: Duration::from_us(2),
-        }
+        DatabaseConfig { buffer_pages: 2_000, wal_enabled: true, op_cpu: Duration::from_us(2) }
     }
 }
 
@@ -133,7 +129,9 @@ impl Database {
     /// Create a table.
     pub fn create_table(&self, name: &str, schema: Schema, now: SimTime) -> Result<()> {
         if schema.is_empty() {
-            return Err(DbError::SchemaMismatch { message: format!("table '{name}' needs columns") });
+            return Err(DbError::SchemaMismatch {
+                message: format!("table '{name}' needs columns"),
+            });
         }
         let obj = self.backend.create_object(name)?;
         let table = TableDef {
@@ -364,9 +362,7 @@ mod tests {
 
     fn open_db(buffer_pages: usize) -> Database {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let placement = PlacementConfig::traditional(8, [METADATA_OBJECT.to_string()]);
@@ -396,7 +392,12 @@ mod tests {
         let mut txn = db.begin(t0);
         let key = composite_key(&[1, 42]);
         let rid = db
-            .insert(&mut txn, "customer", &customer(42, 1, 10.0, "BARBARBAR"), &[("c_idx", key.clone())])
+            .insert(
+                &mut txn,
+                "customer",
+                &customer(42, 1, 10.0, "BARBARBAR"),
+                &[("c_idx", key.clone())],
+            )
             .unwrap();
         assert!(txn.writes >= 2);
         // Point lookup through the index.
@@ -431,8 +432,11 @@ mod tests {
         let device = Arc::new(DeviceBuilder::new(FlashGeometry::example()).build());
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let backend = Arc::new(
-            NoFtlBackend::new(noftl, &PlacementConfig::traditional(8, [METADATA_OBJECT.to_string()]))
-                .unwrap(),
+            NoFtlBackend::new(
+                noftl,
+                &PlacementConfig::traditional(8, [METADATA_OBJECT.to_string()]),
+            )
+            .unwrap(),
         );
         let db2 = Database::open(
             backend,
@@ -470,9 +474,8 @@ mod tests {
             }
         }
         // All lines of order 7.
-        let lines = db
-            .index_prefix(&mut txn, "orderline", "ol_idx", &composite_key(&[1, 1, 7]))
-            .unwrap();
+        let lines =
+            db.index_prefix(&mut txn, "orderline", "ol_idx", &composite_key(&[1, 1, 7])).unwrap();
         assert_eq!(lines.len(), 5);
         // Orders 5..10 (exclusive).
         let range = db
@@ -520,6 +523,6 @@ mod tests {
         assert_eq!(db.get(&mut txn2, "t", rid).unwrap()[0], Value::Int(1));
         assert_eq!(db.table_names(), vec!["t".to_string()]);
         assert!(db.table("t").is_ok());
-        assert_eq!(db.buffer_stats().logical_writes > 0, true);
+        assert!(db.buffer_stats().logical_writes > 0);
     }
 }

@@ -93,7 +93,12 @@ impl HeapFile {
     }
 
     /// Insert a record, returning its id.
-    pub fn insert(&self, pool: &BufferPool, record: &[u8], now: SimTime) -> Result<(RecordId, SimTime)> {
+    pub fn insert(
+        &self,
+        pool: &BufferPool,
+        record: &[u8],
+        now: SimTime,
+    ) -> Result<(RecordId, SimTime)> {
         let mut inner = self.inner.lock();
         let mut t = now;
         // Try the current fill page first.
@@ -121,14 +126,25 @@ impl HeapFile {
     }
 
     /// Read the record at `rid`.
-    pub fn get(&self, pool: &BufferPool, rid: RecordId, now: SimTime) -> Result<(Vec<u8>, SimTime)> {
+    pub fn get(
+        &self,
+        pool: &BufferPool,
+        rid: RecordId,
+        now: SimTime,
+    ) -> Result<(Vec<u8>, SimTime)> {
         let (bytes, t) = pool.read_page(self.obj, rid.page, now)?;
         let page = SlottedPage::from_bytes(bytes)?;
         Ok((page.get(rid.slot)?.to_vec(), t))
     }
 
     /// Overwrite the record at `rid` in place.
-    pub fn update(&self, pool: &BufferPool, rid: RecordId, record: &[u8], now: SimTime) -> Result<SimTime> {
+    pub fn update(
+        &self,
+        pool: &BufferPool,
+        rid: RecordId,
+        record: &[u8],
+        now: SimTime,
+    ) -> Result<SimTime> {
         let (bytes, t) = pool.read_page(self.obj, rid.page, now)?;
         let mut page = SlottedPage::from_bytes(bytes)?;
         page.update(rid.slot, record)?;
@@ -178,9 +194,7 @@ mod tests {
 
     fn setup() -> (Arc<NoFtlBackend>, BufferPool, HeapFile) {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::instant())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let placement = PlacementConfig::traditional(8, ["heap".to_string()]);
@@ -269,9 +283,7 @@ mod tests {
     #[test]
     fn data_survives_pool_eviction_pressure() {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::instant())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let placement = PlacementConfig::traditional(8, ["heap".to_string()]);

@@ -234,7 +234,7 @@ mod tests {
             inserted += 1;
         }
         // 4 KiB / (100 + 4 slot bytes) ≈ 39 records.
-        assert!(inserted >= 35 && inserted <= 40, "inserted {inserted}");
+        assert!((35..=40).contains(&inserted), "inserted {inserted}");
         assert!(!p.fits(100));
         // Records survive a serialization roundtrip.
         let restored = SlottedPage::from_bytes(p.as_bytes().to_vec()).unwrap();

@@ -36,9 +36,7 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from `(name, type)` pairs.
     pub fn new(columns: Vec<(&str, ColumnType)>) -> Self {
-        Schema {
-            columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
-        }
+        Schema { columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect() }
     }
 
     /// Number of columns.
@@ -82,7 +80,9 @@ impl Schema {
             match (ty, value) {
                 (ColumnType::Int, Value::Int(v)) => out.extend_from_slice(&v.to_le_bytes()),
                 (ColumnType::Float, Value::Float(v)) => out.extend_from_slice(&v.to_le_bytes()),
-                (ColumnType::Float, Value::Int(v)) => out.extend_from_slice(&(*v as f64).to_le_bytes()),
+                (ColumnType::Float, Value::Int(v)) => {
+                    out.extend_from_slice(&(*v as f64).to_le_bytes())
+                }
                 (ColumnType::Str(n), Value::Str(s)) => {
                     let n = *n as usize;
                     let bytes = s.as_bytes();
@@ -128,7 +128,8 @@ impl Schema {
                 }
                 ColumnType::Str(n) => {
                     let n = *n as usize;
-                    let len = u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes")) as usize;
+                    let len =
+                        u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes")) as usize;
                     if len > n {
                         return Err(DbError::Corrupted {
                             message: format!("string length {len} exceeds column size {n}"),

@@ -68,7 +68,9 @@ impl NoFtlBackend {
         let mut default_region = None;
         for assignment in &placement.regions {
             let rid = noftl
-                .create_region(RegionSpec::named(&assignment.region_name).with_die_count(assignment.dies))
+                .create_region(
+                    RegionSpec::named(&assignment.region_name).with_die_count(assignment.dies),
+                )
                 .map_err(DbError::storage)?;
             if default_region.is_none() {
                 default_region = Some(rid);
@@ -78,12 +80,7 @@ impl NoFtlBackend {
         let default_region = default_region.ok_or_else(|| DbError::Storage {
             message: "placement configuration has no regions".to_string(),
         })?;
-        Ok(NoFtlBackend {
-            noftl,
-            placement: placement.clone(),
-            regions,
-            default_region,
-        })
+        Ok(NoFtlBackend { noftl, placement: placement.clone(), regions, default_region })
     }
 
     /// The underlying NoFTL storage manager.
@@ -176,7 +173,13 @@ impl BlockBackend {
         &self.device
     }
 
-    fn lba_for(&self, inner: &mut BlockInner, obj: ObjectId, page: u64, allocate: bool) -> Result<u64> {
+    fn lba_for(
+        &self,
+        inner: &mut BlockInner,
+        obj: ObjectId,
+        page: u64,
+        allocate: bool,
+    ) -> Result<u64> {
         let extent_pages = self.extent_pages;
         let capacity = self.device.capacity_sectors();
         if inner.objects.get(obj as usize).and_then(|o| o.as_ref()).is_none() {
@@ -184,7 +187,8 @@ impl BlockBackend {
         }
         let extent_no = (page / extent_pages) as usize;
         loop {
-            let allocated = inner.objects[obj as usize].as_ref().expect("checked above").extents.len();
+            let allocated =
+                inner.objects[obj as usize].as_ref().expect("checked above").extents.len();
             if allocated > extent_no {
                 break;
             }
@@ -200,11 +204,7 @@ impl BlockBackend {
                 });
             }
             inner.next_free_lba += extent_pages;
-            inner.objects[obj as usize]
-                .as_mut()
-                .expect("checked above")
-                .extents
-                .push(base);
+            inner.objects[obj as usize].as_mut().expect("checked above").extents.push(base);
         }
         let extents = inner.objects[obj as usize].as_ref().expect("checked above");
         Ok(extents.extents[extent_no] + page % extent_pages)

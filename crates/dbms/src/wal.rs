@@ -117,12 +117,13 @@ mod tests {
 
     fn backend() -> Arc<NoFtlBackend> {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::small_test())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
-        Arc::new(NoFtlBackend::new(noftl, &PlacementConfig::traditional(4, ["log".to_string()])).unwrap())
+        Arc::new(
+            NoFtlBackend::new(noftl, &PlacementConfig::traditional(4, ["log".to_string()]))
+                .unwrap(),
+        )
     }
 
     #[test]

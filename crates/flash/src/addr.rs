@@ -64,12 +64,7 @@ impl BlockAddr {
 
     /// The address of a page inside this block.
     pub fn page(&self, page: u32) -> PageAddr {
-        PageAddr {
-            die: self.die,
-            plane: self.plane,
-            block: self.block,
-            page,
-        }
+        PageAddr { die: self.die, plane: self.plane, block: self.block, page }
     }
 }
 
@@ -100,11 +95,7 @@ impl PageAddr {
 
     /// The block this page belongs to.
     pub fn block(&self) -> BlockAddr {
-        BlockAddr {
-            die: self.die,
-            plane: self.plane,
-            block: self.block,
-        }
+        BlockAddr { die: self.die, plane: self.plane, block: self.block }
     }
 
     /// The plane this page belongs to.

@@ -26,20 +26,12 @@ pub struct BadBlockPolicy {
 impl BadBlockPolicy {
     /// No bad blocks, unlimited endurance — the default for functional tests.
     pub fn none() -> Self {
-        BadBlockPolicy {
-            factory_bad_fraction: 0.0,
-            endurance_cycles: u64::MAX,
-            seed: 0,
-        }
+        BadBlockPolicy { factory_bad_fraction: 0.0, endurance_cycles: u64::MAX, seed: 0 }
     }
 
     /// Realistic MLC policy: 1 % factory-bad blocks, 3 000 P/E cycles.
     pub fn mlc() -> Self {
-        BadBlockPolicy {
-            factory_bad_fraction: 0.01,
-            endurance_cycles: 3_000,
-            seed: 0x0bad_b10c,
-        }
+        BadBlockPolicy { factory_bad_fraction: 0.01, endurance_cycles: 3_000, seed: 0x0bad_b10c }
     }
 
     /// Decide (deterministically, given the policy seed) which block

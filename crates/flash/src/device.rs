@@ -93,9 +93,7 @@ impl DeviceBuilder {
     /// Panics if the geometry fails validation; geometry errors are
     /// programming errors, not runtime conditions.
     pub fn build(self) -> NandDevice {
-        self.geometry
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid flash geometry: {e}"));
+        self.geometry.validate().unwrap_or_else(|e| panic!("invalid flash geometry: {e}"));
         let g = self.geometry;
         let dies: Vec<Die> = (0..g.total_dies())
             .map(|_| Die::new(g.planes_per_die, g.blocks_per_plane, g.pages_per_block))
@@ -116,7 +114,8 @@ impl DeviceBuilder {
             let within = idx % blocks_per_die;
             let plane = (within / g.blocks_per_plane as u64) as u32;
             let block = (within % g.blocks_per_plane as u64) as u32;
-            inner.dies[die as usize].planes[plane as usize].blocks[block as usize].state = BlockState::Bad;
+            inner.dies[die as usize].planes[plane as usize].blocks[block as usize].state =
+                BlockState::Bad;
         }
         NandDevice {
             geometry: g,
@@ -205,13 +204,18 @@ impl NandDevice {
 
     /// Read a page: returns the payload (empty if the device does not store
     /// data), its OOB metadata, and the operation outcome.
-    pub fn read_page(&self, addr: PageAddr, at: SimTime) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
+    pub fn read_page(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+    ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
         self.check_page(addr)?;
         let ch = self.geometry.channel_of_die(addr.die) as usize;
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         {
-            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+                [addr.block as usize];
             if block.state == BlockState::Bad {
                 inner.stats.errors += 1;
                 return Err(FlashError::BadBlock { addr: addr.block() });
@@ -228,7 +232,8 @@ impl NandDevice {
             at,
             self.geometry.page_size,
         );
-        let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+            [addr.block as usize];
         let data = if self.store_data {
             let psz = self.geometry.page_size as usize;
             block
@@ -255,13 +260,18 @@ impl NandDevice {
     /// Read only the OOB metadata of a page (cheaper than a full read);
     /// used by GC and recovery to discover which logical page a physical
     /// page holds.
-    pub fn read_metadata(&self, addr: PageAddr, at: SimTime) -> Result<(Option<PageMetadata>, OpOutcome)> {
+    pub fn read_metadata(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+    ) -> Result<(Option<PageMetadata>, OpOutcome)> {
         self.check_page(addr)?;
         let ch = self.geometry.channel_of_die(addr.die) as usize;
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         {
-            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+                [addr.block as usize];
             if block.state == BlockState::Bad {
                 inner.stats.errors += 1;
                 return Err(FlashError::BadBlock { addr: addr.block() });
@@ -274,7 +284,8 @@ impl NandDevice {
             at,
             self.geometry.oob_size,
         );
-        let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+            [addr.block as usize];
         let meta = block.meta[addr.page as usize];
         inner.stats.metadata_reads += 1;
         inner.stats.bytes_transferred += self.geometry.oob_size as u64;
@@ -310,8 +321,8 @@ impl NandDevice {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         {
-            let block =
-                &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+                [addr.block as usize];
             if block.state == BlockState::Bad {
                 inner.stats.errors += 1;
                 return Err(FlashError::BadBlock { addr: addr.block() });
@@ -342,12 +353,10 @@ impl NandDevice {
         let pages_per_block = self.geometry.pages_per_block;
         let psz = self.geometry.page_size as usize;
         let store = self.store_data;
-        let block =
-            &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+            [addr.block as usize];
         if store {
-            let buf = block
-                .data
-                .get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
+            let buf = block.data.get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
             let off = addr.page as usize * psz;
             if data.is_empty() {
                 buf[off..off + psz].fill(0);
@@ -359,11 +368,8 @@ impl NandDevice {
         block.meta[addr.page as usize] = Some(meta);
         block.valid_pages += 1;
         block.write_ptr = addr.page + 1;
-        block.state = if block.write_ptr == pages_per_block {
-            BlockState::Full
-        } else {
-            BlockState::Open
-        };
+        block.state =
+            if block.write_ptr == pages_per_block { BlockState::Full } else { BlockState::Open };
         inner.stats.page_programs += 1;
         inner.stats.bytes_transferred += self.geometry.page_size as u64;
         inner.stats.program_latency_sum += sched.complete - at;
@@ -383,7 +389,8 @@ impl NandDevice {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         {
-            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+            let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+                [addr.block as usize];
             if block.state == BlockState::Bad {
                 inner.stats.errors += 1;
                 return Err(FlashError::BadBlock { addr });
@@ -391,14 +398,15 @@ impl NandDevice {
             if block.erase_count >= self.endurance {
                 inner.stats.errors += 1;
                 let count = block.erase_count;
-                inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize].state =
-                    BlockState::Bad;
+                inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+                    [addr.block as usize]
+                    .state = BlockState::Bad;
                 return Err(FlashError::WornOut { addr, erase_count: count });
             }
         }
         let sched = sched::schedule_erase(&mut inner.dies[addr.die.0 as usize], &self.timing, at);
-        let block =
-            &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+            [addr.block as usize];
         block.reset_erased();
         block.erase_count += 1;
         inner.stats.block_erases += 1;
@@ -425,7 +433,8 @@ impl NandDevice {
         let inner = &mut *inner;
         // Validate source.
         let (src_meta, src_data) = {
-            let sblock = &inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks[src.block as usize];
+            let sblock = &inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks
+                [src.block as usize];
             if sblock.state == BlockState::Bad {
                 inner.stats.errors += 1;
                 return Err(FlashError::BadBlock { addr: src.block() });
@@ -447,7 +456,8 @@ impl NandDevice {
         };
         // Validate destination.
         {
-            let dblock = &inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks[dst.block as usize];
+            let dblock = &inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks
+                [dst.block as usize];
             if dblock.state == BlockState::Bad {
                 inner.stats.errors += 1;
                 return Err(FlashError::BadBlock { addr: dst.block() });
@@ -468,12 +478,10 @@ impl NandDevice {
         let pages_per_block = self.geometry.pages_per_block;
         let psz = self.geometry.page_size as usize;
         let store = self.store_data;
-        let dblock =
-            &mut inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks[dst.block as usize];
+        let dblock = &mut inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks
+            [dst.block as usize];
         if store {
-            let buf = dblock
-                .data
-                .get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
+            let buf = dblock.data.get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
             let off = dst.page as usize * psz;
             match &src_data {
                 Some(d) => buf[off..off + psz].copy_from_slice(d),
@@ -484,14 +492,11 @@ impl NandDevice {
         dblock.meta[dst.page as usize] = src_meta;
         dblock.valid_pages += 1;
         dblock.write_ptr = dst.page + 1;
-        dblock.state = if dblock.write_ptr == pages_per_block {
-            BlockState::Full
-        } else {
-            BlockState::Open
-        };
+        dblock.state =
+            if dblock.write_ptr == pages_per_block { BlockState::Full } else { BlockState::Open };
         // Source page becomes invalid.
-        let sblock =
-            &mut inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks[src.block as usize];
+        let sblock = &mut inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks
+            [src.block as usize];
         if sblock.pages[src.page as usize] == PageState::Valid {
             sblock.pages[src.page as usize] = PageState::Invalid;
             sblock.valid_pages = sblock.valid_pages.saturating_sub(1);
@@ -516,8 +521,8 @@ impl NandDevice {
     pub fn mark_invalid(&self, addr: PageAddr) -> Result<()> {
         self.check_page(addr)?;
         let mut inner = self.inner.lock();
-        let block =
-            &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize];
+        let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+            [addr.block as usize];
         match block.pages[addr.page as usize] {
             PageState::Valid => {
                 block.pages[addr.page as usize] = PageState::Invalid;
@@ -533,8 +538,8 @@ impl NandDevice {
     pub fn retire_block(&self, addr: BlockAddr) -> Result<()> {
         self.check_block(addr)?;
         let mut inner = self.inner.lock();
-        inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize].state =
-            BlockState::Bad;
+        inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize]
+            .state = BlockState::Bad;
         Ok(())
     }
 
@@ -543,7 +548,8 @@ impl NandDevice {
         self.check_block(addr)?;
         let inner = self.inner.lock();
         Ok(BlockInfo::from_block(
-            &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize],
+            &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
+                [addr.block as usize],
         ))
     }
 
@@ -551,8 +557,8 @@ impl NandDevice {
     pub fn page_state(&self, addr: PageAddr) -> Result<PageState> {
         self.check_page(addr)?;
         let inner = self.inner.lock();
-        Ok(inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize].pages
-            [addr.page as usize])
+        Ok(inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks[addr.block as usize]
+            .pages[addr.page as usize])
     }
 
     /// Aggregate device statistics.
@@ -573,11 +579,7 @@ impl NandDevice {
     /// prefer idle dies).
     pub fn die_busy_until(&self, die: DieId) -> SimTime {
         let inner = self.inner.lock();
-        inner
-            .dies
-            .get(die.0 as usize)
-            .map(|d| d.busy_until)
-            .unwrap_or(SimTime::ZERO)
+        inner.dies.get(die.0 as usize).map(|d| d.busy_until).unwrap_or(SimTime::ZERO)
     }
 
     /// Per-die statistics.
@@ -587,12 +589,8 @@ impl NandDevice {
             .dies
             .iter()
             .map(|d| {
-                let total_erases: u64 = d
-                    .planes
-                    .iter()
-                    .flat_map(|p| p.blocks.iter())
-                    .map(|b| b.erase_count)
-                    .sum();
+                let total_erases: u64 =
+                    d.planes.iter().flat_map(|p| p.blocks.iter()).map(|b| b.erase_count).sum();
                 let max_erase_count = d
                     .planes
                     .iter()
@@ -600,12 +598,7 @@ impl NandDevice {
                     .map(|b| b.erase_count)
                     .max()
                     .unwrap_or(0);
-                DieStats {
-                    ops: d.ops,
-                    busy_time: d.busy_time,
-                    total_erases,
-                    max_erase_count,
-                }
+                DieStats { ops: d.ops, busy_time: d.busy_time, total_erases, max_erase_count }
             })
             .collect()
     }
@@ -688,9 +681,8 @@ mod tests {
         let d = dev();
         let p = page(0, 0, 0);
         d.program_page(p, &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
-        let err = d
-            .program_page(p, &payload(2, &d), PageMetadata::new(1, 0), SimTime::ZERO)
-            .unwrap_err();
+        let err =
+            d.program_page(p, &payload(2, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap_err();
         assert!(matches!(err, FlashError::PageNotErased { .. }));
     }
 
@@ -708,8 +700,13 @@ mod tests {
         let d = dev();
         let b = BlockAddr::new(DieId(0), 0, 0);
         for i in 0..d.geometry().pages_per_block {
-            d.program_page(b.page(i), &payload(i as u8, &d), PageMetadata::new(1, i as u64), SimTime::ZERO)
-                .unwrap();
+            d.program_page(
+                b.page(i),
+                &payload(i as u8, &d),
+                PageMetadata::new(1, i as u64),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         assert_eq!(d.block_info(b).unwrap().state, BlockState::Full);
         d.erase_block(b, SimTime::ZERO).unwrap();
@@ -777,9 +774,8 @@ mod tests {
         let err = d.erase_block(b, SimTime::ZERO).unwrap_err();
         assert!(matches!(err, FlashError::WornOut { .. }));
         // Block is now bad: programs fail too.
-        let err = d
-            .program_page(b.page(0), &[], PageMetadata::new(1, 0), SimTime::ZERO)
-            .unwrap_err();
+        let err =
+            d.program_page(b.page(0), &[], PageMetadata::new(1, 0), SimTime::ZERO).unwrap_err();
         assert!(matches!(err, FlashError::BadBlock { .. }));
     }
 
@@ -787,13 +783,16 @@ mod tests {
     fn operations_on_different_dies_overlap_in_time() {
         let d = dev();
         let t0 = SimTime::ZERO;
-        let a = d.program_page(page(0, 0, 0), &payload(1, &d), PageMetadata::new(1, 0), t0).unwrap();
-        let b = d.program_page(page(2, 0, 0), &payload(2, &d), PageMetadata::new(1, 1), t0).unwrap();
+        let a =
+            d.program_page(page(0, 0, 0), &payload(1, &d), PageMetadata::new(1, 0), t0).unwrap();
+        let b =
+            d.program_page(page(2, 0, 0), &payload(2, &d), PageMetadata::new(1, 1), t0).unwrap();
         // Dies 0 and 2 are on different channels in the small_test geometry,
         // so the operations complete at the same simulated time.
         assert_eq!(a.completed_at, b.completed_at);
         // Same die: the second operation queues.
-        let c = d.program_page(page(0, 0, 1), &payload(3, &d), PageMetadata::new(1, 2), t0).unwrap();
+        let c =
+            d.program_page(page(0, 0, 1), &payload(3, &d), PageMetadata::new(1, 2), t0).unwrap();
         assert!(c.completed_at > a.completed_at);
     }
 
@@ -834,7 +833,12 @@ mod tests {
         let d = dev();
         assert_eq!(d.quiesce_time(), SimTime::ZERO);
         let out = d
-            .program_page(page(0, 0, 0), &payload(1, &d), PageMetadata::new(1, 0), SimTime::from_us(50))
+            .program_page(
+                page(0, 0, 0),
+                &payload(1, &d),
+                PageMetadata::new(1, 0),
+                SimTime::from_us(50),
+            )
             .unwrap();
         assert_eq!(d.quiesce_time(), out.completed_at);
     }
@@ -871,12 +875,15 @@ mod tests {
     fn factory_bad_blocks_reject_operations() {
         let g = FlashGeometry::small_test();
         let d = DeviceBuilder::new(g)
-            .bad_blocks(BadBlockPolicy { factory_bad_fraction: 1.0, endurance_cycles: u64::MAX, seed: 1 })
+            .bad_blocks(BadBlockPolicy {
+                factory_bad_fraction: 1.0,
+                endurance_cycles: u64::MAX,
+                seed: 1,
+            })
             .build();
         // Every block is bad with fraction 1.0.
-        let err = d
-            .program_page(page(0, 0, 0), &[], PageMetadata::new(1, 0), SimTime::ZERO)
-            .unwrap_err();
+        let err =
+            d.program_page(page(0, 0, 0), &[], PageMetadata::new(1, 0), SimTime::ZERO).unwrap_err();
         assert!(matches!(err, FlashError::BadBlock { .. }));
         assert!(d.wear_summary().bad_blocks > 0);
     }

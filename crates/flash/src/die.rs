@@ -16,9 +16,7 @@ pub(crate) struct Plane {
 
 impl Plane {
     pub(crate) fn new(blocks_per_plane: u32, pages_per_block: u32) -> Self {
-        Plane {
-            blocks: (0..blocks_per_plane).map(|_| Block::new(pages_per_block)).collect(),
-        }
+        Plane { blocks: (0..blocks_per_plane).map(|_| Block::new(pages_per_block)).collect() }
     }
 }
 

@@ -115,7 +115,9 @@ impl FlashError {
     pub fn is_permanent(&self) -> bool {
         matches!(
             self,
-            FlashError::BadBlock { .. } | FlashError::WornOut { .. } | FlashError::ProgramFailure { .. }
+            FlashError::BadBlock { .. }
+                | FlashError::WornOut { .. }
+                | FlashError::ProgramFailure { .. }
         )
     }
 }

@@ -170,7 +170,9 @@ impl FlashGeometry {
 
     /// Validate that a block address lies inside the device.
     pub fn contains_block(&self, b: BlockAddr) -> bool {
-        b.die.0 < self.total_dies() && b.plane < self.planes_per_die && b.block < self.blocks_per_plane
+        b.die.0 < self.total_dies()
+            && b.plane < self.planes_per_die
+            && b.block < self.blocks_per_plane
     }
 
     /// Validate that a page address lies inside the device.

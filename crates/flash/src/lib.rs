@@ -58,8 +58,8 @@ pub mod die;
 pub mod error;
 pub mod geometry;
 pub mod metadata;
-pub mod stats;
 pub mod sched;
+pub mod stats;
 pub mod time;
 pub mod timing;
 pub mod trace;

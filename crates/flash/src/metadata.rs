@@ -82,11 +82,9 @@ mod tests {
         assert_eq!(PageMetadata::decode(&[]), None);
     }
 
-    #[test]
-    fn encoded_len_fits_typical_oob() {
-        // Typical OOB areas are 64-224 bytes per 4 KiB page.
-        assert!(PageMetadata::ENCODED_LEN <= 64);
-    }
+    // Typical OOB areas are 64-224 bytes per 4 KiB page; checked at compile
+    // time so the encoding can never silently outgrow the smallest OOB.
+    const _ENCODED_LEN_FITS_TYPICAL_OOB: () = assert!(PageMetadata::ENCODED_LEN <= 64);
 
     proptest! {
         #[test]

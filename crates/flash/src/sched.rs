@@ -103,8 +103,7 @@ mod tests {
         let mut ch = Channel::default();
         let t = TimingModel::mlc_2015();
         let s = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096);
-        let expected =
-            t.read_array_time().as_us_f64() + t.transfer_time(4096).as_us_f64();
+        let expected = t.read_array_time().as_us_f64() + t.transfer_time(4096).as_us_f64();
         assert!((s.latency(SimTime::ZERO).as_us_f64() - expected).abs() < 1e-6);
     }
 
@@ -114,8 +113,7 @@ mod tests {
         let mut ch = Channel::default();
         let t = TimingModel::mlc_2015();
         let s = schedule_program(&mut d, &mut ch, &t, SimTime::ZERO, 4096);
-        let expected =
-            t.program_array_time().as_us_f64() + t.transfer_time(4096).as_us_f64();
+        let expected = t.program_array_time().as_us_f64() + t.transfer_time(4096).as_us_f64();
         assert!((s.latency(SimTime::ZERO).as_us_f64() - expected).abs() < 1e-6);
     }
 
@@ -126,14 +124,15 @@ mod tests {
         let t = TimingModel::mlc_2015();
         let s = schedule_copyback(&mut d, &t, SimTime::ZERO);
         assert_eq!(ch.bytes_transferred, 0);
-        assert!(s.latency(SimTime::ZERO) < {
-            // read + transfer out + transfer in + program (external move)
-            let ext = t.read_array_time()
-                + t.transfer_time(4096)
-                + t.transfer_time(4096)
-                + t.program_array_time();
-            ext
-        });
+        assert!(
+            s.latency(SimTime::ZERO) < {
+                // read + transfer out + transfer in + program (external move)
+                t.read_array_time()
+                    + t.transfer_time(4096)
+                    + t.transfer_time(4096)
+                    + t.program_array_time()
+            }
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl DeviceStats {
 
     /// Total array operations.
     pub fn total_ops(&self) -> u64 {
-        self.page_reads + self.page_programs + self.block_erases + self.copybacks + self.metadata_reads
+        self.page_reads
+            + self.page_programs
+            + self.block_erases
+            + self.copybacks
+            + self.metadata_reads
     }
 
     /// Difference between two snapshots (`self - earlier`), used to report
@@ -79,9 +83,13 @@ impl DeviceStats {
             metadata_reads: self.metadata_reads - earlier.metadata_reads,
             bytes_transferred: self.bytes_transferred - earlier.bytes_transferred,
             read_latency_sum: Duration(self.read_latency_sum.0 - earlier.read_latency_sum.0),
-            program_latency_sum: Duration(self.program_latency_sum.0 - earlier.program_latency_sum.0),
+            program_latency_sum: Duration(
+                self.program_latency_sum.0 - earlier.program_latency_sum.0,
+            ),
             erase_latency_sum: Duration(self.erase_latency_sum.0 - earlier.erase_latency_sum.0),
-            copyback_latency_sum: Duration(self.copyback_latency_sum.0 - earlier.copyback_latency_sum.0),
+            copyback_latency_sum: Duration(
+                self.copyback_latency_sum.0 - earlier.copyback_latency_sum.0,
+            ),
             errors: self.errors - earlier.errors,
         }
     }

@@ -51,11 +51,7 @@ impl TraceBuffer {
     /// Create a trace buffer retaining at most `cap` recent operations.
     /// A capacity of zero disables tracing.
     pub fn new(cap: usize) -> Self {
-        TraceBuffer {
-            cap,
-            ops: VecDeque::with_capacity(cap.min(4096)),
-            total_recorded: 0,
-        }
+        TraceBuffer { cap, ops: VecDeque::with_capacity(cap.min(4096)), total_recorded: 0 }
     }
 
     /// Record an operation (no-op if the buffer capacity is zero).

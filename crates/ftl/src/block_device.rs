@@ -80,7 +80,10 @@ impl BlockDevice for MemBlockDevice {
 
     fn write(&self, lba: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
         if data.len() != self.sector_size as usize {
-            return Err(crate::FtlError::BadSectorSize { expected: self.sector_size, got: data.len() });
+            return Err(crate::FtlError::BadSectorSize {
+                expected: self.sector_size,
+                got: data.len(),
+            });
         }
         let mut sectors = self.sectors.lock();
         let cap = sectors.len() as u64;

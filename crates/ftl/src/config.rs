@@ -77,10 +77,7 @@ impl FtlConfig {
 
     /// Enterprise-style configuration with 20 % over-provisioning.
     pub fn enterprise() -> Self {
-        FtlConfig {
-            overprovisioning: 0.20,
-            ..Self::consumer()
-        }
+        FtlConfig { overprovisioning: 0.20, ..Self::consumer() }
     }
 
     /// Validate the configuration, returning a description of the problem
@@ -126,18 +123,14 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = FtlConfig::default();
-        c.overprovisioning = 0.95;
+        let c = FtlConfig { overprovisioning: 0.95, ..FtlConfig::default() };
         assert!(c.validate().is_err());
-        c = FtlConfig::default();
-        c.gc_high_watermark = 0;
-        c.gc_low_watermark = 1;
+        let c = FtlConfig { gc_high_watermark: 0, gc_low_watermark: 1, ..FtlConfig::default() };
         assert!(c.validate().is_err());
-        c = FtlConfig::default();
-        c.gc_low_watermark = 0;
+        let c = FtlConfig { gc_low_watermark: 0, ..FtlConfig::default() };
         assert!(c.validate().is_err());
-        c = FtlConfig::default();
-        c.mapping = MappingKind::Dftl { cached_entries: 0 };
+        let c =
+            FtlConfig { mapping: MappingKind::Dftl { cached_entries: 0 }, ..FtlConfig::default() };
         assert!(c.validate().is_err());
     }
 

@@ -65,7 +65,8 @@ mod tests {
     fn display_and_from() {
         let e = FtlError::LbaOutOfRange { lba: 10, capacity: 5 };
         assert!(e.to_string().contains("LBA 10"));
-        let fe: FtlError = FlashError::UnwrittenPage { addr: PageAddr::new(DieId(0), 0, 0, 0) }.into();
+        let fe: FtlError =
+            FlashError::UnwrittenPage { addr: PageAddr::new(DieId(0), 0, 0, 0) }.into();
         assert!(matches!(fe, FtlError::Flash(_)));
         assert!(fe.to_string().contains("flash error"));
     }

@@ -23,9 +23,7 @@ pub struct PageMap {
 impl PageMap {
     /// Create a table for `logical_pages` logical pages, all unmapped.
     pub fn new(logical_pages: u64) -> Self {
-        PageMap {
-            entries: vec![None; logical_pages as usize],
-        }
+        PageMap { entries: vec![None; logical_pages as usize] }
     }
 
     /// Number of logical pages the table covers.

@@ -77,12 +77,11 @@ impl FtlSsd {
     /// # Panics
     /// Panics if the configuration fails validation (a programming error).
     pub fn new(device: Arc<NandDevice>, config: FtlConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid FTL configuration: {e}"));
+        config.validate().unwrap_or_else(|e| panic!("invalid FTL configuration: {e}"));
         let geo = *device.geometry();
         let total_pages = geo.total_pages();
-        let exported_sectors = ((total_pages as f64) * (1.0 - config.overprovisioning)).floor() as u64;
+        let exported_sectors =
+            ((total_pages as f64) * (1.0 - config.overprovisioning)).floor() as u64;
         let dies = geo
             .dies()
             .map(|die| {
@@ -98,12 +97,7 @@ impl FtlSsd {
                         }
                     }
                 }
-                DieAlloc {
-                    free_blocks,
-                    active: None,
-                    gc_active: None,
-                    used_blocks: Vec::new(),
-                }
+                DieAlloc { free_blocks, active: None, gc_active: None, used_blocks: Vec::new() }
             })
             .collect();
         let dftl = match config.mapping {
@@ -144,10 +138,7 @@ impl FtlSsd {
     /// Current write amplification (physical programs + copybacks per host write).
     pub fn write_amplification(&self) -> f64 {
         let dev = self.device.stats();
-        self.inner
-            .lock()
-            .stats
-            .write_amplification(dev.page_programs + dev.copybacks)
+        self.inner.lock().stats.write_amplification(dev.page_programs + dev.copybacks)
     }
 
     /// DFTL mapping-cache hit ratio, if DFTL is configured.
@@ -169,7 +160,12 @@ impl FtlSsd {
 
     /// Charge the latency of DFTL mapping-table traffic (approximated as
     /// additional array/transfer time without touching real flash pages).
-    fn dftl_penalty(&self, miss: bool, dirty_eviction: bool, stats: &mut FtlStats) -> flash_sim::Duration {
+    fn dftl_penalty(
+        &self,
+        miss: bool,
+        dirty_eviction: bool,
+        stats: &mut FtlStats,
+    ) -> flash_sim::Duration {
         let mut extra = flash_sim::Duration::ZERO;
         let timing = self.device.timing();
         if miss {
@@ -186,15 +182,18 @@ impl FtlSsd {
     fn record_invalidation(inner: &mut SsdInner, ppa: PageAddr) {
         inner.invalidate_seq += 1;
         let seq = inner.invalidate_seq;
-        inner
-            .block_invalidate_seq
-            .insert((ppa.die.0, ppa.plane, ppa.block), seq);
+        inner.block_invalidate_seq.insert((ppa.die.0, ppa.plane, ppa.block), seq);
     }
 
     /// Ensure the die has an active block with at least one free page,
     /// running GC if the free-block pool is low.  Returns the page address
     /// to program next, or `None` if the die is completely out of space.
-    fn next_host_page(&self, inner: &mut SsdInner, die_idx: usize, at: SimTime) -> Option<PageAddr> {
+    fn next_host_page(
+        &self,
+        inner: &mut SsdInner,
+        die_idx: usize,
+        at: SimTime,
+    ) -> Option<PageAddr> {
         // Run GC if the pool is low.
         if (inner.dies[die_idx].free_blocks.len() as u32) <= self.config.gc_low_watermark {
             self.run_gc(inner, die_idx, at);
@@ -219,7 +218,11 @@ impl FtlSsd {
                         .enumerate()
                         .map(|(slot, b)| FreeBlockCandidate {
                             slot,
-                            erase_count: self.device.block_info(*b).map(|i| i.erase_count).unwrap_or(0),
+                            erase_count: self
+                                .device
+                                .block_info(*b)
+                                .map(|i| i.erase_count)
+                                .unwrap_or(0),
                         })
                         .collect();
                     let slot = pick_free_block(self.config.wear_leveling, &cands)?;
@@ -255,7 +258,11 @@ impl FtlSsd {
                         .enumerate()
                         .map(|(slot, b)| FreeBlockCandidate {
                             slot,
-                            erase_count: self.device.block_info(*b).map(|i| i.erase_count).unwrap_or(0),
+                            erase_count: self
+                                .device
+                                .block_info(*b)
+                                .map(|i| i.erase_count)
+                                .unwrap_or(0),
                         })
                         .collect();
                     let slot = pick_free_block(self.config.wear_leveling, &cands)?;
@@ -269,7 +276,13 @@ impl FtlSsd {
     /// Relocate all valid pages of `victim` (updating the mapping) and
     /// erase it.  Returns `false` if relocation could not complete (no
     /// destination space); in that case the victim is left as-is.
-    fn collect_block(&self, inner: &mut SsdInner, die_idx: usize, victim: BlockAddr, at: SimTime) -> bool {
+    fn collect_block(
+        &self,
+        inner: &mut SsdInner,
+        die_idx: usize,
+        victim: BlockAddr,
+        at: SimTime,
+    ) -> bool {
         let pages_per_block = self.geometry().pages_per_block;
         for page in 0..pages_per_block {
             let src = victim.page(page);
@@ -474,9 +487,7 @@ mod tests {
 
     fn small_ssd(op: f64) -> FtlSsd {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::small_test())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
         );
         let config = FtlConfig {
             overprovisioning: op,

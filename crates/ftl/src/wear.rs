@@ -26,16 +26,18 @@ pub struct FreeBlockCandidate {
 /// With [`WearLevelingPolicy::None`] the first candidate is returned
 /// (arbitrary but deterministic); otherwise the least-worn block wins, with
 /// the slot index as a tie-breaker.
-pub fn pick_free_block(policy: WearLevelingPolicy, candidates: &[FreeBlockCandidate]) -> Option<usize> {
+pub fn pick_free_block(
+    policy: WearLevelingPolicy,
+    candidates: &[FreeBlockCandidate],
+) -> Option<usize> {
     if candidates.is_empty() {
         return None;
     }
     match policy {
         WearLevelingPolicy::None => candidates.first().map(|c| c.slot),
-        WearLevelingPolicy::Dynamic | WearLevelingPolicy::Static { .. } => candidates
-            .iter()
-            .min_by_key(|c| (c.erase_count, c.slot))
-            .map(|c| c.slot),
+        WearLevelingPolicy::Dynamic | WearLevelingPolicy::Static { .. } => {
+            candidates.iter().min_by_key(|c| (c.erase_count, c.slot)).map(|c| c.slot)
+        }
     }
 }
 

@@ -172,15 +172,15 @@ impl Driver {
         let cfg = &self.config;
         let mut clients: Vec<Client> = (0..cfg.clients.max(1))
             .map(|i| Client {
-                rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9)),
+                rng: StdRng::seed_from_u64(
+                    cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+                ),
                 clock: start,
                 home_warehouse: (i as i64 % scale.warehouses) + 1,
             })
             .collect();
-        let mut per_type: std::collections::BTreeMap<TxnType, TxnTypeStats> = TxnType::all()
-            .into_iter()
-            .map(|t| (t, TxnTypeStats::default()))
-            .collect();
+        let mut per_type: std::collections::BTreeMap<TxnType, TxnTypeStats> =
+            TxnType::all().into_iter().map(|t| (t, TxnTypeStats::default())).collect();
         let mut committed = 0u64;
         let mut rolled_back = 0u64;
 
@@ -197,12 +197,18 @@ impl Driver {
             let mut txn = db.begin(client.clock);
             let w_id = client.home_warehouse;
             let outcome = match txn_type {
-                TxnType::NewOrder => transactions::new_order(db, scale, &mut client.rng, &mut txn, w_id)?,
-                TxnType::Payment => transactions::payment(db, scale, &mut client.rng, &mut txn, w_id)?,
+                TxnType::NewOrder => {
+                    transactions::new_order(db, scale, &mut client.rng, &mut txn, w_id)?
+                }
+                TxnType::Payment => {
+                    transactions::payment(db, scale, &mut client.rng, &mut txn, w_id)?
+                }
                 TxnType::OrderStatus => {
                     transactions::order_status(db, scale, &mut client.rng, &mut txn, w_id)?
                 }
-                TxnType::Delivery => transactions::delivery(db, scale, &mut client.rng, &mut txn, w_id)?,
+                TxnType::Delivery => {
+                    transactions::delivery(db, scale, &mut client.rng, &mut txn, w_id)?
+                }
                 TxnType::StockLevel => {
                     transactions::stock_level(db, scale, &mut client.rng, &mut txn, w_id)?
                 }
@@ -221,12 +227,7 @@ impl Driver {
             client.clock = txn.now + cfg.think_time;
         }
 
-        let makespan = clients
-            .iter()
-            .map(|c| c.clock)
-            .max()
-            .unwrap_or(start)
-            .since(start);
+        let makespan = clients.iter().map(|c| c.clock).max().unwrap_or(start).since(start);
         let tps = if makespan.as_secs_f64() > 0.0 {
             committed as f64 / makespan.as_secs_f64()
         } else {
@@ -278,7 +279,8 @@ mod tests {
         assert!(counts[&TxnType::StockLevel] > 0);
         assert!(counts[&TxnType::OrderStatus] > 0);
         // Degenerate mix still picks something.
-        let zero = TxnMix { new_order: 0, payment: 0, order_status: 0, delivery: 0, stock_level: 0 };
+        let zero =
+            TxnMix { new_order: 0, payment: 0, order_status: 0, delivery: 0, stock_level: 0 };
         let _ = zero.pick(&mut rng);
         assert_eq!(TxnType::NewOrder.name(), "NewOrder");
     }
@@ -286,15 +288,13 @@ mod tests {
     #[test]
     fn small_end_to_end_run_produces_sane_report() {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
         );
         let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
         let backend = Arc::new(NoFtlBackend::new(noftl, &placement::traditional(8)).unwrap());
         // A small buffer pool so the run actually misses and reads flash.
-        let db =
-            Database::open(backend, DatabaseConfig { buffer_pages: 48, ..Default::default() }).unwrap();
+        let db = Database::open(backend, DatabaseConfig { buffer_pages: 48, ..Default::default() })
+            .unwrap();
         let scale = crate::loader::ScaleConfig::tiny();
         let (_, loaded_at) = Loader::new(scale, 11).load(&db, SimTime::ZERO).unwrap();
         let driver = Driver::new(DriverConfig {
@@ -315,14 +315,13 @@ mod tests {
         assert!(new_order.mean_response_ms() > 0.0);
         // Deterministic: the same seed gives the same transaction counts.
         let device2 = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::mlc_2015())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
         );
         let noftl2 = Arc::new(NoFtl::new(Arc::clone(&device2), NoFtlConfig::default()));
         let backend2 = Arc::new(NoFtlBackend::new(noftl2, &placement::traditional(8)).unwrap());
         let db2 =
-            Database::open(backend2, DatabaseConfig { buffer_pages: 48, ..Default::default() }).unwrap();
+            Database::open(backend2, DatabaseConfig { buffer_pages: 48, ..Default::default() })
+                .unwrap();
         let (_, loaded2) = Loader::new(scale, 11).load(&db2, SimTime::ZERO).unwrap();
         let report2 = Driver::new(DriverConfig {
             clients: 4,

@@ -168,11 +168,8 @@ impl Loader {
 
         // STOCK: one row per item.
         for i_id in 1..=s.items {
-            let mut rec: Record = vec![
-                Value::Int(i_id),
-                Value::Int(w_id),
-                Value::Int(random::uniform(rng, 10, 100)),
-            ];
+            let mut rec: Record =
+                vec![Value::Int(i_id), Value::Int(w_id), Value::Int(random::uniform(rng, 10, 100))];
             for _ in 0..10 {
                 rec.push(Value::Str(random::a_string(rng, 24, 24)));
             }
@@ -335,7 +332,12 @@ impl Loader {
             }
             if is_new {
                 let no: Record = vec![Value::Int(o_id), Value::Int(d_id), Value::Int(w_id)];
-                db.insert(txn, "NEW_ORDER", &no, &[("NO_IDX", schema::new_order_key(w_id, d_id, o_id))])?;
+                db.insert(
+                    txn,
+                    "NEW_ORDER",
+                    &no,
+                    &[("NO_IDX", schema::new_order_key(w_id, d_id, o_id))],
+                )?;
                 stats.bump("NEW_ORDER");
             }
         }
@@ -353,12 +355,11 @@ mod tests {
 
     fn open_db() -> Database {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::instant())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
-        let backend = Arc::new(NoFtlBackend::new(noftl, &crate::placement::traditional(8)).unwrap());
+        let backend =
+            Arc::new(NoFtlBackend::new(noftl, &crate::placement::traditional(8)).unwrap());
         Database::open(backend, DatabaseConfig { buffer_pages: 512, ..Default::default() }).unwrap()
     }
 

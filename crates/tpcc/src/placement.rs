@@ -109,11 +109,8 @@ pub fn advised(
     let grouped: Vec<(String, Vec<ObjectProfile>)> = groups
         .iter()
         .map(|(name, members)| {
-            let members: Vec<ObjectProfile> = profiles
-                .iter()
-                .filter(|p| members.contains(&p.name))
-                .cloned()
-                .collect();
+            let members: Vec<ObjectProfile> =
+                profiles.iter().filter(|p| members.contains(&p.name)).cloned().collect();
             (name.clone(), members)
         })
         .collect();

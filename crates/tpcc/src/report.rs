@@ -132,11 +132,7 @@ impl ComparisonReport {
         let t = &self.traditional;
         let r = &self.regions;
         let mut out = String::new();
-        out.push_str(&Self::row(
-            "",
-            "Traditional".to_string(),
-            "Regions".to_string(),
-        ));
+        out.push_str(&Self::row("", "Traditional".to_string(), "Regions".to_string()));
         out.push_str(&Self::row("TPS", format!("{:.2}", t.tps), format!("{:.2}", r.tps)));
         out.push_str(&Self::row(
             "READ 4KB (us)",
@@ -157,11 +153,7 @@ impl ComparisonReport {
                 format!("{:.2}", b.mean_response_ms()),
             ));
         }
-        out.push_str(&Self::row(
-            "Transactions",
-            t.committed.to_string(),
-            r.committed.to_string(),
-        ));
+        out.push_str(&Self::row("Transactions", t.committed.to_string(), r.committed.to_string()));
         out.push_str(&Self::row(
             "Host READ I/Os (4KB)",
             t.host_reads.to_string(),
@@ -177,11 +169,7 @@ impl ComparisonReport {
             t.gc_copybacks.to_string(),
             r.gc_copybacks.to_string(),
         ));
-        out.push_str(&Self::row(
-            "GC ERASEs",
-            t.gc_erases.to_string(),
-            r.gc_erases.to_string(),
-        ));
+        out.push_str(&Self::row("GC ERASEs", t.gc_erases.to_string(), r.gc_erases.to_string()));
         out.push_str(&Self::row(
             "Write amplification",
             format!("{:.3}", t.write_amplification()),

@@ -16,18 +16,39 @@ pub const LAST_NAME_KEY_PAD: usize = 16;
 
 /// Names of all TPC-C tables (heap objects).
 pub fn table_names() -> Vec<String> {
-    ["WAREHOUSE", "DISTRICT", "CUSTOMER", "HISTORY", "NEW_ORDER", "ORDER", "ORDERLINE", "ITEM", "STOCK"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "WAREHOUSE",
+        "DISTRICT",
+        "CUSTOMER",
+        "HISTORY",
+        "NEW_ORDER",
+        "ORDER",
+        "ORDERLINE",
+        "ITEM",
+        "STOCK",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// Names of all TPC-C indexes.
 pub fn index_names() -> Vec<String> {
-    ["W_IDX", "D_IDX", "C_IDX", "C_NAME_IDX", "I_IDX", "S_IDX", "O_IDX", "O_CUST_IDX", "NO_IDX", "OL_IDX"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "W_IDX",
+        "D_IDX",
+        "C_IDX",
+        "C_NAME_IDX",
+        "I_IDX",
+        "S_IDX",
+        "O_IDX",
+        "O_CUST_IDX",
+        "NO_IDX",
+        "OL_IDX",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// All storage object names the workload creates (tables, indexes and the

@@ -7,9 +7,9 @@
 
 use rand::rngs::StdRng;
 
+use dbms_engine::txn::TxnOutcome;
 use dbms_engine::value::Value;
 use dbms_engine::{Database, Record, RecordId, Txn};
-use dbms_engine::txn::TxnOutcome;
 
 use crate::loader::ScaleConfig;
 use crate::random;
@@ -61,7 +61,12 @@ fn select_customer(
     if random::uniform(rng, 1, 100) <= 60 {
         // By last name: take the middle customer with that name.
         let last = random::random_last_name(rng);
-        let matches = db.index_prefix(txn, "CUSTOMER", "C_NAME_IDX", &schema::customer_name_prefix(w_id, d_id, &last))?;
+        let matches = db.index_prefix(
+            txn,
+            "CUSTOMER",
+            "C_NAME_IDX",
+            &schema::customer_name_prefix(w_id, d_id, &last),
+        )?;
         if matches.is_empty() {
             // Fall back to a by-id lookup (small scales do not have every name).
             let c_id = random::nurand_customer_id(rng, scale.customers_per_district);
@@ -186,7 +191,12 @@ pub fn new_order(
             Value::Float(amount),
             Value::Str("distinfo-distinfo-dist".into()),
         ];
-        db.insert(txn, "ORDERLINE", &ol, &[("OL_IDX", schema::orderline_key(w_id, d_id, o_id, *line))])?;
+        db.insert(
+            txn,
+            "ORDERLINE",
+            &ol,
+            &[("OL_IDX", schema::orderline_key(w_id, d_id, o_id, *line))],
+        )?;
     }
     debug_assert!(total >= 0.0);
     db.commit(txn)
@@ -381,7 +391,9 @@ pub fn stock_level(
     }
     let mut low_stock = 0u64;
     for i_id in items {
-        if let Some((_, stock)) = db.index_get(txn, "STOCK", "S_IDX", &schema::stock_key(w_id, i_id))? {
+        if let Some((_, stock)) =
+            db.index_get(txn, "STOCK", "S_IDX", &schema::stock_key(w_id, i_id))?
+        {
             if int(&stock, S_QUANTITY) < threshold {
                 low_stock += 1;
             }
@@ -404,14 +416,13 @@ mod tests {
 
     fn setup() -> (Database, ScaleConfig, SimTime) {
         let device = Arc::new(
-            DeviceBuilder::new(FlashGeometry::example())
-                .timing(TimingModel::instant())
-                .build(),
+            DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
         );
         let noftl = Arc::new(NoFtl::new(device, NoFtlConfig::default()));
         let backend = Arc::new(NoFtlBackend::new(noftl, &placement::traditional(8)).unwrap());
         let db =
-            Database::open(backend, DatabaseConfig { buffer_pages: 1024, ..Default::default() }).unwrap();
+            Database::open(backend, DatabaseConfig { buffer_pages: 1024, ..Default::default() })
+                .unwrap();
         let scale = ScaleConfig::tiny();
         let (_, done) = Loader::new(scale, 3).load(&db, SimTime::ZERO).unwrap();
         (db, scale, done)
@@ -490,10 +501,7 @@ mod tests {
         delivery(&db, &scale, &mut rng, &mut txn, 1).unwrap();
         let pending_after = db.table("NEW_ORDER").unwrap().heap.record_count();
         // One order per district is delivered.
-        assert_eq!(
-            pending_after,
-            pending_before - scale.districts_per_warehouse as u64
-        );
+        assert_eq!(pending_after, pending_before - scale.districts_per_warehouse as u64);
         // Delivered orders have a carrier assigned.
         let orders = db
             .index_prefix(&mut txn, "ORDER", "O_IDX", &dbms_engine::value::composite_key(&[1, 1]))

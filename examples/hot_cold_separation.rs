@@ -25,10 +25,7 @@ fn run(separate_regions: bool) -> (u64, u64, f64) {
         oob_size: 64,
     };
     let device: Arc<NandDevice> = Arc::new(
-        DeviceBuilder::new(geometry)
-            .timing(TimingModel::mlc_2015())
-            .store_data(false)
-            .build(),
+        DeviceBuilder::new(geometry).timing(TimingModel::mlc_2015()).store_data(false).build(),
     );
     let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
     let (hot_region, cold_region) = if separate_regions {
@@ -68,11 +65,19 @@ fn main() {
     println!("skewed workload: hot updates interleaved with a cold insert stream\n");
     let (mixed_cb, mixed_er, mixed_wa) = run(false);
     let (sep_cb, sep_er, sep_wa) = run(true);
-    println!("{:<28} {:>12} {:>10} {:>20}", "placement", "copybacks", "erases", "write amplification");
-    println!("{:<28} {:>12} {:>10} {:>20.3}", "mixed (single region)", mixed_cb, mixed_er, mixed_wa);
+    println!(
+        "{:<28} {:>12} {:>10} {:>20}",
+        "placement", "copybacks", "erases", "write amplification"
+    );
+    println!(
+        "{:<28} {:>12} {:>10} {:>20.3}",
+        "mixed (single region)", mixed_cb, mixed_er, mixed_wa
+    );
     println!("{:<28} {:>12} {:>10} {:>20.3}", "separated (two regions)", sep_cb, sep_er, sep_wa);
     let cb_delta = 100.0 * (mixed_cb as f64 - sep_cb as f64) / mixed_cb.max(1) as f64;
     let er_delta = 100.0 * (mixed_er as f64 - sep_er as f64) / mixed_er.max(1) as f64;
     println!("\nregion separation: {cb_delta:.1}% fewer copybacks, {er_delta:.1}% fewer erases");
-    println!("(the paper's Figure 3 reports ~20% fewer copybacks and ~4% fewer erases under TPC-C)");
+    println!(
+        "(the paper's Figure 3 reports ~20% fewer copybacks and ~4% fewer erases under TPC-C)"
+    );
 }

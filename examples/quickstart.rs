@@ -14,9 +14,7 @@ use noftl_regions::noftl::{Ddl, NoFtl, NoFtlConfig};
 fn main() {
     // 1. A simulated native flash device: 64 dies over 4 channels, 4 KiB pages.
     let device = Arc::new(
-        DeviceBuilder::new(FlashGeometry::edbt_paper())
-            .timing(TimingModel::mlc_2015())
-            .build(),
+        DeviceBuilder::new(FlashGeometry::edbt_paper()).timing(TimingModel::mlc_2015()).build(),
     );
     println!(
         "device: {} dies, {} channels, {:.1} GiB raw capacity",

@@ -13,16 +13,15 @@ use noftl_regions::noftl::{ddl, Ddl, NoFtl, NoFtlConfig};
 
 fn main() {
     let device = Arc::new(
-        DeviceBuilder::new(FlashGeometry::edbt_paper())
-            .timing(TimingModel::mlc_2015())
-            .build(),
+        DeviceBuilder::new(FlashGeometry::edbt_paper()).timing(TimingModel::mlc_2015()).build(),
     );
     let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
     println!("free dies at start: {}", noftl.free_die_count());
 
     // Parse-only view of a statement.
-    let stmt = ddl::parse_statement("CREATE REGION rgDemo (MAX_CHIPS=2, MAX_CHANNELS=2, MAX_SIZE=512M)")
-        .expect("parses");
+    let stmt =
+        ddl::parse_statement("CREATE REGION rgDemo (MAX_CHIPS=2, MAX_CHANNELS=2, MAX_SIZE=512M)")
+            .expect("parses");
     println!("parsed: {stmt:?}");
 
     // Execute a small administration script.

@@ -29,9 +29,11 @@ fn main() {
     let dies = 16;
     println!("TPC-C (tiny scale) on {dies} dies: traditional vs. six-region placement\n");
     let traditional =
-        small(Experiment::figure3_base(placement::traditional(dies), "Traditional data placement")).run();
+        small(Experiment::figure3_base(placement::traditional(dies), "Traditional data placement"))
+            .run();
     let regions =
-        small(Experiment::figure3_base(placement::figure2(dies), "Data placement using Regions")).run();
+        small(Experiment::figure3_base(placement::figure2(dies), "Data placement using Regions"))
+            .run();
 
     println!("per-region view of the multi-region run:\n{}", regions.region_table());
     let cmp = ComparisonReport {

@@ -23,10 +23,7 @@ fn run(policy: WearLevelingPolicy) -> (f64, u64, u64) {
         oob_size: 64,
     };
     let device = Arc::new(
-        DeviceBuilder::new(geometry)
-            .timing(TimingModel::instant())
-            .store_data(false)
-            .build(),
+        DeviceBuilder::new(geometry).timing(TimingModel::instant()).store_data(false).build(),
     );
     let config = NoFtlConfig { wear_leveling: policy, ..NoFtlConfig::paper_defaults() };
     let noftl = NoFtl::new(Arc::clone(&device), config);
@@ -50,7 +47,10 @@ fn run(policy: WearLevelingPolicy) -> (f64, u64, u64) {
 
 fn main() {
     println!("hot/cold skew on one region under three wear-leveling policies\n");
-    println!("{:<22} {:>16} {:>16} {:>16}", "policy", "wear imbalance", "max erase count", "WL migrations");
+    println!(
+        "{:<22} {:>16} {:>16} {:>16}",
+        "policy", "wear imbalance", "max erase count", "WL migrations"
+    );
     for (name, policy) in [
         ("none", WearLevelingPolicy::None),
         ("dynamic", WearLevelingPolicy::Dynamic),

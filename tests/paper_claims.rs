@@ -21,9 +21,8 @@ fn tpcc_runs_on_both_placements_and_regions_reduce_gc_copybacks() {
     let traditional = scaled(Experiment::smoke(placement::traditional(dies), "traditional"))
         .with_dies(dies)
         .run();
-    let regions = scaled(Experiment::smoke(placement::figure2(dies), "regions"))
-        .with_dies(dies)
-        .run();
+    let regions =
+        scaled(Experiment::smoke(placement::figure2(dies), "regions")).with_dies(dies).run();
 
     // Both configurations execute the full mix successfully.
     assert!(traditional.report.committed > 1_000);
@@ -64,7 +63,8 @@ trait WithDies {
 impl WithDies for Experiment {
     fn with_dies(mut self, dies: u32) -> Self {
         // Keep 2 channels and grow chips per channel to reach the target.
-        self.geometry.chips_per_channel = (dies / (self.geometry.channels * self.geometry.dies_per_chip)).max(1);
+        self.geometry.chips_per_channel =
+            (dies / (self.geometry.channels * self.geometry.dies_per_chip)).max(1);
         assert_eq!(self.geometry.total_dies(), dies, "die count must match the placement");
         self
     }

@@ -30,7 +30,8 @@ fn exercise(db: &Database) {
     let mut txn = db.begin(t0);
     let mut rids = Vec::new();
     for id in 0..500i64 {
-        let rid = db.insert(&mut txn, "t", &row(id, id * 2), &[("t_pk", composite_key(&[id]))]).unwrap();
+        let rid =
+            db.insert(&mut txn, "t", &row(id, id * 2), &[("t_pk", composite_key(&[id]))]).unwrap();
         rids.push(rid);
     }
     db.commit(&mut txn).unwrap();
@@ -46,7 +47,9 @@ fn exercise(db: &Database) {
     let rec = db.get(&mut txn, "t", rids[10]).unwrap();
     assert_eq!(rec[1], Value::Int(999));
     // Range scan.
-    let hits = db.index_range(&mut txn, "t", "t_pk", &composite_key(&[100]), &composite_key(&[110])).unwrap();
+    let hits = db
+        .index_range(&mut txn, "t", "t_pk", &composite_key(&[100]), &composite_key(&[110]))
+        .unwrap();
     assert_eq!(hits.len(), 10);
     db.commit(&mut txn).unwrap();
     // Everything survives a checkpoint.
@@ -58,14 +61,13 @@ fn exercise(db: &Database) {
 #[test]
 fn engine_on_noftl_regions_backend() {
     let device = Arc::new(
-        DeviceBuilder::new(FlashGeometry::example())
-            .timing(TimingModel::mlc_2015())
-            .build(),
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
     );
     let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults()));
     let placement = PlacementConfig::traditional(8, ["t".to_string(), "t_pk".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(noftl, &placement).unwrap());
-    let db = Database::open(backend, DatabaseConfig { buffer_pages: 64, ..Default::default() }).unwrap();
+    let db =
+        Database::open(backend, DatabaseConfig { buffer_pages: 64, ..Default::default() }).unwrap();
     exercise(&db);
     // The flash device really saw traffic (writes always reach flash via
     // the flushers; reads may be absorbed by the buffer pool at this size).
@@ -79,13 +81,12 @@ fn engine_on_legacy_ftl_block_device() {
     // The same engine and workload, but through the conventional I/O path:
     // block device -> FTL -> flash.
     let device = Arc::new(
-        DeviceBuilder::new(FlashGeometry::example())
-            .timing(TimingModel::mlc_2015())
-            .build(),
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
     );
     let ssd = Arc::new(FtlSsd::new(Arc::clone(&device), FtlConfig::enterprise()));
     let backend = Arc::new(BlockBackend::new(ssd.clone(), 32));
-    let db = Database::open(backend, DatabaseConfig { buffer_pages: 64, ..Default::default() }).unwrap();
+    let db =
+        Database::open(backend, DatabaseConfig { buffer_pages: 64, ..Default::default() }).unwrap();
     exercise(&db);
     assert!(ssd.stats().host_writes > 0);
     assert!(device.stats().page_programs > 0);
@@ -100,7 +101,10 @@ fn noftl_and_ftl_share_one_native_device_interface() {
     let dev_a = Arc::new(DeviceBuilder::new(geometry).build());
     let dev_b = Arc::new(DeviceBuilder::new(geometry).build());
     let noftl = NoFtl::with_single_region(Arc::clone(&dev_a), NoFtlConfig::paper_defaults()).0;
-    let ssd = FtlSsd::new(Arc::clone(&dev_b), FtlConfig { overprovisioning: 0.3, ..FtlConfig::consumer() });
+    let ssd = FtlSsd::new(
+        Arc::clone(&dev_b),
+        FtlConfig { overprovisioning: 0.3, ..FtlConfig::consumer() },
+    );
 
     let obj = {
         let rid = noftl.region_ids()[0];
