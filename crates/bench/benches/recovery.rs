@@ -1,0 +1,76 @@
+//! Recovery-time benchmark: how long `NoFtl::mount` + `Database::recover`
+//! take as a function of the WAL tail length.
+//!
+//! Each benchmark prepares a crashed-at-snapshot device whose WAL holds
+//! the after-images of `txns` committed transactions since the last
+//! checkpoint, then measures the full reboot path: rebuild the device
+//! from the snapshot, remount the storage manager (OOB scan + checkpoint
+//! replay) and redo the WAL tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dbms_engine::{Database, DatabaseConfig, NoFtlBackend, Schema, Value};
+use flash_sim::{DeviceBuilder, DeviceSnapshot, FlashGeometry, NandDevice, SimTime, TimingModel};
+use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig};
+
+fn config() -> DatabaseConfig {
+    DatabaseConfig {
+        buffer_pages: 512,
+        redo_logging: true,
+        wal_segment_pages: 1_000_000, // keep the tail; we want it long
+        ..DatabaseConfig::default()
+    }
+}
+
+/// Run `txns` committed single-insert transactions past a checkpoint and
+/// return the torn-off device snapshot plus the WAL length in pages.
+fn crashed_snapshot(txns: i64) -> (DeviceSnapshot, u64) {
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
+    );
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let placement = PlacementConfig::traditional(8, ["t".to_string()]);
+    let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
+    let db = Database::open(backend, config()).unwrap();
+    db.create_table(
+        "t",
+        Schema::new(vec![("k", dbms_engine::ColumnType::Int), ("v", dbms_engine::ColumnType::Int)]),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let mut t = db.checkpoint(SimTime::ZERO).unwrap();
+    for i in 0..txns {
+        let mut txn = db.begin(t);
+        db.insert(&mut txn, "t", &vec![Value::Int(i), Value::Int(i * 7)], &[]).unwrap();
+        db.commit(&mut txn).unwrap();
+        t = txn.now;
+    }
+    let wal_pages = db.wal_stats().pages;
+    (device.snapshot(), wal_pages)
+}
+
+fn recover_from(snapshot: &DeviceSnapshot) -> u64 {
+    let device = Arc::new(NandDevice::from_snapshot(snapshot, TimingModel::mlc_2015()).unwrap());
+    let (noftl, mount) = NoFtl::mount(device, NoFtlConfig::default(), SimTime::ZERO).unwrap();
+    let placement = PlacementConfig::traditional(8, ["t".to_string()]);
+    let backend = Arc::new(NoFtlBackend::attach(Arc::new(noftl), &placement).unwrap());
+    let (_db, report) = Database::recover(backend, config(), mount.completed_at).unwrap();
+    report.redo_pages_applied
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    for txns in [25i64, 100, 400] {
+        let (snapshot, wal_pages) = crashed_snapshot(txns);
+        group.bench_function(&format!("mount+redo/{txns}txns/{wal_pages}walpages"), |b| {
+            b.iter(|| black_box(recover_from(&snapshot)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -69,6 +69,14 @@ pub enum NoFtlError {
         /// Human-readable description.
         message: String,
     },
+    /// `NoFtl::mount` found data on the device but no complete region-
+    /// metadata checkpoint to rebuild the directory from.
+    NoCheckpoint,
+    /// A checkpoint or mount operation failed.
+    Recovery {
+        /// Human-readable description.
+        message: String,
+    },
     /// An underlying native flash error.
     Flash(FlashError),
 }
@@ -94,6 +102,12 @@ impl fmt::Display for NoFtlError {
                 write!(f, "bad page buffer size: expected {expected}, got {got}")
             }
             NoFtlError::Ddl { message } => write!(f, "DDL error: {message}"),
+            NoFtlError::NoCheckpoint => write!(
+                f,
+                "device holds data but no complete region-metadata checkpoint; \
+                 cannot rebuild the object directory"
+            ),
+            NoFtlError::Recovery { message } => write!(f, "recovery error: {message}"),
             NoFtlError::Flash(e) => write!(f, "flash error: {e}"),
         }
     }

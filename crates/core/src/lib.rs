@@ -46,6 +46,7 @@ pub mod hotcold;
 pub mod manager;
 pub mod object;
 pub mod placement;
+pub mod recovery;
 pub mod region;
 pub mod stats;
 pub mod wear;
@@ -57,6 +58,7 @@ pub use hotcold::{ObjectProfile, Temperature};
 pub use manager::NoFtl;
 pub use object::ObjectId;
 pub use placement::{PlacementAdvisor, PlacementConfig, RegionAssignment};
+pub use recovery::{MountReport, META_OBJECT_ID, META_REGION_NAME};
 pub use region::{RegionId, RegionInfo, RegionSpec};
 pub use stats::{NoFtlStats, ObjectStats, RegionStats};
 

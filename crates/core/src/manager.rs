@@ -11,16 +11,39 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use flash_sim::{DieId, NandDevice, PageAddr, PageMetadata, PageState, SimTime};
+use flash_sim::{BlockAddr, DieId, NandDevice, PageAddr, PageMetadata, PageState, SimTime};
 
 use crate::config::NoFtlConfig;
 use crate::error::NoFtlError;
 use crate::gc::{select_victim, GcCandidate};
 use crate::object::{ObjectId, ObjectState};
-use crate::region::{RegionId, RegionRuntime, RegionSpec};
+use crate::recovery::{
+    self, CheckpointImage, MountReport, ObjectImage, RegionImage, META_OBJECT_ID, META_REGION_NAME,
+};
+use crate::region::{RegionDie, RegionId, RegionRuntime, RegionSpec};
 use crate::stats::{NoFtlStats, ObjectStats, RegionStats};
 use crate::wear::needs_static_wl;
 use crate::Result;
+
+/// In-memory state of the region-metadata journal: where checkpoint chunk
+/// pages currently live.  The chunks themselves carry all recovery
+/// information in their page payloads and OOB records; this directory only
+/// lets the *running* manager invalidate superseded chunks and lets GC
+/// keep the chunk locations current when it relocates them.
+#[derive(Debug, Default)]
+struct MetaDirectory {
+    /// Region hosting the checkpoint chunks (created lazily).
+    region: Option<RegionId>,
+    /// Chunk index → physical page of the newest *completed* checkpoint.
+    map: Vec<Option<PageAddr>>,
+    /// Chunk pages of a checkpoint currently being written.  The previous
+    /// checkpoint's pages stay valid (and in `map`) until every new chunk
+    /// is durable, so a crash mid-checkpoint always leaves one complete
+    /// checkpoint on flash.
+    staging: Vec<Option<PageAddr>>,
+    /// Sequence number of the newest completed checkpoint.
+    seq: u64,
+}
 
 struct Inner {
     regions: Vec<Option<RegionRuntime>>,
@@ -30,6 +53,8 @@ struct Inner {
     /// directly in flash page metadata (where 0 means "no object").
     objects: Vec<Option<ObjectState>>,
     object_by_name: HashMap<String, ObjectId>,
+    /// Region-metadata journal state.
+    meta: MetaDirectory,
 }
 
 /// The NoFTL storage manager: regions, objects, address translation,
@@ -69,6 +94,7 @@ impl NoFtl {
                 free_dies,
                 objects: vec![None],
                 object_by_name: HashMap::new(),
+                meta: MetaDirectory::default(),
             }),
         }
     }
@@ -157,6 +183,13 @@ impl NoFtl {
     /// complete.
     pub fn drop_region(&self, rid: RegionId, at: SimTime) -> Result<SimTime> {
         let mut inner = self.inner.lock();
+        if inner.meta.region == Some(rid) {
+            return Err(NoFtlError::Recovery {
+                message: format!(
+                    "region {rid:?} hosts the region-metadata journal and cannot be dropped"
+                ),
+            });
+        }
         let region = Self::region_mut(&mut inner.regions, rid)?;
         if !region.objects.is_empty() {
             return Err(NoFtlError::RegionNotEmpty { region: rid, objects: region.objects.len() });
@@ -295,6 +328,7 @@ impl NoFtl {
                             &self.config,
                             region,
                             &mut inner.objects,
+                            &mut inner.meta,
                             at,
                         )
                         .ok_or(NoFtlError::RegionFull { region: rid })?;
@@ -303,11 +337,7 @@ impl NoFtl {
                         done = done.max(out.completed_at);
                         self.device.mark_invalid(src)?;
                         region.stats.rebalance_moves += 1;
-                        if let Some(Some(obj)) = inner.objects.get_mut(meta.object_id as usize) {
-                            if obj.translate(meta.logical_page) == Some(src) {
-                                obj.set_translation(meta.logical_page, ppa);
-                            }
-                        }
+                        Self::retranslate(&mut inner.objects, &mut inner.meta, &meta, src, ppa);
                     }
                 }
             }
@@ -459,10 +489,17 @@ impl NoFtl {
         let rid = Self::object_ref(&inner.objects, obj)?.region;
         let ppa = {
             let region = Self::region_mut(&mut inner.regions, rid)?;
-            Self::allocate_in_region(&self.device, &self.config, region, &mut inner.objects, at)
-                .ok_or(NoFtlError::RegionFull { region: rid })?
+            Self::allocate_in_region(
+                &self.device,
+                &self.config,
+                region,
+                &mut inner.objects,
+                &mut inner.meta,
+                at,
+            )
+            .ok_or(NoFtlError::RegionFull { region: rid })?
         };
-        let meta = PageMetadata::new(obj, page);
+        let meta = PageMetadata::new(obj, page).with_payload_checksum(data);
         let out = self.device.program_page(ppa, data, meta, at)?;
         let old = {
             let state = Self::object_mut(&mut inner.objects, obj)?;
@@ -534,12 +571,13 @@ impl NoFtl {
                 &self.config,
                 region,
                 &mut inner.objects,
+                &mut inner.meta,
                 at,
             ) else {
                 failure = Some(NoFtlError::RegionFull { region: rid });
                 break;
             };
-            let meta = PageMetadata::new(*obj, *page);
+            let meta = PageMetadata::new(*obj, *page).with_payload_checksum(data);
             match self.device.program_page(ppa, data, meta, at) {
                 Ok(out) => staged.push((*obj, *page, ppa, out.completed_at)),
                 Err(e) => {
@@ -603,6 +641,441 @@ impl NoFtl {
     }
 
     // ------------------------------------------------------------------
+    // Crash consistency: checkpoint & mount
+    // ------------------------------------------------------------------
+
+    /// Sequence number of the newest completed region-metadata checkpoint
+    /// (0 if none has been taken yet).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.inner.lock().meta.seq
+    }
+
+    /// The region hosting the region-metadata journal, if a checkpoint has
+    /// been taken.
+    pub fn meta_region(&self) -> Option<RegionId> {
+        self.inner.lock().meta.region
+    }
+
+    /// Pick (and if necessary create) the region hosting checkpoint
+    /// chunks: a dedicated one-die region when unassigned dies exist,
+    /// otherwise the first live region.
+    fn ensure_meta_region(&self) -> Result<RegionId> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(rid) = inner.meta.region {
+                return Ok(rid);
+            }
+            if inner.free_dies.is_empty() {
+                let first =
+                    inner.regions.iter().flatten().map(|r| r.id).next().ok_or_else(|| {
+                        NoFtlError::Recovery {
+                            message: "no free die and no region available for the metadata journal"
+                                .to_string(),
+                        }
+                    })?;
+                inner.meta.region = Some(first);
+                return Ok(first);
+            }
+        }
+        let rid = match self.create_region(RegionSpec::named(META_REGION_NAME).with_die_count(1)) {
+            Ok(rid) => rid,
+            // Present from a previous incarnation (e.g. after a remount).
+            Err(NoFtlError::RegionExists { .. }) => {
+                self.region_id(META_REGION_NAME).expect("region exists")
+            }
+            Err(e) => return Err(e),
+        };
+        self.inner.lock().meta.region = Some(rid);
+        Ok(rid)
+    }
+
+    /// Checkpoint the region metadata: region specs and die assignment,
+    /// the free-die pool, and the full object directory (names, regions,
+    /// access counters and logical-to-physical page maps) are serialised
+    /// and programmed into the metadata region as self-describing chunk
+    /// pages under the reserved [`META_OBJECT_ID`].
+    ///
+    /// [`NoFtl::mount`] replays the newest complete checkpoint and then
+    /// rebuilds everything written after it from out-of-band page
+    /// metadata (mount always performs a full OOB scan; the checkpoint's
+    /// job is the *directory* — region and object identity — which the
+    /// OOB records alone cannot provide).  A checkpoint is never required
+    /// for data durability — only DDL (regions/objects created after the
+    /// last checkpoint) needs a new checkpoint to survive a crash with
+    /// its name and placement intact.
+    ///
+    /// The previous checkpoint's chunk pages are invalidated only after
+    /// every chunk of the new one is durable, so a crash at any instant
+    /// leaves at least one complete checkpoint on flash.
+    ///
+    /// Returns the completion time of the slowest chunk program.
+    pub fn checkpoint(&self, at: SimTime) -> Result<SimTime> {
+        let rid = self.ensure_meta_region()?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let seq = inner.meta.seq + 1;
+        let image = CheckpointImage {
+            seq,
+            epoch_watermark: self.device.current_epoch(),
+            meta_region: Some(rid),
+            free_dies: inner.free_dies.clone(),
+            regions: inner
+                .regions
+                .iter()
+                .flatten()
+                .map(|r| RegionImage {
+                    id: r.id,
+                    spec: r.spec.clone(),
+                    dies: r.die_ids(),
+                    objects: r.objects.clone(),
+                })
+                .collect(),
+            objects: inner
+                .objects
+                .iter()
+                .enumerate()
+                .filter_map(|(id, o)| {
+                    o.as_ref().map(|state| ObjectImage {
+                        id: id as ObjectId,
+                        name: state.name.clone(),
+                        region: state.region,
+                        counters: state.counters,
+                        map: state
+                            .map
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(lp, ppa)| ppa.map(|p| (lp as u64, p)))
+                            .collect(),
+                    })
+                })
+                .collect(),
+        };
+        let blob = image.encode();
+        let page_size = self.device.geometry().page_size as usize;
+        let cap = page_size - recovery::CHUNK_HEADER;
+        let chunk_count = blob.len().div_ceil(cap).max(1) as u32;
+        let mut done = at;
+        // Phase 1: program every new chunk into staging.  `meta.map` (the
+        // previous checkpoint) is left untouched so its pages stay valid —
+        // a crash anywhere in this loop loses only the half-written new
+        // checkpoint, never the old one.  GC may relocate either
+        // generation concurrently; `retranslate` tracks both.
+        inner.meta.staging = vec![None; chunk_count as usize];
+        for index in 0..chunk_count {
+            let lo = index as usize * cap;
+            let hi = (lo + cap).min(blob.len());
+            let page = recovery::encode_chunk(seq, index, chunk_count, &blob[lo..hi], page_size);
+            let ppa = {
+                let region = Self::region_mut(&mut inner.regions, rid)?;
+                Self::allocate_in_region(
+                    &self.device,
+                    &self.config,
+                    region,
+                    &mut inner.objects,
+                    &mut inner.meta,
+                    at,
+                )
+                .ok_or(NoFtlError::RegionFull { region: rid })?
+            };
+            let meta = PageMetadata::new(META_OBJECT_ID, index as u64).with_payload_checksum(&page);
+            let out = self.device.program_page(ppa, &page, meta, at)?;
+            done = done.max(out.completed_at);
+            inner.meta.staging[index as usize] = Some(ppa);
+        }
+        // Phase 2: the new checkpoint is fully durable — retire the old
+        // chunk pages and promote the staged ones.
+        let old = std::mem::replace(&mut inner.meta.map, std::mem::take(&mut inner.meta.staging));
+        for page in old.into_iter().flatten() {
+            let _ = self.device.mark_invalid(page);
+            Self::region_mut(&mut inner.regions, rid)?.record_invalidation(page);
+        }
+        inner.meta.seq = seq;
+        Ok(done)
+    }
+
+    /// Mount a device: rebuild the full storage-manager state from the
+    /// newest complete checkpoint plus the out-of-band page metadata of
+    /// everything written after it.
+    ///
+    /// The mount performs a full OOB scan (reading page payloads where a
+    /// checksum must be verified), discards torn pages, breaks duplicate
+    /// mappings by write epoch and reconstructs per-die allocation state
+    /// from the physical block states.  Objects created after the last
+    /// checkpoint have no directory entry; their pages are preserved under
+    /// a synthesised `__orphan_<id>` name and reported in the
+    /// [`MountReport`].
+    ///
+    /// An empty device mounts as a fresh manager; a device that holds data
+    /// but no complete checkpoint fails with [`NoFtlError::NoCheckpoint`].
+    pub fn mount(
+        device: Arc<NandDevice>,
+        config: NoFtlConfig,
+        at: SimTime,
+    ) -> Result<(NoFtl, MountReport)> {
+        config
+            .validate()
+            .map_err(|e| NoFtlError::Recovery { message: format!("invalid config: {e}") })?;
+        let geo = *device.geometry();
+        let verify_payloads = device.stores_data();
+        let mut report = MountReport::default();
+        let mut now = at;
+
+        // ---- Phase 1: full OOB scan ---------------------------------
+        // (object, logical page) → (epoch, ppa) winners, losers to
+        // invalidate, and checkpoint chunks grouped by sequence number.
+        let mut winners: HashMap<(ObjectId, u64), (u64, PageAddr)> = HashMap::new();
+        let mut losers: Vec<PageAddr> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut chunks: HashMap<u64, HashMap<u32, (u32, u64, PageAddr, Vec<u8>)>> = HashMap::new();
+        for die in geo.dies() {
+            for plane in 0..geo.planes_per_die {
+                for block in 0..geo.blocks_per_plane {
+                    let baddr = BlockAddr::new(die, plane, block);
+                    let info = device.block_info(baddr)?;
+                    if info.state == flash_sim::BlockState::Bad {
+                        continue;
+                    }
+                    for page in 0..info.write_ptr {
+                        let addr = baddr.page(page);
+                        if device.page_state(addr)? != PageState::Valid {
+                            continue;
+                        }
+                        report.pages_scanned += 1;
+                        let (meta, out) = device.read_metadata(addr, at)?;
+                        now = now.max(out.completed_at);
+                        let Some(meta) = meta else {
+                            // OOB destroyed (early tear / interrupted
+                            // erase): nothing recoverable here.
+                            report.unreadable_metadata_pages += 1;
+                            continue;
+                        };
+                        if meta.object_id == META_OBJECT_ID {
+                            let (payload, _, out) = device.read_page(addr, at)?;
+                            now = now.max(out.completed_at);
+                            if !meta.payload_matches(&payload) {
+                                report.torn_pages_discarded += 1;
+                                let _ = device.mark_invalid(addr);
+                                continue;
+                            }
+                            let Some((seq, index, count, _)) = recovery::decode_chunk(&payload)
+                            else {
+                                report.torn_pages_discarded += 1;
+                                let _ = device.mark_invalid(addr);
+                                continue;
+                            };
+                            let by_idx = chunks.entry(seq).or_default();
+                            match by_idx.get(&index) {
+                                Some((_, epoch, _, _)) if *epoch >= meta.epoch => {
+                                    losers.push(addr);
+                                }
+                                _ => {
+                                    if let Some((_, _, old, _)) =
+                                        by_idx.insert(index, (count, meta.epoch, addr, payload))
+                                    {
+                                        losers.push(old);
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        if verify_payloads && meta.checksum != 0 {
+                            let (payload, _, out) = device.read_page(addr, at)?;
+                            now = now.max(out.completed_at);
+                            if !meta.payload_matches(&payload) {
+                                report.torn_pages_discarded += 1;
+                                let _ = device.mark_invalid(addr);
+                                continue;
+                            }
+                        }
+                        match winners.entry((meta.object_id, meta.logical_page)) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert((meta.epoch, addr));
+                            }
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                if meta.epoch > e.get().0 {
+                                    losers.push(e.get().1);
+                                    e.insert((meta.epoch, addr));
+                                } else {
+                                    // Older version — or an epoch tie from a
+                                    // torn copyback, where both copies are
+                                    // identical and either may win.
+                                    losers.push(addr);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 2: pick the newest complete checkpoint -----------
+        let mut best: Option<CheckpointImage> = None;
+        let mut best_chunks: Vec<Option<PageAddr>> = Vec::new();
+        let mut seqs: Vec<u64> = chunks.keys().copied().collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        for seq in seqs {
+            let by_idx = &chunks[&seq];
+            let Some(count) = by_idx.values().map(|(count, _, _, _)| *count).next() else {
+                continue;
+            };
+            if count == 0 || by_idx.len() != count as usize {
+                continue;
+            }
+            let mut blob = Vec::new();
+            let mut addrs = Vec::with_capacity(count as usize);
+            let mut complete = true;
+            for index in 0..count {
+                match by_idx.get(&index).and_then(|(_, _, addr, payload)| {
+                    recovery::decode_chunk(payload).map(|(_, _, _, body)| (*addr, body.to_vec()))
+                }) {
+                    Some((addr, body)) => {
+                        blob.extend_from_slice(&body);
+                        addrs.push(Some(addr));
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            if let Some(image) = CheckpointImage::decode(&blob) {
+                best = Some(image);
+                best_chunks = addrs;
+                break;
+            }
+        }
+        // Chunk pages not part of the chosen checkpoint are stale.
+        let chosen: std::collections::HashSet<PageAddr> =
+            best_chunks.iter().flatten().copied().collect();
+        for by_idx in chunks.values() {
+            for (_, _, addr, _) in by_idx.values() {
+                if !chosen.contains(addr) {
+                    losers.push(*addr);
+                }
+            }
+        }
+
+        let Some(image) = best else {
+            if winners.is_empty() {
+                // Pristine device: a fresh manager.
+                let noftl = NoFtl::new(device, config);
+                report.completed_at = now;
+                return Ok((noftl, report));
+            }
+            return Err(NoFtlError::NoCheckpoint);
+        };
+        report.checkpoint_seq = image.seq;
+
+        // ---- Phase 3: rebuild regions, objects and the free pool ----
+        let max_region = image.regions.iter().map(|r| r.id.0).max().unwrap_or(0) as usize;
+        let mut regions: Vec<Option<RegionRuntime>> = (0..=max_region).map(|_| None).collect();
+        let mut region_by_name = HashMap::new();
+        let mut die_owner: HashMap<DieId, RegionId> = HashMap::new();
+        for rimg in &image.regions {
+            let mut rt = RegionRuntime::new(rimg.id, rimg.spec.clone(), &device, Vec::new());
+            for die in &rimg.dies {
+                die_owner.insert(*die, rimg.id);
+                rt.dies.push(RegionDie::rebuild(&device, *die));
+            }
+            rt.objects = rimg.objects.clone();
+            region_by_name.insert(rt.name.clone(), rimg.id);
+            regions[rimg.id.0 as usize] = Some(rt);
+        }
+        let free_dies: Vec<DieId> = geo.dies().filter(|d| !die_owner.contains_key(d)).collect();
+
+        let checkpoint_map: HashMap<(ObjectId, u64), PageAddr> = image
+            .objects
+            .iter()
+            .flat_map(|o| o.map.iter().map(move |(lp, ppa)| ((o.id, *lp), *ppa)))
+            .collect();
+        let max_obj = image
+            .objects
+            .iter()
+            .map(|o| o.id)
+            .chain(winners.keys().map(|(obj, _)| *obj))
+            .max()
+            .unwrap_or(0) as usize;
+        let mut objects: Vec<Option<ObjectState>> = (0..=max_obj).map(|_| None).collect();
+        let mut object_by_name = HashMap::new();
+        for oimg in &image.objects {
+            let mut state = ObjectState::new(oimg.name.clone(), oimg.region);
+            state.counters = oimg.counters;
+            object_by_name.insert(oimg.name.clone(), oimg.id);
+            objects[oimg.id as usize] = Some(state);
+        }
+
+        // Install the winning mappings; synthesise directory entries for
+        // objects created after the checkpoint.
+        let mut winner_list: Vec<((ObjectId, u64), (u64, PageAddr))> =
+            winners.into_iter().collect();
+        winner_list.sort_unstable_by_key(|((obj, lp), _)| (*obj, *lp));
+        for ((obj, lp), (epoch, ppa)) in winner_list {
+            if objects.get(obj as usize).map(|o| o.is_none()).unwrap_or(true) {
+                let Some(rid) = die_owner.get(&ppa.die).copied() else {
+                    // Page on a die no region owns (e.g. its region was
+                    // dropped right before the crash): unreachable data.
+                    losers.push(ppa);
+                    continue;
+                };
+                let name = format!("__orphan_{obj}");
+                objects[obj as usize] = Some(ObjectState::new(name.clone(), rid));
+                object_by_name.insert(name, obj);
+                if let Some(region) = regions[rid.0 as usize].as_mut() {
+                    region.objects.push(obj);
+                }
+                report.orphaned_objects.push(obj);
+            }
+            let state = objects[obj as usize].as_mut().expect("just ensured");
+            state.set_translation(lp, ppa);
+            report.mapped_pages += 1;
+            if epoch > image.epoch_watermark {
+                report.pages_after_checkpoint += 1;
+            } else if checkpoint_map.get(&(obj, lp)) != Some(&ppa) {
+                // Same-epoch page at a new address: relocated by GC after
+                // the checkpoint was taken.
+                report.pages_after_checkpoint += 1;
+            }
+        }
+
+        // ---- Phase 4: invalidate superseded physical pages ----------
+        for addr in losers {
+            let _ = device.mark_invalid(addr);
+            if let Some(rid) = die_owner.get(&addr.die) {
+                if let Some(region) = regions[rid.0 as usize].as_mut() {
+                    region.record_invalidation(addr);
+                }
+            }
+            report.stale_pages_invalidated += 1;
+        }
+
+        let meta = MetaDirectory {
+            region: image.meta_region,
+            map: best_chunks,
+            staging: Vec::new(),
+            seq: image.seq,
+        };
+        report.regions = image.regions.len();
+        report.objects = image.objects.len();
+        report.completed_at = now;
+        let noftl = NoFtl {
+            device,
+            config,
+            inner: Mutex::new(Inner {
+                regions,
+                region_by_name,
+                free_dies,
+                objects,
+                object_by_name,
+                meta,
+            }),
+        };
+        Ok((noftl, report))
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -653,6 +1126,7 @@ impl NoFtl {
         config: &NoFtlConfig,
         region: &mut RegionRuntime,
         objects: &mut [Option<ObjectState>],
+        meta_dir: &mut MetaDirectory,
         at: SimTime,
     ) -> Option<PageAddr> {
         let pages_per_block = device.geometry().pages_per_block;
@@ -663,7 +1137,7 @@ impl NoFtl {
         for attempt in 0..die_count {
             let idx = (region.next_die + attempt) % die_count;
             if (region.dies[idx].free_blocks.len() as u32) <= config.gc_low_watermark {
-                Self::gc_die(device, config, region, objects, idx, at);
+                Self::gc_die(device, config, region, objects, meta_dir, idx, at);
             }
             if let Some(ppa) =
                 region.dies[idx].next_host_page(device, config.wear_leveling, pages_per_block)
@@ -675,6 +1149,31 @@ impl NoFtl {
         None
     }
 
+    /// Update the owner's translation after a page move (GC copyback or
+    /// rebalance): regular objects through the directory, checkpoint
+    /// chunks through the metadata journal map.
+    fn retranslate(
+        objects: &mut [Option<ObjectState>],
+        meta_dir: &mut MetaDirectory,
+        meta: &PageMetadata,
+        src: PageAddr,
+        dst: PageAddr,
+    ) {
+        if meta.object_id == META_OBJECT_ID {
+            let idx = meta.logical_page as usize;
+            if meta_dir.map.get(idx).copied().flatten() == Some(src) {
+                meta_dir.map[idx] = Some(dst);
+            }
+            if meta_dir.staging.get(idx).copied().flatten() == Some(src) {
+                meta_dir.staging[idx] = Some(dst);
+            }
+        } else if let Some(Some(obj)) = objects.get_mut(meta.object_id as usize) {
+            if obj.translate(meta.logical_page) == Some(src) {
+                obj.set_translation(meta.logical_page, dst);
+            }
+        }
+    }
+
     /// Run garbage collection on one die of a region until its free-block
     /// pool reaches the high watermark or no more victims exist.
     fn gc_die(
@@ -682,6 +1181,7 @@ impl NoFtl {
         config: &NoFtlConfig,
         region: &mut RegionRuntime,
         objects: &mut [Option<ObjectState>],
+        meta_dir: &mut MetaDirectory,
         die_idx: usize,
         at: SimTime,
     ) {
@@ -714,21 +1214,24 @@ impl NoFtl {
                 break;
             };
             let victim = region.dies[die_idx].used_blocks[slot];
-            if !Self::collect_block(device, config, region, objects, die_idx, victim, at) {
+            if !Self::collect_block(device, config, region, objects, meta_dir, die_idx, victim, at)
+            {
                 break;
             }
         }
-        Self::maybe_static_wl(device, config, region, objects, die_idx, at);
+        Self::maybe_static_wl(device, config, region, objects, meta_dir, die_idx, at);
     }
 
     /// Relocate all valid pages of `victim` via copyback (updating the
     /// owning objects' translations) and erase it.  Returns `false` if the
     /// block could not be fully collected.
+    #[allow(clippy::too_many_arguments)]
     fn collect_block(
         device: &NandDevice,
         config: &NoFtlConfig,
         region: &mut RegionRuntime,
         objects: &mut [Option<ObjectState>],
+        meta_dir: &mut MetaDirectory,
         die_idx: usize,
         victim: flash_sim::BlockAddr,
         at: SimTime,
@@ -754,11 +1257,7 @@ impl NoFtl {
                 return false;
             }
             region.stats.gc_copybacks += 1;
-            if let Some(Some(obj)) = objects.get_mut(meta.object_id as usize) {
-                if obj.translate(meta.logical_page) == Some(src) {
-                    obj.set_translation(meta.logical_page, dst);
-                }
-            }
+            Self::retranslate(objects, meta_dir, &meta, src, dst);
         }
         match device.erase_block(victim, at) {
             Ok(_) => {
@@ -782,6 +1281,7 @@ impl NoFtl {
         config: &NoFtlConfig,
         region: &mut RegionRuntime,
         objects: &mut [Option<ObjectState>],
+        meta_dir: &mut MetaDirectory,
         die_idx: usize,
         at: SimTime,
     ) {
@@ -809,7 +1309,7 @@ impl NoFtl {
             .min_by_key(|(_, c, _)| *c)
             .map(|(b, _, _)| *b);
         if let Some(victim) = victim {
-            if Self::collect_block(device, config, region, objects, die_idx, victim, at) {
+            if Self::collect_block(device, config, region, objects, meta_dir, die_idx, victim, at) {
                 region.stats.wl_migrations += 1;
             }
         }
@@ -1205,6 +1705,211 @@ mod tests {
         assert_eq!(noftl.object_extent(obj).unwrap(), 11);
         assert_eq!(noftl.object_pages(obj).unwrap(), 1);
         assert!(noftl.region_info(RegionId(7)).is_err());
+    }
+
+    fn reboot(noftl: &NoFtl) -> Arc<NandDevice> {
+        let snap = noftl.device().snapshot();
+        Arc::new(NandDevice::from_snapshot(&snap, TimingModel::mlc_2015()).unwrap())
+    }
+
+    #[test]
+    fn checkpoint_and_mount_rebuild_state() {
+        let noftl = make_noftl();
+        let rg_hot = noftl.create_region(RegionSpec::named("rgHot").with_die_count(2)).unwrap();
+        let rg_cold = noftl.create_region(RegionSpec::named("rgCold").with_die_count(1)).unwrap();
+        let orders = noftl.create_object("orders", rg_hot).unwrap();
+        let history = noftl.create_object("history", rg_cold).unwrap();
+        let mut t = SimTime::ZERO;
+        for p in 0..10u64 {
+            t = noftl.write(orders, p, &page(p as u8), t).unwrap();
+        }
+        t = noftl.write(history, 0, &page(0xCC), t).unwrap();
+        t = noftl.checkpoint(t).unwrap();
+        assert_eq!(noftl.checkpoint_seq(), 1);
+        // Post-checkpoint writes are recovered from OOB metadata alone.
+        for p in 5..15u64 {
+            t = noftl.write(orders, p, &page(0x40 + p as u8), t).unwrap();
+        }
+        let device2 = reboot(&noftl);
+        let (noftl2, report) = NoFtl::mount(device2, NoFtlConfig::default(), t).unwrap();
+        assert_eq!(report.checkpoint_seq, 1);
+        assert_eq!(report.regions, 3, "rgHot, rgCold and the meta region");
+        assert_eq!(report.objects, 2);
+        assert!(report.pages_after_checkpoint >= 10);
+        assert!(report.orphaned_objects.is_empty());
+        assert_eq!(noftl2.region_id("rgHot"), Some(rg_hot));
+        assert_eq!(noftl2.region_id("rgCold"), Some(rg_cold));
+        assert_eq!(noftl2.object_id("orders"), Some(orders));
+        assert_eq!(noftl2.object_id("history"), Some(history));
+        assert_eq!(noftl2.region_dies(rg_hot).unwrap().len(), 2);
+        let done = report.completed_at;
+        for p in 0..5u64 {
+            assert_eq!(noftl2.read(orders, p, done).unwrap().0, page(p as u8), "page {p}");
+        }
+        for p in 5..15u64 {
+            assert_eq!(noftl2.read(orders, p, done).unwrap().0, page(0x40 + p as u8), "page {p}");
+        }
+        assert_eq!(noftl2.read(history, 0, done).unwrap().0, page(0xCC));
+        // The remounted manager keeps working: writes and re-checkpoints.
+        let t2 = noftl2.write(orders, 99, &page(0x77), done).unwrap();
+        assert_eq!(noftl2.read(orders, 99, t2).unwrap().0, page(0x77));
+        noftl2.checkpoint(t2).unwrap();
+        assert_eq!(noftl2.checkpoint_seq(), 2);
+    }
+
+    #[test]
+    fn mount_of_pristine_device_is_fresh() {
+        let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
+        let (noftl, report) = NoFtl::mount(device, NoFtlConfig::default(), SimTime::ZERO).unwrap();
+        assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(report.pages_scanned, 0);
+        assert_eq!(noftl.free_die_count(), 4);
+        noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+    }
+
+    #[test]
+    fn mount_without_checkpoint_fails_when_data_exists() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+        let device2 = reboot(&noftl);
+        assert!(matches!(
+            NoFtl::mount(device2, NoFtlConfig::default(), SimTime::ZERO),
+            Err(NoFtlError::NoCheckpoint)
+        ));
+    }
+
+    #[test]
+    fn mount_preserves_orphan_objects_created_after_checkpoint() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let a = noftl.create_object("a", r).unwrap();
+        let mut t = noftl.write(a, 0, &page(1), SimTime::ZERO).unwrap();
+        t = noftl.checkpoint(t).unwrap();
+        // Object created after the checkpoint: its directory entry is lost
+        // but its data must survive under a synthesised name.
+        let b = noftl.create_object("b", r).unwrap();
+        t = noftl.write(b, 3, &page(9), t).unwrap();
+        let device2 = reboot(&noftl);
+        let (noftl2, report) = NoFtl::mount(device2, NoFtlConfig::default(), t).unwrap();
+        assert_eq!(report.orphaned_objects, vec![b]);
+        assert_eq!(noftl2.object_id(&format!("__orphan_{b}")), Some(b));
+        assert_eq!(noftl2.read(b, 3, report.completed_at).unwrap().0, page(9));
+        assert_eq!(noftl2.read(a, 0, report.completed_at).unwrap().0, page(1));
+    }
+
+    #[test]
+    fn torn_write_is_discarded_on_mount_and_old_version_survives() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let mut t = noftl.write(obj, 0, &page(0x11), SimTime::ZERO).unwrap();
+        t = noftl.checkpoint(t).unwrap();
+        // Cut power in the middle of the overwrite of logical page 0.
+        let device = Arc::clone(noftl.device());
+        let quiesce = device.quiesce_time();
+        let probe_span = {
+            // A program on this device takes a fixed time under mlc_2015.
+            let probe = DeviceBuilder::new(FlashGeometry::small_test())
+                .timing(TimingModel::mlc_2015())
+                .build();
+            let out = probe
+                .program_page(
+                    flash_sim::PageAddr::new(DieId(0), 0, 0, 0),
+                    &page(0),
+                    PageMetadata::new(1, 0),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            out.completed_at.as_nanos() - out.started_at.as_nanos()
+        };
+        device.arm_power_cut(quiesce + flash_sim::Duration(probe_span * 9 / 10));
+        let err = noftl.write(obj, 0, &page(0x22), quiesce).unwrap_err();
+        assert!(matches!(err, NoFtlError::Flash(e) if e.is_power_loss()));
+        let device2 = reboot(&noftl);
+        let (noftl2, report) = NoFtl::mount(device2, NoFtlConfig::default(), t).unwrap();
+        assert_eq!(report.torn_pages_discarded, 1);
+        // The pre-crash committed version is still readable.
+        assert_eq!(noftl2.read(obj, 0, report.completed_at).unwrap().0, page(0x11));
+    }
+
+    #[test]
+    fn torn_multichunk_checkpoint_falls_back_to_previous() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let mut t = SimTime::ZERO;
+        // Enough mapped pages that the checkpoint blob spans several chunks.
+        for p in 0..200u64 {
+            t = noftl.write(obj, p, &page(p as u8), t).unwrap();
+        }
+        t = noftl.checkpoint(t).unwrap();
+        assert!(
+            noftl.checkpoint_seq() == 1 && noftl.meta_region().is_some(),
+            "first checkpoint completed"
+        );
+        // Post-checkpoint overwrites, then a power cut that tears the
+        // *second* checkpoint in the middle of its first chunk program
+        // (chunk 0 is dense with real payload, so the tear is guaranteed
+        // to corrupt it — a tear in a later chunk's zero padding would
+        // harmlessly reproduce the complete page).
+        for p in 0..5u64 {
+            t = noftl.write(obj, p, &page(0xE0 + p as u8), t).unwrap();
+        }
+        let probe =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let out = probe
+            .program_page(
+                flash_sim::PageAddr::new(DieId(0), 0, 0, 0),
+                &page(0),
+                PageMetadata::new(1, 0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let span = out.completed_at.as_nanos() - out.started_at.as_nanos();
+        let q = noftl.device().quiesce_time();
+        noftl.device().arm_power_cut(q + flash_sim::Duration(span * 9 / 10));
+        let err = noftl.checkpoint(q).unwrap_err();
+        assert!(matches!(err, NoFtlError::Flash(e) if e.is_power_loss()));
+        // Mount must fall back to the complete checkpoint #1 and still
+        // recover every page (including the post-checkpoint overwrites,
+        // which come from the OOB scan).
+        let device2 = reboot(&noftl);
+        let (noftl2, report) = NoFtl::mount(device2, NoFtlConfig::default(), t).unwrap();
+        assert_eq!(report.checkpoint_seq, 1, "torn checkpoint #2 is ignored");
+        let done = report.completed_at;
+        for p in 0..5u64 {
+            assert_eq!(noftl2.read(obj, p, done).unwrap().0, page(0xE0 + p as u8), "page {p}");
+        }
+        for p in 5..200u64 {
+            assert_eq!(noftl2.read(obj, p, done).unwrap().0, page(p as u8), "page {p}");
+        }
+    }
+
+    #[test]
+    fn meta_region_cannot_be_dropped() {
+        let noftl = make_noftl();
+        let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+        noftl.checkpoint(SimTime::ZERO).unwrap();
+        let meta = noftl.meta_region().unwrap();
+        assert!(matches!(noftl.drop_region(meta, SimTime::ZERO), Err(NoFtlError::Recovery { .. })));
+    }
+
+    #[test]
+    fn checkpoint_without_free_dies_uses_first_region() {
+        let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
+        let (noftl, rid) = NoFtl::with_single_region(device, NoFtlConfig::default());
+        let obj = noftl.create_object("t", rid).unwrap();
+        let t = noftl.write(obj, 0, &page(5), SimTime::ZERO).unwrap();
+        noftl.checkpoint(t).unwrap();
+        assert_eq!(noftl.meta_region(), Some(rid));
+        let device2 = reboot(&noftl);
+        let (noftl2, report) = NoFtl::mount(device2, NoFtlConfig::default(), t).unwrap();
+        assert_eq!(report.checkpoint_seq, 1);
+        assert_eq!(noftl2.read(obj, 0, report.completed_at).unwrap().0, page(5));
     }
 
     #[test]

@@ -139,6 +139,47 @@ impl RegionDie {
         RegionDie { die, free_blocks, active: None, gc_active: None, used_blocks: Vec::new() }
     }
 
+    /// Rebuild the allocation state of a die from the physical block
+    /// states found on a remounted device: erased blocks go back to the
+    /// free pool, partially programmed blocks become write frontiers
+    /// (continuing at their hardware write pointer) and full blocks become
+    /// GC candidates.  Bad blocks are dropped from tracking.
+    pub(crate) fn rebuild(device: &NandDevice, die: DieId) -> Self {
+        let geo = device.geometry();
+        let mut out = RegionDie {
+            die,
+            free_blocks: Vec::new(),
+            active: None,
+            gc_active: None,
+            used_blocks: Vec::new(),
+        };
+        for plane in 0..geo.planes_per_die {
+            for block in 0..geo.blocks_per_plane {
+                let addr = BlockAddr::new(die, plane, block);
+                let Ok(info) = device.block_info(addr) else { continue };
+                match info.state {
+                    flash_sim::BlockState::Bad => {}
+                    flash_sim::BlockState::Free => out.free_blocks.push(addr),
+                    flash_sim::BlockState::Open => {
+                        // Re-open at most one host and one GC frontier; any
+                        // further partially written blocks are treated as
+                        // used (their remaining pages are reclaimed when GC
+                        // erases them).
+                        if out.active.is_none() {
+                            out.active = Some((addr, info.write_ptr));
+                        } else if out.gc_active.is_none() {
+                            out.gc_active = Some((addr, info.write_ptr));
+                        } else {
+                            out.used_blocks.push(addr);
+                        }
+                    }
+                    flash_sim::BlockState::Full => out.used_blocks.push(addr),
+                }
+            }
+        }
+        out
+    }
+
     /// Total usable blocks currently tracked by this die (free + used +
     /// frontiers).
     pub(crate) fn tracked_blocks(&self) -> usize {

@@ -176,6 +176,56 @@ impl BTree {
         self.obj
     }
 
+    /// Re-attach to a B+-tree that survived a crash: `extent` is the
+    /// object's logical extent on storage.  The root is recovered
+    /// structurally — it is the node no other node references (when an
+    /// old root survives alongside garbage from uncommitted splits, the
+    /// highest-numbered unreferenced node wins, because root pages are
+    /// always allocated after their children).  Returns the tree and the
+    /// completion time of the structure scan.
+    pub fn attach(
+        obj: ObjectId,
+        pool: &BufferPool,
+        extent: u64,
+        now: SimTime,
+    ) -> Result<(BTree, SimTime)> {
+        if extent == 0 {
+            return Ok((BTree::new(obj), now));
+        }
+        let mut t = now;
+        let mut present: Vec<(u64, Node)> = Vec::new();
+        for page_no in 0..extent {
+            let Ok((bytes, t_read)) = pool.read_page(obj, page_no, t) else { continue };
+            t = t_read;
+            if let Ok(node) = Node::decode(&bytes) {
+                present.push((page_no, node));
+            }
+        }
+        let mut referenced = std::collections::HashSet::new();
+        for (_, node) in &present {
+            if !node.leaf {
+                referenced.insert(node.extra);
+                referenced.extend(node.children.iter().copied());
+            }
+        }
+        let root =
+            present.iter().map(|(p, _)| *p).filter(|p| !referenced.contains(p)).max().unwrap_or(0);
+        let entries: u64 =
+            present.iter().filter(|(_, n)| n.leaf).map(|(_, n)| n.keys.len() as u64).sum();
+        Ok((
+            BTree {
+                obj,
+                inner: Mutex::new(BTreeInner {
+                    root,
+                    page_count: extent,
+                    entries,
+                    initialized: true,
+                }),
+            },
+            t,
+        ))
+    }
+
     /// Number of entries currently in the index.
     pub fn len(&self) -> u64 {
         self.inner.lock().entries

@@ -10,7 +10,7 @@
 //!   write-back and GC traffic delays subsequent reads — exactly the
 //!   interference effect the paper measures.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -61,32 +61,55 @@ struct Frame {
     ref_bit: bool,
 }
 
+/// Ordered, deduplicated write set recorded while a capture is active.
+struct Capture {
+    order: Vec<(ObjectId, u64)>,
+    seen: HashSet<(ObjectId, u64)>,
+}
+
 struct PoolInner {
     frames: Vec<Option<Frame>>,
     map: HashMap<(ObjectId, u64), usize>,
     hand: usize,
     stats: BufferStats,
+    /// When capturing, the pages dirtied since the capture began (the
+    /// write set the WAL logs as after-images at commit).
+    capture: Option<Capture>,
 }
 
 /// A fixed-capacity buffer pool over a [`StorageBackend`].
 pub struct BufferPool {
     backend: Arc<dyn StorageBackend>,
     capacity: usize,
+    /// No-steal policy: dirty frames are never evicted, so uncommitted
+    /// data cannot reach storage behind the WAL's back.  Required for the
+    /// redo-only (no undo pass) recovery protocol.
+    no_steal: bool,
     inner: Mutex<PoolInner>,
 }
 
 impl BufferPool {
     /// Create a pool holding at most `capacity` pages.
     pub fn new(backend: Arc<dyn StorageBackend>, capacity: usize) -> Self {
+        Self::with_policy(backend, capacity, false)
+    }
+
+    /// Create a pool with an explicit eviction policy.  With
+    /// `no_steal = true` dirty frames are pinned until an explicit flush;
+    /// the pool reports an error (asking for a checkpoint) if every frame
+    /// is dirty.
+    pub fn with_policy(backend: Arc<dyn StorageBackend>, capacity: usize, no_steal: bool) -> Self {
         let capacity = capacity.max(4);
         BufferPool {
             backend,
             capacity,
+            no_steal,
             inner: Mutex::new(PoolInner {
                 frames: (0..capacity).map(|_| None).collect(),
                 map: HashMap::with_capacity(capacity),
                 hand: 0,
                 stats: BufferStats::default(),
+                capture: None,
             }),
         }
     }
@@ -122,6 +145,10 @@ impl BufferPool {
                 frame.ref_bit = false;
                 continue;
             }
+            if frame.dirty && self.no_steal {
+                // Dirty frames are pinned under no-steal; keep sweeping.
+                continue;
+            }
             // Victim found.
             let key = frame.key;
             if frame.dirty {
@@ -133,7 +160,13 @@ impl BufferPool {
             inner.frames[idx] = None;
             return Ok(idx);
         }
-        Err(DbError::Storage { message: "buffer pool could not find an evictable frame".into() })
+        Err(DbError::Storage {
+            message: if self.no_steal {
+                "buffer pool full of dirty pages under no-steal; a checkpoint is required".into()
+            } else {
+                "buffer pool could not find an evictable frame".into()
+            },
+        })
     }
 
     /// Read a page, returning a copy of its contents and the time at which
@@ -180,6 +213,11 @@ impl BufferPool {
         }
         let mut inner = self.inner.lock();
         inner.stats.logical_writes += 1;
+        if let Some(capture) = inner.capture.as_mut() {
+            if capture.seen.insert((obj, page)) {
+                capture.order.push((obj, page));
+            }
+        }
         if let Some(&idx) = inner.map.get(&(obj, page)) {
             let frame = inner.frames[idx].as_mut().expect("mapped frame exists");
             frame.data.copy_from_slice(data);
@@ -192,6 +230,29 @@ impl BufferPool {
             Some(Frame { key: (obj, page), data: data.to_vec(), dirty: true, ref_bit: true });
         inner.map.insert((obj, page), idx);
         Ok(now)
+    }
+
+    /// Begin recording the keys of every page written through the pool
+    /// (the write set of the transaction being executed).  Any capture in
+    /// progress is discarded.
+    pub fn begin_capture(&self) {
+        self.inner.lock().capture = Some(Capture { order: Vec::new(), seen: HashSet::new() });
+    }
+
+    /// Stop capturing and return the dirtied page keys in first-write
+    /// order; empty if no capture was active.
+    pub fn take_capture(&self) -> Vec<(ObjectId, u64)> {
+        self.inner.lock().capture.take().map(|c| c.order).unwrap_or_default()
+    }
+
+    /// Current contents of a page if it is resident in the pool (no I/O,
+    /// no statistics impact).  Used by commit to snapshot after-images.
+    pub fn page_image(&self, obj: ObjectId, page: u64) -> Option<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .get(&(obj, page))
+            .map(|&idx| inner.frames[idx].as_ref().expect("mapped frame exists").data.clone())
     }
 
     /// Synchronously write one page to storage if it is dirty (used for

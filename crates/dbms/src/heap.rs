@@ -82,6 +82,37 @@ impl HeapFile {
         self.obj
     }
 
+    /// Re-attach to a heap that survived a crash: `extent` is the object's
+    /// logical extent on storage (from the backend).  Pages that never
+    /// became durable (they belonged only to uncommitted transactions) are
+    /// tolerated as empty.  Returns the heap and the time at which the
+    /// record-count scan finished.
+    pub fn attach(
+        obj: ObjectId,
+        pool: &BufferPool,
+        extent: u64,
+        now: SimTime,
+    ) -> Result<(HeapFile, SimTime)> {
+        let mut records = 0u64;
+        let mut t = now;
+        for page_no in 0..extent {
+            let Ok((bytes, t_read)) = pool.read_page(obj, page_no, t) else { continue };
+            t = t_read;
+            if let Ok(page) = SlottedPage::from_bytes(bytes) {
+                records += page.iter().count() as u64;
+            }
+        }
+        let heap = HeapFile {
+            obj,
+            inner: Mutex::new(HeapInner {
+                page_count: extent,
+                fill_page: extent.checked_sub(1),
+                records,
+            }),
+        };
+        Ok((heap, t))
+    }
+
     /// Number of pages allocated.
     pub fn page_count(&self) -> u64 {
         self.inner.lock().page_count

@@ -27,6 +27,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
+pub mod crash_harness;
 pub mod db;
 pub mod error;
 pub mod heap;
@@ -39,13 +40,15 @@ pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use catalog::{IndexDef, TableDef};
-pub use db::{Database, DatabaseConfig};
+pub use crash_harness::{run_crash_cycle, CrashHarnessConfig, CrashOutcome};
+pub use db::{Database, DatabaseConfig, RecoveryReport};
 pub use error::DbError;
 pub use heap::RecordId;
 pub use schema::{ColumnType, Schema};
 pub use storage::{BlockBackend, NoFtlBackend, ObjectId, StorageBackend};
 pub use txn::Txn;
 pub use value::{Record, Value};
+pub use wal::{Lsn, Wal, WalRecord, WalStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DbError>;

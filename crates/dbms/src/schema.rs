@@ -64,6 +64,55 @@ impl Schema {
         self.columns.iter().map(|(_, t)| t.encoded_len()).sum()
     }
 
+    /// Serialise the schema *definition* (column names and types) so the
+    /// catalog can be checkpointed and rebuilt during crash recovery.
+    pub fn encode_def(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.columns.len() * 12);
+        out.extend_from_slice(&(self.columns.len() as u16).to_le_bytes());
+        for (name, ty) in &self.columns {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            match ty {
+                ColumnType::Int => out.push(0),
+                ColumnType::Float => out.push(1),
+                ColumnType::Str(n) => {
+                    out.push(2);
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a definition produced by [`Schema::encode_def`].  Returns
+    /// the schema and the number of bytes consumed; `None` on corruption.
+    pub fn decode_def(buf: &[u8]) -> Option<(Schema, usize)> {
+        let mut pos = 0usize;
+        let count = u16::from_le_bytes(buf.get(pos..pos + 2)?.try_into().ok()?) as usize;
+        pos += 2;
+        let mut columns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let nlen = u16::from_le_bytes(buf.get(pos..pos + 2)?.try_into().ok()?) as usize;
+            pos += 2;
+            let name = String::from_utf8(buf.get(pos..pos + nlen)?.to_vec()).ok()?;
+            pos += nlen;
+            let tag = *buf.get(pos)?;
+            pos += 1;
+            let ty = match tag {
+                0 => ColumnType::Int,
+                1 => ColumnType::Float,
+                2 => {
+                    let n = u16::from_le_bytes(buf.get(pos..pos + 2)?.try_into().ok()?);
+                    pos += 2;
+                    ColumnType::Str(n)
+                }
+                _ => return None,
+            };
+            columns.push((name, ty));
+        }
+        Some((Schema { columns }, pos))
+    }
+
     /// Encode a record according to the schema.
     pub fn encode(&self, record: &Record) -> Result<Vec<u8>> {
         if record.len() != self.columns.len() {

@@ -33,6 +33,21 @@ pub trait StorageBackend: Send + Sync {
     /// region) based on the object's name.
     fn create_object(&self, name: &str) -> Result<ObjectId>;
 
+    /// Look up an existing object by name (used by recovery to re-attach
+    /// to objects that survived a crash).
+    fn lookup_object(&self, name: &str) -> Option<ObjectId>;
+
+    /// Logical extent of an object: highest written page number plus one
+    /// (0 for an empty object).
+    fn object_extent(&self, obj: ObjectId) -> Result<u64>;
+
+    /// Checkpoint backend-level metadata (a no-op for backends without
+    /// any).  The NoFTL backend journals its region metadata here so that
+    /// a crashed device can be remounted.
+    fn checkpoint(&self, at: SimTime) -> Result<SimTime> {
+        Ok(at)
+    }
+
     /// Read a logical page of an object.
     fn read_page(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)>;
 
@@ -83,6 +98,30 @@ impl NoFtlBackend {
         Ok(NoFtlBackend { noftl, placement: placement.clone(), regions, default_region })
     }
 
+    /// Attach to a *mounted* NoFTL manager whose regions already exist
+    /// (after `NoFtl::mount`), resolving the placement configuration's
+    /// regions by name instead of creating them.
+    pub fn attach(noftl: Arc<NoFtl>, placement: &PlacementConfig) -> Result<Self> {
+        let mut regions = HashMap::new();
+        let mut default_region = None;
+        for assignment in &placement.regions {
+            let rid = noftl.region_id(&assignment.region_name).ok_or_else(|| DbError::Storage {
+                message: format!(
+                    "mounted device has no region '{}' required by the placement configuration",
+                    assignment.region_name
+                ),
+            })?;
+            if default_region.is_none() {
+                default_region = Some(rid);
+            }
+            regions.insert(assignment.region_name.clone(), rid);
+        }
+        let default_region = default_region.ok_or_else(|| DbError::Storage {
+            message: "placement configuration has no regions".to_string(),
+        })?;
+        Ok(NoFtlBackend { noftl, placement: placement.clone(), regions, default_region })
+    }
+
     /// The underlying NoFTL storage manager.
     pub fn noftl(&self) -> &Arc<NoFtl> {
         &self.noftl
@@ -105,6 +144,18 @@ impl StorageBackend for NoFtlBackend {
     fn create_object(&self, name: &str) -> Result<ObjectId> {
         let region = self.region_for(name);
         self.noftl.create_object(name, region).map_err(Into::into)
+    }
+
+    fn lookup_object(&self, name: &str) -> Option<ObjectId> {
+        self.noftl.object_id(name)
+    }
+
+    fn object_extent(&self, obj: ObjectId) -> Result<u64> {
+        self.noftl.object_extent(obj).map_err(Into::into)
+    }
+
+    fn checkpoint(&self, at: SimTime) -> Result<SimTime> {
+        self.noftl.checkpoint(at).map_err(Into::into)
     }
 
     fn read_page(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {
@@ -225,6 +276,20 @@ impl StorageBackend for BlockBackend {
         inner.objects.push(Some(ObjectExtents { extents: Vec::new() }));
         inner.by_name.insert(name.to_string(), id);
         Ok(id)
+    }
+
+    fn lookup_object(&self, name: &str) -> Option<ObjectId> {
+        self.inner.lock().by_name.get(name).copied()
+    }
+
+    fn object_extent(&self, obj: ObjectId) -> Result<u64> {
+        let inner = self.inner.lock();
+        let extents = inner
+            .objects
+            .get(obj as usize)
+            .and_then(|o| o.as_ref())
+            .ok_or_else(|| DbError::not_found(format!("object {obj}")))?;
+        Ok(extents.extents.len() as u64 * self.extent_pages)
     }
 
     fn read_page(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {

@@ -92,6 +92,56 @@ impl Block {
     }
 }
 
+/// Full image of one erase block, as captured by `NandDevice::snapshot`
+/// and restored by `NandDevice::from_snapshot`.  Unlike [`BlockInfo`] it
+/// carries the page payloads and OOB metadata, so a device rebuilt from a
+/// snapshot serves byte-identical reads — the basis of the power-cycle
+/// ("reboot") simulation in the crash-consistency tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSnapshot {
+    /// Lifecycle state.
+    pub state: BlockState,
+    /// Next programmable page index.
+    pub write_ptr: u32,
+    /// Completed erase cycles (wear).
+    pub erase_count: u64,
+    /// Per-page lifecycle states.
+    pub pages: Vec<PageState>,
+    /// Per-page OOB metadata.
+    pub meta: Vec<Option<PageMetadata>>,
+    /// Page payloads (`None` if never programmed since the last erase or
+    /// the device does not store data).
+    pub data: Option<Vec<u8>>,
+    /// Pages currently in `Valid` state.
+    pub valid_pages: u32,
+}
+
+impl Block {
+    pub(crate) fn to_snapshot(&self) -> BlockSnapshot {
+        BlockSnapshot {
+            state: self.state,
+            write_ptr: self.write_ptr,
+            erase_count: self.erase_count,
+            pages: self.pages.clone(),
+            meta: self.meta.clone(),
+            data: self.data.clone(),
+            valid_pages: self.valid_pages,
+        }
+    }
+
+    pub(crate) fn from_snapshot(s: &BlockSnapshot) -> Self {
+        Block {
+            state: s.state,
+            write_ptr: s.write_ptr,
+            erase_count: s.erase_count,
+            pages: s.pages.clone(),
+            meta: s.meta.clone(),
+            data: s.data.clone(),
+            valid_pages: s.valid_pages,
+        }
+    }
+}
+
 /// Read-only snapshot of a block's state, exposed to flash management
 /// layers (the NoFTL storage manager and the FTL) for victim selection,
 /// wear leveling and free-space accounting.

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 
 use crate::addr::{BlockAddr, DieId, PageAddr};
 use crate::badblock::BadBlockPolicy;
-use crate::block::{BlockInfo, BlockState, PageState};
+use crate::block::{Block, BlockInfo, BlockSnapshot, BlockState, PageState};
 use crate::die::{Channel, Die};
 use crate::error::FlashError;
 use crate::geometry::FlashGeometry;
@@ -105,6 +105,7 @@ impl DeviceBuilder {
             stats: DeviceStats::default(),
             trace: TraceBuffer::new(self.trace_capacity),
             epoch: 0,
+            power_cut: None,
         };
         // Mark factory-bad blocks.
         let total_blocks = g.total_blocks();
@@ -136,10 +137,19 @@ struct Inner {
     /// Device-wide write sequence number, stamped into page metadata when
     /// the caller does not supply an epoch.
     epoch: u64,
+    /// When armed, the simulated instant at which the device loses power:
+    /// operations issued at or after it fail with `FlashError::PowerLoss`,
+    /// and an operation still in flight at that instant is torn.
+    power_cut: Option<SimTime>,
 }
 
-/// A read-only snapshot of high-level device state, used by tests,
-/// examples and report generators.
+/// A complete image of the device state, used both as a read-only summary
+/// (tests, examples and report generators read `stats`/`die_stats`/`wear`)
+/// and as the persistence unit of the crash-consistency subsystem: the
+/// snapshot captures every block's pages, OOB metadata and wear, can be
+/// saved to / loaded from a file-backed image (see [`DeviceSnapshot::save`])
+/// and turned back into a live device with [`NandDevice::from_snapshot`] —
+/// the simulator's equivalent of power-cycling the board.
 #[derive(Debug, Clone)]
 pub struct DeviceSnapshot {
     /// Aggregate operation statistics.
@@ -148,6 +158,16 @@ pub struct DeviceSnapshot {
     pub die_stats: Vec<DieStats>,
     /// Wear distribution summary.
     pub wear: WearSummary,
+    /// The device geometry (needed to rebuild the device).
+    pub geometry: FlashGeometry,
+    /// Device-wide write epoch counter at capture time.
+    pub epoch: u64,
+    /// Whether the device stores page payloads.
+    pub store_data: bool,
+    /// Per-block endurance budget.
+    pub endurance: u64,
+    /// Every block of the device in `(die, plane, block)` row-major order.
+    pub blocks: Vec<BlockSnapshot>,
 }
 
 /// The simulated native NAND flash device.
@@ -186,6 +206,16 @@ impl NandDevice {
         &self.timing
     }
 
+    fn check_powered(inner: &mut Inner, at: SimTime) -> Result<()> {
+        match inner.power_cut {
+            Some(cut) if at >= cut => {
+                inner.stats.errors += 1;
+                Err(FlashError::PowerLoss { at: cut })
+            }
+            _ => Ok(()),
+        }
+    }
+
     fn check_page(&self, addr: PageAddr) -> Result<()> {
         if self.geometry.contains_page(addr) {
             Ok(())
@@ -213,6 +243,7 @@ impl NandDevice {
         let ch = self.geometry.channel_of_die(addr.die) as usize;
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        Self::check_powered(inner, at)?;
         {
             let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
                 [addr.block as usize];
@@ -232,6 +263,14 @@ impl NandDevice {
             at,
             self.geometry.page_size,
         );
+        // A read whose result would only arrive after the power cut never
+        // reaches the host.
+        if let Some(cut) = inner.power_cut {
+            if sched.complete > cut {
+                inner.stats.errors += 1;
+                return Err(FlashError::PowerLoss { at: cut });
+            }
+        }
         let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
             [addr.block as usize];
         let data = if self.store_data {
@@ -269,6 +308,7 @@ impl NandDevice {
         let ch = self.geometry.channel_of_die(addr.die) as usize;
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        Self::check_powered(inner, at)?;
         {
             let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
                 [addr.block as usize];
@@ -284,6 +324,12 @@ impl NandDevice {
             at,
             self.geometry.oob_size,
         );
+        if let Some(cut) = inner.power_cut {
+            if sched.complete > cut {
+                inner.stats.errors += 1;
+                return Err(FlashError::PowerLoss { at: cut });
+            }
+        }
         let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
             [addr.block as usize];
         let meta = block.meta[addr.page as usize];
@@ -320,6 +366,7 @@ impl NandDevice {
         let ch = self.geometry.channel_of_die(addr.die) as usize;
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        Self::check_powered(inner, at)?;
         {
             let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
                 [addr.block as usize];
@@ -353,6 +400,48 @@ impl NandDevice {
         let pages_per_block = self.geometry.pages_per_block;
         let psz = self.geometry.page_size as usize;
         let store = self.store_data;
+        if let Some(cut) = inner.power_cut {
+            if sched.complete > cut {
+                // Torn program: power failed while the cells were being
+                // written.  The page looks programmed (it consumes its slot
+                // in the block's sequential order) but holds only a prefix
+                // of the payload; the OOB area is written in the second
+                // half of the operation, so an early tear loses the
+                // metadata entirely.  Recovery detects the former through
+                // the payload checksum and the latter through the missing
+                // metadata.
+                if sched.start < cut {
+                    let dur = (sched.complete - sched.start).0.max(1);
+                    let elapsed = (cut - sched.start).0;
+                    let done = ((psz as u128 * elapsed as u128) / dur as u128) as usize;
+                    let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize]
+                        .blocks[addr.block as usize];
+                    if store {
+                        let buf = block
+                            .data
+                            .get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
+                        let off = addr.page as usize * psz;
+                        buf[off..off + psz].fill(0);
+                        if !data.is_empty() {
+                            let done = done.min(psz).min(data.len());
+                            buf[off..off + done].copy_from_slice(&data[..done]);
+                        }
+                    }
+                    block.meta[addr.page as usize] =
+                        if elapsed * 2 >= dur { Some(meta) } else { None };
+                    block.pages[addr.page as usize] = PageState::Valid;
+                    block.valid_pages += 1;
+                    block.write_ptr = addr.page + 1;
+                    block.state = if block.write_ptr == pages_per_block {
+                        BlockState::Full
+                    } else {
+                        BlockState::Open
+                    };
+                }
+                inner.stats.errors += 1;
+                return Err(FlashError::PowerLoss { at: cut });
+            }
+        }
         let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
             [addr.block as usize];
         if store {
@@ -388,6 +477,7 @@ impl NandDevice {
         self.check_block(addr)?;
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        Self::check_powered(inner, at)?;
         {
             let block = &inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
                 [addr.block as usize];
@@ -405,6 +495,28 @@ impl NandDevice {
             }
         }
         let sched = sched::schedule_erase(&mut inner.dies[addr.die.0 as usize], &self.timing, at);
+        if let Some(cut) = inner.power_cut {
+            if sched.complete > cut {
+                // Interrupted erase: the cells are left in an indeterminate
+                // state — payloads and OOB metadata are destroyed, but the
+                // block is *not* erased (its write pointer and page states
+                // are unchanged, so it must be erased again after reboot
+                // before it can be programmed).  The wear counter is not
+                // charged for the incomplete cycle.
+                if sched.start < cut {
+                    let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize]
+                        .blocks[addr.block as usize];
+                    if let Some(buf) = block.data.as_mut() {
+                        buf.fill(0xFF);
+                    }
+                    for m in &mut block.meta {
+                        *m = None;
+                    }
+                }
+                inner.stats.errors += 1;
+                return Err(FlashError::PowerLoss { at: cut });
+            }
+        }
         let block = &mut inner.dies[addr.die.0 as usize].planes[addr.plane as usize].blocks
             [addr.block as usize];
         block.reset_erased();
@@ -431,6 +543,7 @@ impl NandDevice {
         }
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        Self::check_powered(inner, at)?;
         // Validate source.
         let (src_meta, src_data) = {
             let sblock = &inner.dies[src.die.0 as usize].planes[src.plane as usize].blocks
@@ -478,6 +591,45 @@ impl NandDevice {
         let pages_per_block = self.geometry.pages_per_block;
         let psz = self.geometry.page_size as usize;
         let store = self.store_data;
+        if let Some(cut) = inner.power_cut {
+            if sched.complete > cut {
+                // Torn copyback: the destination page may be partially
+                // written (same model as a torn program) and the source is
+                // left untouched — the host died before it could mark the
+                // source invalid, so recovery may find both copies and must
+                // break the epoch tie.
+                if sched.start < cut {
+                    let dur = (sched.complete - sched.start).0.max(1);
+                    let elapsed = (cut - sched.start).0;
+                    let done = ((psz as u128 * elapsed as u128) / dur as u128) as usize;
+                    let dblock = &mut inner.dies[dst.die.0 as usize].planes[dst.plane as usize]
+                        .blocks[dst.block as usize];
+                    if store {
+                        let buf = dblock
+                            .data
+                            .get_or_insert_with(|| vec![0u8; pages_per_block as usize * psz]);
+                        let off = dst.page as usize * psz;
+                        buf[off..off + psz].fill(0);
+                        if let Some(d) = &src_data {
+                            let done = done.min(psz).min(d.len());
+                            buf[off..off + done].copy_from_slice(&d[..done]);
+                        }
+                    }
+                    dblock.meta[dst.page as usize] =
+                        if elapsed * 2 >= dur { src_meta } else { None };
+                    dblock.pages[dst.page as usize] = PageState::Valid;
+                    dblock.valid_pages += 1;
+                    dblock.write_ptr = dst.page + 1;
+                    dblock.state = if dblock.write_ptr == pages_per_block {
+                        BlockState::Full
+                    } else {
+                        BlockState::Open
+                    };
+                }
+                inner.stats.errors += 1;
+                return Err(FlashError::PowerLoss { at: cut });
+            }
+        }
         let dblock = &mut inner.dies[dst.die.0 as usize].planes[dst.plane as usize].blocks
             [dst.block as usize];
         if store {
@@ -582,9 +734,7 @@ impl NandDevice {
         inner.dies.get(die.0 as usize).map(|d| d.busy_until).unwrap_or(SimTime::ZERO)
     }
 
-    /// Per-die statistics.
-    pub fn die_stats(&self) -> Vec<DieStats> {
-        let inner = self.inner.lock();
+    fn die_stats_of(inner: &Inner) -> Vec<DieStats> {
         inner
             .dies
             .iter()
@@ -603,9 +753,12 @@ impl NandDevice {
             .collect()
     }
 
-    /// Wear distribution over the whole device.
-    pub fn wear_summary(&self) -> WearSummary {
-        let inner = self.inner.lock();
+    /// Per-die statistics.
+    pub fn die_stats(&self) -> Vec<DieStats> {
+        Self::die_stats_of(&self.inner.lock())
+    }
+
+    fn wear_summary_of(inner: &Inner) -> WearSummary {
         let mut bad = 0u64;
         let counts: Vec<u64> = inner
             .dies
@@ -622,13 +775,141 @@ impl NandDevice {
         WearSummary::from_counts(counts.into_iter(), bad)
     }
 
-    /// Full snapshot (stats + per-die stats + wear).
+    /// Wear distribution over the whole device.
+    pub fn wear_summary(&self) -> WearSummary {
+        Self::wear_summary_of(&self.inner.lock())
+    }
+
+    /// Arm a simulated power cut at instant `at`.  Operations issued at or
+    /// after `at` fail with [`FlashError::PowerLoss`]; an operation that is
+    /// *in flight* at `at` (issued before, completing after) is torn:
+    ///
+    /// * a torn **program** leaves the page looking programmed but holding
+    ///   only a prefix of the payload (detected via the OOB checksum), with
+    ///   the OOB metadata itself lost if less than half the operation ran;
+    /// * a torn **erase** destroys payloads and metadata without resetting
+    ///   the block, so it must be re-erased before reuse;
+    /// * a torn **copyback** behaves like a torn program of the destination
+    ///   and leaves the source untouched.
+    ///
+    /// After the cut, capture the device with [`NandDevice::snapshot`] and
+    /// "reboot" it with [`NandDevice::from_snapshot`].
+    pub fn arm_power_cut(&self, at: SimTime) {
+        self.inner.lock().power_cut = Some(at);
+    }
+
+    /// The armed power-cut instant, if any.
+    pub fn power_cut_at(&self) -> Option<SimTime> {
+        self.inner.lock().power_cut
+    }
+
+    /// Disarm a previously armed power cut.
+    pub fn clear_power_cut(&self) {
+        self.inner.lock().power_cut = None;
+    }
+
+    /// Current device-wide write epoch (the stamp given to the most recent
+    /// program that did not supply its own).  Recovery uses this as the
+    /// checkpoint watermark: pages with a larger epoch were written after
+    /// the checkpoint was taken.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Whether the device stores page payloads.
+    pub fn stores_data(&self) -> bool {
+        self.store_data
+    }
+
+    /// Full snapshot: summary statistics plus the complete per-block state
+    /// (page payloads, OOB metadata, wear, bad blocks), captured under a
+    /// single lock acquisition so it is a consistent point-in-time image.
+    /// The snapshot can be persisted with [`DeviceSnapshot::save`] and
+    /// rebuilt into a live device with [`NandDevice::from_snapshot`].
     pub fn snapshot(&self) -> DeviceSnapshot {
+        let inner = self.inner.lock();
         DeviceSnapshot {
-            stats: self.stats(),
-            die_stats: self.die_stats(),
-            wear: self.wear_summary(),
+            stats: inner.stats.clone(),
+            die_stats: Self::die_stats_of(&inner),
+            wear: Self::wear_summary_of(&inner),
+            geometry: self.geometry,
+            epoch: inner.epoch,
+            store_data: self.store_data,
+            endurance: self.endurance,
+            blocks: inner
+                .dies
+                .iter()
+                .flat_map(|d| d.planes.iter())
+                .flat_map(|p| p.blocks.iter())
+                .map(|b| b.to_snapshot())
+                .collect(),
         }
+    }
+
+    /// Rebuild a device from a snapshot — the simulator's power cycle.
+    ///
+    /// Block contents, wear, bad-block marks and the write-epoch counter
+    /// are restored exactly; the die/channel busy clocks start idle (a
+    /// rebooted device has no operations in flight) and any armed power
+    /// cut is cleared.  The caller supplies the timing model, which is a
+    /// property of the simulation rather than of the persisted state.
+    pub fn from_snapshot(snap: &DeviceSnapshot, timing: TimingModel) -> Result<NandDevice> {
+        let g = snap.geometry;
+        g.validate().map_err(|e| FlashError::Image { message: format!("bad geometry: {e}") })?;
+        if snap.blocks.len() as u64 != g.total_blocks() {
+            return Err(FlashError::Image {
+                message: format!(
+                    "snapshot holds {} blocks, geometry needs {}",
+                    snap.blocks.len(),
+                    g.total_blocks()
+                ),
+            });
+        }
+        let psz = g.page_size as usize;
+        let ppb = g.pages_per_block as usize;
+        for (i, b) in snap.blocks.iter().enumerate() {
+            if b.pages.len() != ppb || b.meta.len() != ppb {
+                return Err(FlashError::Image {
+                    message: format!("block {i} has wrong page count"),
+                });
+            }
+            if let Some(data) = &b.data {
+                if data.len() != ppb * psz {
+                    return Err(FlashError::Image {
+                        message: format!("block {i} has wrong data length"),
+                    });
+                }
+            }
+        }
+        let mut block_iter = snap.blocks.iter();
+        let dies: Vec<Die> = (0..g.total_dies())
+            .map(|_| {
+                let mut die = Die::new(g.planes_per_die, g.blocks_per_plane, g.pages_per_block);
+                for plane in &mut die.planes {
+                    for block in &mut plane.blocks {
+                        *block =
+                            Block::from_snapshot(block_iter.next().expect("length checked above"));
+                    }
+                }
+                die
+            })
+            .collect();
+        let channels: Vec<Channel> = (0..g.channels).map(|_| Channel::default()).collect();
+        Ok(NandDevice {
+            geometry: g,
+            timing,
+            endurance: snap.endurance,
+            store_data: snap.store_data,
+            strict_copyback_plane: false,
+            inner: Mutex::new(Inner {
+                dies,
+                channels,
+                stats: snap.stats.clone(),
+                trace: TraceBuffer::new(0),
+                epoch: snap.epoch,
+                power_cut: None,
+            }),
+        })
     }
 
     /// Retained operation trace (oldest first); empty when tracing is off.
@@ -894,6 +1175,133 @@ mod tests {
         let b = BlockAddr::new(DieId(1), 0, 3);
         d.retire_block(b).unwrap();
         assert_eq!(d.block_info(b).unwrap().state, BlockState::Bad);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_byte_identical_reads() {
+        // Satellite requirement: snapshot → restore → byte-identical reads,
+        // including bad-block and wear state.
+        let d =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let mut written = Vec::new();
+        for p in 0..6u32 {
+            let addr = page(0, 1, p);
+            let data: Vec<u8> =
+                (0..d.geometry().page_size).map(|i| (i as u8) ^ (p as u8)).collect();
+            let meta = PageMetadata::new(2, p as u64).with_payload_checksum(&data);
+            d.program_page(addr, &data, meta, SimTime::ZERO).unwrap();
+            written.push((addr, data));
+        }
+        // Wear + bad-block state.
+        let worn = BlockAddr::new(DieId(1), 0, 5);
+        d.erase_block(worn, SimTime::ZERO).unwrap();
+        d.erase_block(worn, SimTime::ZERO).unwrap();
+        d.retire_block(BlockAddr::new(DieId(3), 0, 2)).unwrap();
+        d.mark_invalid(written[0].0).unwrap();
+
+        let snap = d.snapshot();
+        let restored = NandDevice::from_snapshot(&snap, TimingModel::mlc_2015()).unwrap();
+        for (addr, data) in &written[1..] {
+            let (read, meta, _) = restored.read_page(*addr, SimTime::ZERO).unwrap();
+            assert_eq!(&read, data);
+            assert!(meta.unwrap().payload_matches(&read));
+        }
+        assert_eq!(restored.page_state(written[0].0).unwrap(), PageState::Invalid);
+        assert_eq!(restored.block_info(worn).unwrap().erase_count, 2);
+        assert_eq!(
+            restored.block_info(BlockAddr::new(DieId(3), 0, 2)).unwrap().state,
+            BlockState::Bad
+        );
+        assert_eq!(restored.current_epoch(), d.current_epoch());
+        assert_eq!(restored.wear_summary(), d.wear_summary());
+        // Sequential-programming state survives: the next program of block
+        // (0,1) must continue at page 6.
+        let next = page(0, 1, 6);
+        restored.program_page(next, &[], PageMetadata::new(2, 6), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn operations_after_power_cut_fail() {
+        let d =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let p = page(0, 0, 0);
+        d.program_page(p, &payload(1, &d), PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        let cut = d.quiesce_time();
+        d.arm_power_cut(cut);
+        assert_eq!(d.power_cut_at(), Some(cut));
+        let err = d.read_page(p, cut).unwrap_err();
+        assert!(err.is_power_loss());
+        assert!(d
+            .program_page(page(0, 0, 1), &payload(2, &d), PageMetadata::new(1, 1), cut)
+            .is_err());
+        assert!(d.erase_block(p.block(), cut).is_err());
+        // Reads that complete strictly before the cut still succeed.
+        d.clear_power_cut();
+        d.read_page(p, cut).unwrap();
+    }
+
+    #[test]
+    fn torn_program_leaves_partial_payload() {
+        let d =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let p = page(0, 0, 0);
+        let data = payload(0xAB, &d);
+        let meta = PageMetadata::new(1, 0).with_payload_checksum(&data);
+        // Find when an unimpeded program would complete, then cut in the
+        // second half of the operation (metadata survives, payload torn).
+        let probe =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let out = probe.program_page(p, &data, meta, SimTime::ZERO).unwrap();
+        let span = out.completed_at.as_nanos() - out.started_at.as_nanos();
+        let cut = SimTime(out.started_at.as_nanos() + span * 3 / 4);
+        d.arm_power_cut(cut);
+        let err = d.program_page(p, &data, meta, SimTime::ZERO).unwrap_err();
+        assert!(err.is_power_loss());
+        // The page is consumed (sequential rule) but torn.
+        assert_eq!(d.page_state(p).unwrap(), PageState::Valid);
+        d.clear_power_cut();
+        let (read, rmeta, _) = d.read_page(p, d.quiesce_time()).unwrap();
+        let rmeta = rmeta.expect("late tear keeps metadata");
+        assert_ne!(read, data, "payload must be partial");
+        assert!(!rmeta.payload_matches(&read), "checksum must expose the torn page");
+        // An early tear (first half) loses the metadata entirely.
+        let d2 =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let cut_early = SimTime(out.started_at.as_nanos() + span / 4);
+        d2.arm_power_cut(cut_early);
+        assert!(d2.program_page(p, &data, meta, SimTime::ZERO).is_err());
+        d2.clear_power_cut();
+        let (_, rmeta, _) = d2.read_page(p, d2.quiesce_time()).unwrap();
+        assert!(rmeta.is_none(), "early tear loses the OOB metadata");
+    }
+
+    #[test]
+    fn interrupted_erase_destroys_metadata_without_resetting_block() {
+        let d =
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
+        let b = BlockAddr::new(DieId(0), 0, 0);
+        for i in 0..d.geometry().pages_per_block {
+            d.program_page(
+                b.page(i),
+                &payload(i as u8, &d),
+                PageMetadata::new(1, i as u64),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let idle = d.quiesce_time();
+        // Cut shortly after the erase starts.
+        d.arm_power_cut(idle + crate::time::Duration::from_us(1));
+        assert!(d.erase_block(b, idle).unwrap_err().is_power_loss());
+        d.clear_power_cut();
+        let info = d.block_info(b).unwrap();
+        assert_eq!(info.state, BlockState::Full, "interrupted erase does not free the block");
+        assert_eq!(info.erase_count, 0, "incomplete erase is not charged to wear");
+        let (_, meta, _) = d.read_page(b.page(0), d.quiesce_time()).unwrap();
+        assert!(meta.is_none(), "metadata is destroyed");
+        // A full erase after "reboot" makes the block usable again.
+        d.erase_block(b, d.quiesce_time()).unwrap();
+        assert_eq!(d.block_info(b).unwrap().state, BlockState::Free);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error types for native flash operations.
 
 use crate::addr::{BlockAddr, PageAddr};
+use crate::time::SimTime;
 use std::fmt;
 
 /// Errors returned by the native flash interface.
@@ -73,6 +74,18 @@ pub enum FlashError {
         /// The page that failed.
         addr: PageAddr,
     },
+    /// A simulated power cut: the device lost power at `at` and rejects
+    /// every operation issued at or after that instant (operations still in
+    /// flight at `at` are torn — see `NandDevice::arm_power_cut`).
+    PowerLoss {
+        /// The simulated instant at which power was lost.
+        at: SimTime,
+    },
+    /// A persistent device image could not be written, read or decoded.
+    Image {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -99,6 +112,10 @@ impl fmt::Display for FlashError {
             }
             FlashError::ReadFailure { addr } => write!(f, "uncorrectable read error at {addr}"),
             FlashError::ProgramFailure { addr } => write!(f, "program failure at {addr}"),
+            FlashError::PowerLoss { at } => {
+                write!(f, "power lost at t={} ns; device requires reboot", at.as_nanos())
+            }
+            FlashError::Image { message } => write!(f, "device image error: {message}"),
         }
     }
 }
@@ -109,6 +126,12 @@ impl FlashError {
     /// Convenience constructor for out-of-bounds errors.
     pub fn oob(addr: impl fmt::Display) -> Self {
         FlashError::OutOfBounds { addr: addr.to_string() }
+    }
+
+    /// True if the error reports a simulated power loss (the device must be
+    /// rebooted via a snapshot before it accepts further operations).
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, FlashError::PowerLoss { .. })
     }
 
     /// True if the error indicates a permanently unusable block.

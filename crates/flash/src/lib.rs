@@ -53,10 +53,12 @@
 pub mod addr;
 pub mod badblock;
 pub mod block;
+pub mod crc;
 pub mod device;
 pub mod die;
 pub mod error;
 pub mod geometry;
+pub mod image;
 pub mod metadata;
 pub mod sched;
 pub mod stats;
@@ -66,7 +68,8 @@ pub mod trace;
 
 pub use addr::{BlockAddr, DieId, PageAddr, PlaneAddr};
 pub use badblock::BadBlockPolicy;
-pub use block::{BlockInfo, BlockState, PageState};
+pub use block::{BlockInfo, BlockSnapshot, BlockState, PageState};
+pub use crc::crc32;
 pub use device::{DeviceBuilder, DeviceSnapshot, NandDevice, OpOutcome};
 pub use error::FlashError;
 pub use geometry::FlashGeometry;

@@ -23,6 +23,11 @@ pub struct PageMetadata {
     pub logical_page: u64,
     /// Monotonically increasing write sequence number (device-wide).
     pub epoch: u64,
+    /// CRC-32 of the page payload, or `0` when the writer did not compute
+    /// one.  Recovery uses it to detect *torn pages*: a program interrupted
+    /// by power loss leaves a partially written payload whose CRC no longer
+    /// matches, so the page is discarded on remount.
+    pub checksum: u32,
 }
 
 impl PageMetadata {
@@ -30,24 +35,40 @@ impl PageMetadata {
     /// The epoch is assigned by the device at program time when the caller
     /// passes `epoch == 0`; callers may also supply their own epoch.
     pub fn new(object_id: ObjectId, logical_page: u64) -> Self {
-        PageMetadata { object_id, logical_page, epoch: 0 }
+        PageMetadata { object_id, logical_page, epoch: 0, checksum: 0 }
     }
 
     /// Metadata with an explicit epoch.
     pub fn with_epoch(object_id: ObjectId, logical_page: u64, epoch: u64) -> Self {
-        PageMetadata { object_id, logical_page, epoch }
+        PageMetadata { object_id, logical_page, epoch, checksum: 0 }
+    }
+
+    /// Stamp the CRC-32 of `payload` into the metadata (no-op for an empty
+    /// payload, which stands for an all-zero page in the simulator).
+    pub fn with_payload_checksum(mut self, payload: &[u8]) -> Self {
+        if !payload.is_empty() {
+            self.checksum = crate::crc::crc32(payload);
+        }
+        self
+    }
+
+    /// Verify `payload` against the stored checksum.  Returns `true` when
+    /// no checksum was stored (`0`) or the payload is unavailable.
+    pub fn payload_matches(&self, payload: &[u8]) -> bool {
+        self.checksum == 0 || payload.is_empty() || crate::crc::crc32(payload) == self.checksum
     }
 
     /// Serialised size in bytes; must fit in the geometry's OOB area.
-    pub const ENCODED_LEN: usize = 20;
+    pub const ENCODED_LEN: usize = 24;
 
     /// Encode into a fixed-size little-endian byte representation
-    /// (object_id:4 | logical_page:8 | epoch:8).
+    /// (object_id:4 | logical_page:8 | epoch:8 | checksum:4).
     pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
         let mut out = [0u8; Self::ENCODED_LEN];
         out[0..4].copy_from_slice(&self.object_id.to_le_bytes());
         out[4..12].copy_from_slice(&self.logical_page.to_le_bytes());
         out[12..20].copy_from_slice(&self.epoch.to_le_bytes());
+        out[20..24].copy_from_slice(&self.checksum.to_le_bytes());
         out
     }
 
@@ -60,7 +81,8 @@ impl PageMetadata {
         let object_id = u32::from_le_bytes(buf[0..4].try_into().ok()?);
         let logical_page = u64::from_le_bytes(buf[4..12].try_into().ok()?);
         let epoch = u64::from_le_bytes(buf[12..20].try_into().ok()?);
-        Some(PageMetadata { object_id, logical_page, epoch })
+        let checksum = u32::from_le_bytes(buf[20..24].try_into().ok()?);
+        Some(PageMetadata { object_id, logical_page, epoch, checksum })
     }
 }
 
@@ -77,6 +99,21 @@ mod tests {
     }
 
     #[test]
+    fn payload_checksum_detects_torn_pages() {
+        let payload = vec![0x5Au8; 4096];
+        let m = PageMetadata::new(3, 7).with_payload_checksum(&payload);
+        assert!(m.checksum != 0);
+        assert!(m.payload_matches(&payload));
+        let mut torn = payload.clone();
+        torn[2048..].fill(0);
+        assert!(!m.payload_matches(&torn));
+        // No checksum stored → verification is vacuous.
+        assert!(PageMetadata::new(3, 7).payload_matches(&torn));
+        // Empty payloads never carry a checksum.
+        assert_eq!(PageMetadata::new(1, 0).with_payload_checksum(&[]).checksum, 0);
+    }
+
+    #[test]
     fn decode_short_buffer_is_none() {
         assert_eq!(PageMetadata::decode(&[0u8; 10]), None);
         assert_eq!(PageMetadata::decode(&[]), None);
@@ -89,7 +126,7 @@ mod tests {
     proptest! {
         #[test]
         fn roundtrip_any(obj in any::<u32>(), page in any::<u64>(), epoch in any::<u64>()) {
-            let m = PageMetadata::with_epoch(obj, page, epoch);
+            let m = PageMetadata::with_epoch(obj, page, epoch).with_payload_checksum(&page.to_le_bytes());
             prop_assert_eq!(PageMetadata::decode(&m.encode()), Some(m));
         }
     }

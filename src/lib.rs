@@ -11,8 +11,8 @@
 //! * [`dbms`] — the storage engine that runs on either stack (`dbms-engine`);
 //! * [`tpcc`] — the TPC-C workload and placement configurations
 //!   (`tpcc-workload`);
-//! * [`bench`] — the experiment harness used by the figure binaries
-//!   (`noftl-bench`).
+//! * [`bench`](mod@bench) — the experiment harness used by the figure
+//!   binaries (`noftl-bench`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured comparison.
