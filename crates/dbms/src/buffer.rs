@@ -274,17 +274,27 @@ impl BufferPool {
         Ok(now)
     }
 
-    /// Write back every dirty page.  All writes are issued at `now` (they
-    /// stripe over the dies); the returned time is the completion of the
-    /// slowest one.
+    /// Write back every dirty page as one queued batch.  All writes are
+    /// issued at `now` and fan out over the backend's internal parallelism
+    /// (per-die command queues under NoFTL); the returned time is the
+    /// completion of the slowest one.  On failure the frames stay dirty so
+    /// a later flush retries them.
     pub fn flush_all(&self, now: SimTime) -> Result<SimTime> {
         let mut inner = self.inner.lock();
-        let mut done = now;
+        let batch: Vec<(ObjectId, u64, Vec<u8>)> = inner
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| f.dirty)
+            .map(|f| (f.key.0, f.key.1, f.data.clone()))
+            .collect();
+        if batch.is_empty() {
+            return Ok(now);
+        }
+        let done = self.backend.write_batch(&batch, now)?;
         let mut flushed = 0u64;
         for frame in inner.frames.iter_mut().flatten() {
             if frame.dirty {
-                let t = self.backend.write_page(frame.key.0, frame.key.1, &frame.data, now)?;
-                done = done.max(t);
                 frame.dirty = false;
                 flushed += 1;
             }

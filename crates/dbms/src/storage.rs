@@ -54,6 +54,19 @@ pub trait StorageBackend: Send + Sync {
     /// Write a logical page of an object.
     fn write_page(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime>;
 
+    /// Write a batch of pages, all issued at `at`; returns the completion
+    /// time of the slowest one.  Backends with internal parallelism (the
+    /// NoFTL stack's per-die command queues) overlap the writes; the
+    /// default implementation degrades to sequential `write_page` calls
+    /// that still share the issue time.
+    fn write_batch(&self, writes: &[(ObjectId, u64, Vec<u8>)], at: SimTime) -> Result<SimTime> {
+        let mut done = at;
+        for (obj, page, data) in writes {
+            done = done.max(self.write_page(*obj, *page, data, at)?);
+        }
+        Ok(done)
+    }
+
     /// Release a logical page.
     fn free_page(&self, obj: ObjectId, page: u64) -> Result<()>;
 
@@ -164,6 +177,12 @@ impl StorageBackend for NoFtlBackend {
 
     fn write_page(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
         self.noftl.write(obj, page, data, at).map_err(Into::into)
+    }
+
+    fn write_batch(&self, writes: &[(ObjectId, u64, Vec<u8>)], at: SimTime) -> Result<SimTime> {
+        // Fans the batch across the dies of each target region through the
+        // storage manager's command queue.
+        self.noftl.write_batch(writes, at).map_err(Into::into)
     }
 
     fn free_page(&self, obj: ObjectId, page: u64) -> Result<()> {

@@ -323,24 +323,23 @@ impl Wal {
     }
 
     /// Force every unforced log page to storage (group-commit boundary).
-    /// All writes are issued at `now`; the returned time — the part of a
-    /// commit the transaction must wait for — is the completion of the
-    /// slowest page.
+    /// The pages are submitted as one queued batch issued at `now`, so a
+    /// multi-page force overlaps across the log region's dies; the
+    /// returned time — the part of a commit the transaction must wait
+    /// for — is the completion of the slowest page.
     pub fn force(&self, backend: &dyn StorageBackend, now: SimTime) -> Result<SimTime> {
         let mut inner = self.inner.lock();
         inner.forces += 1;
-        let mut done = now;
         let pending = std::mem::take(&mut inner.pending);
+        let mut batch: Vec<(crate::storage::ObjectId, u64, Vec<u8>)> =
+            Vec::with_capacity(pending.len() + 1);
         if self.durable_spill {
             for (page_no, payload) in &pending {
-                let t =
-                    backend.write_page(self.obj, *page_no, &Self::seal(*page_no, payload), now)?;
-                done = done.max(t);
+                batch.push((self.obj, *page_no, Self::seal(*page_no, payload)));
             }
         }
-        let cur = Self::seal(inner.cur_page, &inner.cur_payload);
-        let t = backend.write_page(self.obj, inner.cur_page, &cur, now)?;
-        Ok(done.max(t))
+        batch.push((self.obj, inner.cur_page, Self::seal(inner.cur_page, &inner.cur_payload)));
+        backend.write_batch(&batch, now)
     }
 
     /// Pages in the current segment.

@@ -5,6 +5,8 @@
 //! `busy_until` timestamp.  Planes within a die share this command logic
 //! but hold independent block arrays.
 
+use std::collections::VecDeque;
+
 use crate::block::Block;
 use crate::time::{Duration, SimTime};
 
@@ -31,6 +33,13 @@ pub(crate) struct Die {
     pub busy_time: Duration,
     /// Total array operations executed (reads + programs + erases + copybacks).
     pub ops: u64,
+    /// Completion times of operations still in flight (in simulated time)
+    /// relative to the most recent issue; completion times are monotone
+    /// because a die executes one array operation at a time.
+    pub inflight: VecDeque<SimTime>,
+    /// Deepest the die's command queue has ever been (including the
+    /// operation being issued).
+    pub queue_depth_hwm: u32,
 }
 
 impl Die {
@@ -42,18 +51,28 @@ impl Die {
             busy_until: SimTime::ZERO,
             busy_time: Duration::ZERO,
             ops: 0,
+            inflight: VecDeque::new(),
+            queue_depth_hwm: 0,
         }
     }
 
     /// Reserve the die for an array operation of length `dur` starting no
-    /// earlier than `at`.  Returns `(start, end)` of the operation.
-    pub(crate) fn reserve(&mut self, at: SimTime, dur: Duration) -> (SimTime, SimTime) {
+    /// earlier than `at`.  Returns `(start, end, depth)` of the operation,
+    /// where `depth` is the die's queue depth at issue time (1 = the die
+    /// was idle, N = this operation queued behind N-1 others).
+    pub(crate) fn reserve(&mut self, at: SimTime, dur: Duration) -> (SimTime, SimTime, u32) {
         let start = at.max(self.busy_until);
         let end = start + dur;
         self.busy_until = end;
         self.busy_time += dur;
         self.ops += 1;
-        (start, end)
+        while self.inflight.front().is_some_and(|done| *done <= at) {
+            self.inflight.pop_front();
+        }
+        self.inflight.push_back(end);
+        let depth = self.inflight.len() as u32;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(depth);
+        (start, end, depth)
     }
 }
 
@@ -86,15 +105,18 @@ mod tests {
     #[test]
     fn die_reserve_serializes_operations() {
         let mut die = Die::new(1, 4, 8);
-        let (s1, e1) = die.reserve(SimTime::from_us(0), Duration::from_us(100));
+        let (s1, e1, d1) = die.reserve(SimTime::from_us(0), Duration::from_us(100));
         assert_eq!(s1, SimTime::ZERO);
         assert_eq!(e1, SimTime::from_us(100));
+        assert_eq!(d1, 1, "idle die: depth 1");
         // A second op issued at t=10 must wait until the first finishes.
-        let (s2, e2) = die.reserve(SimTime::from_us(10), Duration::from_us(50));
+        let (s2, e2, d2) = die.reserve(SimTime::from_us(10), Duration::from_us(50));
         assert_eq!(s2, SimTime::from_us(100));
         assert_eq!(e2, SimTime::from_us(150));
+        assert_eq!(d2, 2, "second op queues behind the first");
         assert_eq!(die.ops, 2);
         assert_eq!(die.busy_time.as_us_f64(), 150.0);
+        assert_eq!(die.queue_depth_hwm, 2);
     }
 
     #[test]
@@ -102,9 +124,11 @@ mod tests {
         let mut die = Die::new(1, 4, 8);
         die.reserve(SimTime::from_us(0), Duration::from_us(10));
         // Issued long after the die went idle.
-        let (s, _) = die.reserve(SimTime::from_us(500), Duration::from_us(10));
+        let (s, _, depth) = die.reserve(SimTime::from_us(500), Duration::from_us(10));
         assert_eq!(s, SimTime::from_us(500));
+        assert_eq!(depth, 1, "completed ops have left the queue");
         assert_eq!(die.busy_time.as_us_f64(), 20.0);
+        assert_eq!(die.queue_depth_hwm, 1);
     }
 
     #[test]

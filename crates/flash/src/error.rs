@@ -86,6 +86,12 @@ pub enum FlashError {
         /// Human-readable description.
         message: String,
     },
+    /// A command-queue completion was requested for a handle this queue
+    /// never issued, or whose completion was already claimed.
+    UnknownHandle {
+        /// The raw handle sequence number.
+        handle: u64,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -116,6 +122,9 @@ impl fmt::Display for FlashError {
                 write!(f, "power lost at t={} ns; device requires reboot", at.as_nanos())
             }
             FlashError::Image { message } => write!(f, "device image error: {message}"),
+            FlashError::UnknownHandle { handle } => {
+                write!(f, "unknown or already-claimed command handle #{handle}")
+            }
         }
     }
 }

@@ -26,7 +26,9 @@ use crate::stats::{DeviceStats, DieStats, WearSummary};
 use crate::time::Duration;
 use crate::Result;
 
-const MAGIC: &[u8; 8] = b"NFLIMG01";
+// Format version 02: adds the queue-depth high-water marks (device-wide
+// and per die) introduced with the command-queue submission API.
+const MAGIC: &[u8; 8] = b"NFLIMG02";
 
 fn err(message: impl Into<String>) -> FlashError {
     FlashError::Image { message: message.into() }
@@ -146,6 +148,7 @@ impl DeviceSnapshot {
             s.erase_latency_sum.0,
             s.copyback_latency_sum.0,
             s.errors,
+            s.queue_depth_hwm,
         ] {
             put_u64(&mut out, v);
         }
@@ -155,6 +158,7 @@ impl DeviceSnapshot {
             put_u64(&mut out, d.busy_time.0);
             put_u64(&mut out, d.total_erases);
             put_u64(&mut out, d.max_erase_count);
+            put_u32(&mut out, d.queue_depth_hwm);
         }
         put_u32(&mut out, self.blocks.len() as u32);
         for b in &self.blocks {
@@ -229,6 +233,7 @@ impl DeviceSnapshot {
             erase_latency_sum: Duration(c.u64()?),
             copyback_latency_sum: Duration(c.u64()?),
             errors: c.u64()?,
+            queue_depth_hwm: c.u64()?,
         };
         let die_count = c.u32()? as usize;
         if die_count > 1 << 20 {
@@ -241,6 +246,7 @@ impl DeviceSnapshot {
                 busy_time: Duration(c.u64()?),
                 total_erases: c.u64()?,
                 max_erase_count: c.u64()?,
+                queue_depth_hwm: c.u32()?,
             });
         }
         let block_count = c.u32()? as usize;

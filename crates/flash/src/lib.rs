@@ -16,6 +16,10 @@
 //! * page metadata handling — every page carries an out-of-band
 //!   [`PageMetadata`] record readable via [`NandDevice::read_metadata`]
 //!
+//! Every command is also available through an explicit submit/poll
+//! completion protocol — see the [`queue`] module — which is how batched
+//! and concurrent clients exploit the device's die-level parallelism.
+//!
 //! ## Time model
 //!
 //! The simulator is *discrete-time* and fully deterministic.  There is no
@@ -60,6 +64,7 @@ pub mod error;
 pub mod geometry;
 pub mod image;
 pub mod metadata;
+pub mod queue;
 pub mod sched;
 pub mod stats;
 pub mod time;
@@ -74,7 +79,8 @@ pub use device::{DeviceBuilder, DeviceSnapshot, NandDevice, OpOutcome};
 pub use error::FlashError;
 pub use geometry::FlashGeometry;
 pub use metadata::PageMetadata;
-pub use stats::{DeviceStats, DieStats, WearSummary};
+pub use queue::{CmdHandle, CmdOutput, CommandQueue, Completion, FlashCommand, QueueStats};
+pub use stats::{DeviceStats, DieStats, UtilizationSummary, WearSummary};
 pub use time::{Duration, SimTime};
 pub use timing::TimingModel;
 pub use trace::{FlashOp, OpKind, TraceBuffer};

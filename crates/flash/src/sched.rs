@@ -25,11 +25,12 @@ pub(crate) struct Scheduled {
     pub start: SimTime,
     /// When the result is available to the host (end-to-end completion).
     pub complete: SimTime,
+    /// Die queue depth at issue time (1 = the die was idle).
+    pub depth: u32,
 }
 
 impl Scheduled {
     /// End-to-end latency relative to the issue time.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn latency(&self, issued_at: SimTime) -> Duration {
         self.complete - issued_at
     }
@@ -43,10 +44,10 @@ pub(crate) fn schedule_read(
     at: SimTime,
     bytes: u32,
 ) -> Scheduled {
-    let (start, array_done) = die.reserve(at, timing.read_array_time());
+    let (start, array_done, depth) = die.reserve(at, timing.read_array_time());
     let xfer = timing.transfer_time(bytes);
     let (_, complete) = channel.reserve(array_done, xfer, bytes as u64);
-    Scheduled { start, complete }
+    Scheduled { start, complete, depth }
 }
 
 /// Schedule a page program: transfer on the channel, then array program on
@@ -60,20 +61,20 @@ pub(crate) fn schedule_program(
 ) -> Scheduled {
     let xfer = timing.transfer_time(bytes);
     let (start, xfer_done) = channel.reserve(at, xfer, bytes as u64);
-    let (_, complete) = die.reserve(xfer_done, timing.program_array_time());
-    Scheduled { start, complete }
+    let (_, complete, depth) = die.reserve(xfer_done, timing.program_array_time());
+    Scheduled { start, complete, depth }
 }
 
 /// Schedule a block erase (die-only).
 pub(crate) fn schedule_erase(die: &mut Die, timing: &TimingModel, at: SimTime) -> Scheduled {
-    let (start, complete) = die.reserve(at, timing.erase_time());
-    Scheduled { start, complete }
+    let (start, complete, depth) = die.reserve(at, timing.erase_time());
+    Scheduled { start, complete, depth }
 }
 
 /// Schedule a copyback (die-only internal move).
 pub(crate) fn schedule_copyback(die: &mut Die, timing: &TimingModel, at: SimTime) -> Scheduled {
-    let (start, complete) = die.reserve(at, timing.copyback_time());
-    Scheduled { start, complete }
+    let (start, complete, depth) = die.reserve(at, timing.copyback_time());
+    Scheduled { start, complete, depth }
 }
 
 /// Schedule an OOB metadata read: array read plus a small transfer.
@@ -84,9 +85,9 @@ pub(crate) fn schedule_metadata_read(
     at: SimTime,
     oob_bytes: u32,
 ) -> Scheduled {
-    let (start, array_done) = die.reserve(at, timing.read_array_time());
+    let (start, array_done, depth) = die.reserve(at, timing.read_array_time());
     let (_, complete) = channel.reserve(array_done, timing.oob_transfer_time(), oob_bytes as u64);
-    Scheduled { start, complete }
+    Scheduled { start, complete, depth }
 }
 
 #[cfg(test)]

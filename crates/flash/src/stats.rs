@@ -33,6 +33,9 @@ pub struct DeviceStats {
     pub copyback_latency_sum: Duration,
     /// Number of failed operations (bad block, worn out, ...).
     pub errors: u64,
+    /// Deepest any die's command queue has ever been (1 = no operation
+    /// ever queued behind another on the same die).
+    pub queue_depth_hwm: u64,
 }
 
 impl DeviceStats {
@@ -91,6 +94,9 @@ impl DeviceStats {
                 self.copyback_latency_sum.0 - earlier.copyback_latency_sum.0,
             ),
             errors: self.errors - earlier.errors,
+            // A high-water mark has no meaningful difference; the delta
+            // carries the later snapshot's value.
+            queue_depth_hwm: self.queue_depth_hwm,
         }
     }
 }
@@ -106,6 +112,64 @@ pub struct DieStats {
     pub total_erases: u64,
     /// Maximum erase count of any block on the die.
     pub max_erase_count: u64,
+    /// Deepest this die's command queue has ever been (1 = no operation
+    /// ever queued behind another).
+    pub queue_depth_hwm: u32,
+}
+
+impl DieStats {
+    /// Fraction of the `elapsed` window this die spent executing array
+    /// operations (0.0 = idle the whole time, 1.0 = saturated).
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.0 == 0 {
+            0.0
+        } else {
+            (self.busy_time.0 as f64 / elapsed.0 as f64).min(1.0)
+        }
+    }
+}
+
+/// Device-wide parallelism summary derived from the per-die statistics,
+/// reported by the queue-depth bench: how evenly work spread over the
+/// dies and how deep the per-die command queues ran.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    /// The observation window (device creation to quiesce time).
+    pub elapsed: Duration,
+    /// Per-die busy fraction over the window, indexed by die id.
+    pub per_die: Vec<f64>,
+    /// Mean busy fraction over all dies.
+    pub mean: f64,
+    /// Busiest die's fraction.
+    pub max: f64,
+    /// Idlest die's fraction.
+    pub min: f64,
+    /// Deepest per-die queue depth observed anywhere on the device.
+    pub queue_depth_hwm: u32,
+}
+
+impl UtilizationSummary {
+    /// Build the summary from per-die statistics over `elapsed`.
+    pub fn from_die_stats(dies: &[DieStats], elapsed: Duration) -> Self {
+        let per_die: Vec<f64> = dies.iter().map(|d| d.utilization(elapsed)).collect();
+        let mean = if per_die.is_empty() {
+            0.0
+        } else {
+            per_die.iter().sum::<f64>() / per_die.len() as f64
+        };
+        UtilizationSummary {
+            elapsed,
+            mean,
+            max: per_die.iter().copied().fold(0.0, f64::max),
+            min: if per_die.is_empty() {
+                0.0
+            } else {
+                per_die.iter().copied().fold(f64::INFINITY, f64::min)
+            },
+            queue_depth_hwm: dies.iter().map(|d| d.queue_depth_hwm).max().unwrap_or(0),
+            per_die,
+        }
+    }
 }
 
 /// Summary of wear distribution over the device, used to evaluate the
@@ -206,5 +270,44 @@ mod tests {
         let w = WearSummary::from_counts(std::iter::empty(), 0);
         assert_eq!(w.total_erases, 0);
         assert_eq!(w.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn die_utilization_is_busy_fraction() {
+        let d = DieStats { busy_time: Duration::from_us(25), ..Default::default() };
+        assert!((d.utilization(Duration::from_us(100)) - 0.25).abs() < 1e-9);
+        assert_eq!(d.utilization(Duration::ZERO), 0.0);
+        // Saturation clamps at 1.0.
+        assert_eq!(d.utilization(Duration::from_us(10)), 1.0);
+    }
+
+    #[test]
+    fn utilization_summary_aggregates_dies() {
+        let dies = [
+            DieStats {
+                busy_time: Duration::from_us(100),
+                queue_depth_hwm: 3,
+                ..Default::default()
+            },
+            DieStats { busy_time: Duration::from_us(50), queue_depth_hwm: 1, ..Default::default() },
+        ];
+        let s = UtilizationSummary::from_die_stats(&dies, Duration::from_us(100));
+        assert_eq!(s.per_die.len(), 2);
+        assert!((s.max - 1.0).abs() < 1e-9);
+        assert!((s.min - 0.5).abs() < 1e-9);
+        assert!((s.mean - 0.75).abs() < 1e-9);
+        assert_eq!(s.queue_depth_hwm, 3);
+        // Empty input degenerates cleanly.
+        let empty = UtilizationSummary::from_die_stats(&[], Duration::from_us(1));
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.min, 0.0);
+        assert_eq!(empty.queue_depth_hwm, 0);
+    }
+
+    #[test]
+    fn delta_carries_latest_queue_depth_hwm() {
+        let early = DeviceStats { queue_depth_hwm: 4, ..Default::default() };
+        let late = DeviceStats { queue_depth_hwm: 7, ..Default::default() };
+        assert_eq!(late.delta_since(&early).queue_depth_hwm, 7);
     }
 }

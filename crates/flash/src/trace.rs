@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::addr::PageAddr;
-use crate::time::SimTime;
+use crate::time::{Duration, SimTime};
 
 /// Kind of a traced flash command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,6 +37,11 @@ pub struct FlashOp {
     pub issued_at: SimTime,
     /// When the command completed.
     pub completed_at: SimTime,
+    /// End-to-end latency (issue to completion, including queueing).
+    pub latency: Duration,
+    /// Queue depth of the target die at issue time (1 = die was idle);
+    /// together with `latency` this supports per-depth latency histograms.
+    pub queue_depth: u32,
 }
 
 /// A bounded ring buffer of recent flash commands.
@@ -99,6 +104,8 @@ mod tests {
             addr: PageAddr::new(DieId(0), 0, 0, 0),
             issued_at: SimTime::from_us(t),
             completed_at: SimTime::from_us(t + 1),
+            latency: Duration::from_us(1),
+            queue_depth: 1,
         }
     }
 
