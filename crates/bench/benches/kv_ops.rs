@@ -1,0 +1,118 @@
+//! NoFTL-KV operation benchmarks.
+//!
+//! Two layers, matching the other benches in this crate:
+//!
+//! 1. **Simulated time** (printed once before the criterion samples) —
+//!    put/get/scan throughput in device time and the headline queued vs
+//!    sequential flush comparison: a memtable flush fanned over the
+//!    region's dies through `NoFtl::write_batch` must beat the same
+//!    pages submitted one blocking write at a time.
+//! 2. **Wall-clock overhead** (criterion) — what the KV layer itself
+//!    costs per operation: memtable puts, point lookups served from the
+//!    memtable and from sorted runs, range scans, and a full flush.
+//!
+//! Run with `cargo bench -p noftl-bench --bench kv_ops`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flash_sim::SimTime;
+use noftl_bench::smoke;
+
+fn headline() {
+    let section = smoke::kv_ops_section(true);
+    println!("kv_ops headline (simulated device time):");
+    for m in &section.metrics {
+        println!("  {:<28} {:>14.3} {}", m.name, m.value, m.unit);
+    }
+    let get = |name: &str| section.metrics.iter().find(|m| m.name == name).unwrap().value;
+    assert!(
+        get("flush_speedup") > 1.0,
+        "queued flush must beat sequential flush (got {:.2}x)",
+        get("flush_speedup")
+    );
+}
+
+fn key(i: u64) -> Vec<u8> {
+    format!("user{:08}", i * 2_654_435_761 % 100_000_000).into_bytes()
+}
+
+fn val(i: u64) -> Vec<u8> {
+    format!("value-{i:08}-{}", "x".repeat(48)).into_bytes()
+}
+
+fn bench_kv_ops(c: &mut Criterion) {
+    headline();
+
+    let mut group = c.benchmark_group("kv_ops");
+    group.sample_size(10);
+
+    group.bench_function("put_memtable", |b| {
+        // Large memtable: puts never flush, measuring the pure in-memory
+        // insert path.
+        let (_d, _n, store) = smoke::kv_stack(true);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.put(&key(i % 10_000), &val(i), SimTime::ZERO).unwrap());
+        });
+    });
+
+    group.bench_function("get_memtable_hit", |b| {
+        let (_d, _n, store) = smoke::kv_stack(true);
+        let mut t = SimTime::ZERO;
+        for i in 0..500u64 {
+            t = store.put(&key(i), &val(i), t).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.get(&key(i % 500), t).unwrap());
+        });
+    });
+
+    group.bench_function("get_from_runs", |b| {
+        let (_d, _n, store) = smoke::kv_stack(true);
+        let mut t = SimTime::ZERO;
+        for i in 0..2_000u64 {
+            t = store.put(&key(i), &val(i), t).unwrap();
+        }
+        t = store.flush(t).unwrap();
+        assert_eq!(store.memtable_len(), 0, "every get must hit the runs");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.get(&key(i % 2_000), t).unwrap());
+        });
+    });
+
+    group.bench_function("scan_1k", |b| {
+        let (_d, _n, store) = smoke::kv_stack(true);
+        let mut t = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            t = store.put(&key(i), &val(i), t).unwrap();
+        }
+        t = store.flush(t).unwrap();
+        b.iter(|| {
+            let (rows, _) = store.scan(None, None, t).unwrap();
+            assert_eq!(rows.len(), 1_000);
+            black_box(rows);
+        });
+    });
+
+    group.bench_function("flush_600_entries", |b| {
+        b.iter(|| {
+            let (_d, _n, store) = smoke::kv_stack(true);
+            let mut t = SimTime::ZERO;
+            for i in 0..600u64 {
+                t = store.put(&key(i), &val(i), t).unwrap();
+            }
+            black_box(store.flush(t).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv_ops);
+criterion_main!(benches);

@@ -13,9 +13,11 @@
 //!    per command compared to the blocking calls (criterion numbers)?
 //!
 //! Run with `cargo bench -p noftl-bench --bench queue_depth`.  The
-//! simulated-time comparison and the per-die utilization report (mean /
-//! min / max busy fraction, queue-depth high-water mark) are printed
-//! before the criterion samples.
+//! simulated-time comparison and the utilization report — summary *and*
+//! per-die busy fractions, the baseline for the queue-aware-allocation
+//! follow-up — are printed before the criterion samples.  The headline
+//! measurements themselves live in `noftl_bench::smoke`, shared with the
+//! CI `perf_smoke` binary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -24,117 +26,35 @@ use std::sync::Arc;
 use flash_sim::queue::{CommandQueue, FlashCommand};
 use flash_sim::{
     DeviceBuilder, DieId, FlashGeometry, NandDevice, PageAddr, PageMetadata, SimTime, TimingModel,
+    UtilizationSummary,
 };
-use noftl_core::{NoFtl, NoFtlConfig, RegionSpec};
+use noftl_bench::smoke;
 
 fn device() -> Arc<NandDevice> {
     Arc::new(DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build())
 }
 
-/// Physical address of the `i`-th page when striping a batch round-robin
-/// over the dies (block 0 of each die).
-fn striped_addr(geo: &FlashGeometry, i: u32) -> PageAddr {
-    let die = i % geo.total_dies();
-    let page = i / geo.total_dies();
-    PageAddr::new(DieId(die), 0, 0, page)
+/// Render the per-die busy fractions of a utilization summary, so skew
+/// between dies is visible (not just the mean/min/max aggregate).
+fn per_die_report(label: &str, util: &UtilizationSummary) {
+    println!(
+        "  {label} utilization: mean {:.2} min {:.2} max {:.2}, depth hwm {}",
+        util.mean, util.min, util.max, util.queue_depth_hwm,
+    );
+    print!("    per die:");
+    for (die, busy) in util.per_die.iter().enumerate() {
+        print!(" d{die}={busy:.2}");
+    }
+    println!();
 }
 
-/// Program `total` striped pages keeping at most `depth` commands in
-/// flight; returns the simulated completion time of the batch.
-fn run_at_depth(total: u32, depth: usize) -> (SimTime, flash_sim::UtilizationSummary) {
-    let dev = device();
-    let geo = *dev.geometry();
-    let queue = CommandQueue::new(Arc::clone(&dev));
-    let data = vec![0xD7u8; geo.page_size as usize];
-    let mut window = Vec::with_capacity(depth);
-    let mut clock = SimTime::ZERO;
-    let mut done = SimTime::ZERO;
-    for i in 0..total {
-        if window.len() == depth {
-            // The oldest in-flight command gates the next submission —
-            // exactly how a depth-limited host driver behaves.
-            let h = window.remove(0);
-            let c = queue.wait(h).unwrap();
-            let completed = c.result.unwrap().outcome.completed_at;
-            clock = clock.max(completed);
-            done = done.max(completed);
-        }
-        let h = queue.submit(
-            FlashCommand::Program {
-                addr: striped_addr(&geo, i),
-                data: data.clone(),
-                meta: PageMetadata::new(1, i as u64),
-            },
-            clock,
-        );
-        window.push(h);
-    }
-    for h in window {
-        let c = queue.wait(h).unwrap();
-        done = done.max(c.result.unwrap().outcome.completed_at);
-    }
-    (done, dev.utilization())
-}
-
-/// The headline comparison: queued `write_batch` over a 4-die region vs
-/// sequential submission of the same pages.
-fn report_write_batch(pages: u64) {
-    let make = || {
-        let dev = device();
-        let noftl = NoFtl::new(Arc::clone(&dev), NoFtlConfig::default());
-        let rid = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
-        let obj = noftl.create_object("t", rid).unwrap();
-        (dev, noftl, obj)
-    };
-    let payload = |p: u64| vec![p as u8; 4096];
-
-    let (dev, noftl, obj) = make();
-    let batch: Vec<(u32, u64, Vec<u8>)> = (0..pages).map(|p| (obj, p, payload(p))).collect();
-    let queued_done = noftl.write_batch(&batch, SimTime::ZERO).unwrap();
-    let queued_util = dev.utilization();
-
-    let (dev, noftl, obj) = make();
-    let mut serial_done = SimTime::ZERO;
-    for p in 0..pages {
-        serial_done = noftl.write(obj, p, &payload(p), serial_done).unwrap();
-    }
-    let serial_util = dev.utilization();
-
-    println!("write_batch over a 4-die region, {pages} pages:");
-    println!(
-        "  queued:     {:>10.1} us simulated  (util mean {:.2} min {:.2} max {:.2}, depth hwm {})",
-        queued_done.as_secs_f64() * 1e6,
-        queued_util.mean,
-        queued_util.min,
-        queued_util.max,
-        queued_util.queue_depth_hwm,
-    );
-    println!(
-        "  sequential: {:>10.1} us simulated  (util mean {:.2} min {:.2} max {:.2}, depth hwm {})",
-        serial_done.as_secs_f64() * 1e6,
-        serial_util.mean,
-        serial_util.min,
-        serial_util.max,
-        serial_util.queue_depth_hwm,
-    );
-    println!(
-        "  speedup: {:.2}x",
-        serial_done.as_secs_f64() / queued_done.as_secs_f64().max(f64::MIN_POSITIVE)
-    );
-    assert!(
-        queued_done < serial_done,
-        "queued write_batch must beat sequential submission ({queued_done} vs {serial_done})"
-    );
-}
-
-fn bench_queue_depth(c: &mut Criterion) {
-    // Simulated-time report (printed once, independent of criterion).
+fn simulated_reports() {
     let dies = FlashGeometry::example().total_dies() as usize;
     let total = 64u32;
     println!("simulated completion time of {total} striped programs vs queue depth:");
     let mut depth1 = SimTime::ZERO;
     for depth in [1usize, 4, 8, dies] {
-        let (done, util) = run_at_depth(total, depth);
+        let (done, util) = smoke::run_at_depth(total, depth);
         if depth == 1 {
             depth1 = done;
         }
@@ -146,7 +66,26 @@ fn bench_queue_depth(c: &mut Criterion) {
         );
         assert!(done <= depth1, "deeper queues must never be slower than depth 1");
     }
-    report_write_batch(64);
+
+    let pages = 64u64;
+    let cmp = smoke::write_batch_comparison(pages);
+    println!("write_batch over a 4-die region, {pages} pages:");
+    println!("  queued:     {:>10.1} us simulated", cmp.queued.as_secs_f64() * 1e6);
+    per_die_report("queued", &cmp.queued_util);
+    println!("  sequential: {:>10.1} us simulated", cmp.sequential.as_secs_f64() * 1e6);
+    per_die_report("sequential", &cmp.sequential_util);
+    println!("  speedup: {:.2}x", cmp.speedup());
+    assert!(
+        cmp.queued < cmp.sequential,
+        "queued write_batch must beat sequential submission ({:?} vs {:?})",
+        cmp.queued,
+        cmp.sequential
+    );
+}
+
+fn bench_queue_depth(c: &mut Criterion) {
+    // Simulated-time report (printed once, independent of criterion).
+    simulated_reports();
 
     // Wall-clock cost of the submission protocol itself.
     let mut group = c.benchmark_group("queue_depth");
@@ -160,7 +99,7 @@ fn bench_queue_depth(c: &mut Criterion) {
         let mut i = 0u32;
         let span = geo.total_dies() * geo.pages_per_block;
         b.iter(|| {
-            let addr = striped_addr(&geo, i % span);
+            let addr = smoke::striped_addr(&geo, i % span);
             if i >= span && addr.page == 0 {
                 let _ = dev.erase_block(addr.block(), SimTime::ZERO);
             }
@@ -169,7 +108,7 @@ fn bench_queue_depth(c: &mut Criterion) {
                 FlashCommand::Program {
                     addr,
                     data: data.clone(),
-                    meta: PageMetadata::new(1, i as u64),
+                    meta: PageMetadata::new(1, u64::from(i)),
                 },
                 SimTime::ZERO,
             );
@@ -196,7 +135,7 @@ fn bench_queue_depth(c: &mut Criterion) {
             let cmds = (0..geo.total_dies()).map(|die| FlashCommand::Program {
                 addr: PageAddr::new(DieId(die), 0, 0, page),
                 data: data.clone(),
-                meta: PageMetadata::new(1, die as u64),
+                meta: PageMetadata::new(1, u64::from(die)),
             });
             let handles = queue.submit_batch(cmds, SimTime::ZERO);
             for h in handles {

@@ -1,0 +1,45 @@
+//! CI perf-smoke harness: run the headline measurements of the
+//! `queue_depth`, `kv_ops` and `recovery` benches in quick mode and
+//! write them to a `BENCH_PR4.json` perf-trajectory point.
+//!
+//! ```text
+//! cargo run --release -p noftl-bench --bin perf_smoke -- --out BENCH_PR4.json
+//! ```
+//!
+//! Flags: `--out <path>` (default `BENCH_PR4.json`), `--full` for the
+//! larger workloads.  All numbers except the `_wall_ms` ones are
+//! simulated device time and therefore deterministic across runs and
+//! machines — exactly what a CI artifact needs to be comparable.
+
+use std::path::PathBuf;
+
+use noftl_bench::smoke;
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_PR4.json");
+    let mut quick = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a path"));
+            }
+            "--full" => quick = false,
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag '{other}' (expected --out <path>, --quick, --full)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    println!("perf smoke ({mode} mode):");
+    let sections = vec![
+        smoke::queue_depth_section(),
+        smoke::kv_ops_section(quick),
+        smoke::recovery_section(quick),
+    ];
+    print!("{}", smoke::render_table(&sections));
+    smoke::write_json(&out, mode, &sections).expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

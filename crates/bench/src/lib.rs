@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod smoke;
+
 use std::sync::Arc;
 
 use dbms_engine::{Database, DatabaseConfig, NoFtlBackend};

@@ -1,0 +1,381 @@
+//! Headline perf-smoke measurements shared by the criterion benches and
+//! the `perf_smoke` CI binary.
+//!
+//! Everything here reports *simulated device time* (deterministic — two
+//! runs of the same binary produce identical numbers) except where a
+//! metric is explicitly suffixed `_wall_ms`.  The CI `bench-smoke` job
+//! runs `perf_smoke --quick`, which serialises these sections into
+//! `BENCH_PR4.json`, the first point of the repo's perf trajectory.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dbms_engine::{Database, DatabaseConfig, NoFtlBackend, Schema, Value};
+use flash_sim::queue::{CommandQueue, FlashCommand};
+use flash_sim::{
+    DeviceBuilder, DeviceSnapshot, DieId, FlashGeometry, NandDevice, PageAddr, PageMetadata,
+    SimTime, TimingModel, UtilizationSummary,
+};
+use noftl_core::kv::{KvConfig, KvStore};
+use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig, RegionSpec};
+
+/// One headline number.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Stable identifier (JSON key).
+    pub name: &'static str,
+    /// The measurement.
+    pub value: f64,
+    /// Unit label (`us`, `kops_sim`, `pages`, `x`, `wall_ms`, ...).
+    pub unit: &'static str,
+}
+
+impl Metric {
+    fn new(name: &'static str, value: f64, unit: &'static str) -> Self {
+        Metric { name, value, unit }
+    }
+}
+
+/// A named group of metrics (one per smoke-tested bench).
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (JSON key).
+    pub name: &'static str,
+    /// The section's metrics.
+    pub metrics: Vec<Metric>,
+}
+
+fn device() -> Arc<NandDevice> {
+    Arc::new(DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build())
+}
+
+/// Physical address of the `i`-th page when striping a batch round-robin
+/// over the dies (block 0 of each die).
+pub fn striped_addr(geo: &FlashGeometry, i: u32) -> PageAddr {
+    let die = i % geo.total_dies();
+    let page = i / geo.total_dies();
+    PageAddr::new(DieId(die), 0, 0, page)
+}
+
+/// Program `total` striped pages keeping at most `depth` commands in
+/// flight; returns the simulated completion time of the batch and the
+/// device utilisation summary.
+pub fn run_at_depth(total: u32, depth: usize) -> (SimTime, UtilizationSummary) {
+    let dev = device();
+    let geo = *dev.geometry();
+    let queue = CommandQueue::new(Arc::clone(&dev));
+    let data = vec![0xD7u8; geo.page_size as usize];
+    let mut window = Vec::with_capacity(depth);
+    let mut clock = SimTime::ZERO;
+    let mut done = SimTime::ZERO;
+    for i in 0..total {
+        if window.len() == depth {
+            // The oldest in-flight command gates the next submission —
+            // exactly how a depth-limited host driver behaves.
+            let h = window.remove(0);
+            let c = queue.wait(h).unwrap();
+            let completed = c.result.unwrap().outcome.completed_at;
+            clock = clock.max(completed);
+            done = done.max(completed);
+        }
+        let h = queue.submit(
+            FlashCommand::Program {
+                addr: striped_addr(&geo, i),
+                data: data.clone(),
+                meta: PageMetadata::new(1, u64::from(i)),
+            },
+            clock,
+        );
+        window.push(h);
+    }
+    for h in window {
+        let c = queue.wait(h).unwrap();
+        done = done.max(c.result.unwrap().outcome.completed_at);
+    }
+    (done, dev.utilization())
+}
+
+/// Queued `write_batch` vs sequential submission of the same pages over a
+/// 4-die region.
+#[derive(Debug)]
+pub struct BatchComparison {
+    /// Simulated completion of the queued batch.
+    pub queued: SimTime,
+    /// Simulated completion of the sequential writes.
+    pub sequential: SimTime,
+    /// Device utilisation after the queued batch.
+    pub queued_util: UtilizationSummary,
+    /// Device utilisation after the sequential writes.
+    pub sequential_util: UtilizationSummary,
+}
+
+impl BatchComparison {
+    /// Sequential-over-queued simulated-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.queued.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measure [`BatchComparison`] for a batch of `pages` pages.
+pub fn write_batch_comparison(pages: u64) -> BatchComparison {
+    let make = || {
+        let dev = device();
+        let noftl = NoFtl::new(Arc::clone(&dev), NoFtlConfig::default());
+        let rid = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
+        let obj = noftl.create_object("t", rid).unwrap();
+        (dev, noftl, obj)
+    };
+    let payload = |p: u64| vec![p as u8; 4096];
+
+    let (dev, noftl, obj) = make();
+    let batch: Vec<(u32, u64, Vec<u8>)> = (0..pages).map(|p| (obj, p, payload(p))).collect();
+    let queued = noftl.write_batch(&batch, SimTime::ZERO).unwrap();
+    let queued_util = dev.utilization();
+
+    let (dev, noftl, obj) = make();
+    let mut sequential = SimTime::ZERO;
+    for p in 0..pages {
+        sequential = noftl.write(obj, p, &payload(p), sequential).unwrap();
+    }
+    let sequential_util = dev.utilization();
+    BatchComparison { queued, sequential, queued_util, sequential_util }
+}
+
+/// Queue-depth section: simulated batch completion vs queue depth plus
+/// the queued/sequential `write_batch` headline.
+pub fn queue_depth_section() -> Section {
+    let dies = FlashGeometry::example().total_dies() as usize;
+    let mut metrics = Vec::new();
+    for (name, depth) in
+        [("depth_1_us", 1usize), ("depth_4_us", 4), ("depth_8_us", 8), ("depth_dies_us", dies)]
+    {
+        let (done, _) = run_at_depth(64, depth);
+        metrics.push(Metric::new(name, done.as_secs_f64() * 1e6, "us_sim"));
+    }
+    let cmp = write_batch_comparison(64);
+    metrics.push(Metric::new("write_batch_queued_us", cmp.queued.as_secs_f64() * 1e6, "us_sim"));
+    metrics.push(Metric::new(
+        "write_batch_sequential_us",
+        cmp.sequential.as_secs_f64() * 1e6,
+        "us_sim",
+    ));
+    metrics.push(Metric::new("write_batch_speedup", cmp.speedup(), "x"));
+    metrics.push(Metric::new("write_batch_util_mean", cmp.queued_util.mean, "fraction"));
+    Section { name: "queue_depth", metrics }
+}
+
+/// The KV workload used by both the section below and the `kv_ops`
+/// criterion bench: a store over a 6-die region of the example device.
+pub fn kv_stack(queued_flush: bool) -> (Arc<NandDevice>, Arc<NoFtl>, KvStore) {
+    let dev = device();
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&dev), NoFtlConfig::default()));
+    let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(6)).unwrap();
+    let config = KvConfig { queued_flush, ..KvConfig::default() };
+    let (store, _) = KvStore::create(Arc::clone(&noftl), rid, "bench", config, SimTime::ZERO)
+        .expect("store creates");
+    (dev, noftl, store)
+}
+
+fn kv_key(i: u64) -> Vec<u8> {
+    format!("user{:08}", i * 2_654_435_761 % 100_000_000).into_bytes()
+}
+
+fn kv_val(i: u64) -> Vec<u8> {
+    format!("value-{i:08}-{}", "x".repeat(48)).into_bytes()
+}
+
+/// KV section: simulated put/get/scan throughput and the queued-vs-
+/// sequential flush comparison.
+pub fn kv_ops_section(quick: bool) -> Section {
+    let puts: u64 = if quick { 4_000 } else { 16_000 };
+    let gets: u64 = if quick { 500 } else { 2_000 };
+
+    let (_dev, _noftl, store) = kv_stack(true);
+    let mut t = SimTime::ZERO;
+    for i in 0..puts {
+        t = store.put(&kv_key(i), &kv_val(i), t).unwrap();
+    }
+    let load_done = store.flush(t).unwrap();
+    let put_kops = puts as f64 / load_done.as_secs_f64().max(f64::MIN_POSITIVE) / 1e3;
+
+    let mut now = load_done;
+    for i in 0..gets {
+        let probe = i * (puts / gets).max(1);
+        let (hit, t2) = store.get(&kv_key(probe), now).unwrap();
+        now = t2;
+        assert!(hit.is_some(), "loaded key must be found");
+    }
+    let get_kops = gets as f64 / (now - load_done).as_secs_f64().max(f64::MIN_POSITIVE) / 1e3;
+
+    let scan_start = now;
+    let (rows, scan_done) = store.scan(None, None, scan_start).unwrap();
+    let scan_krows =
+        rows.len() as f64 / (scan_done - scan_start).as_secs_f64().max(f64::MIN_POSITIVE) / 1e3;
+    let stats = store.stats();
+
+    // Queued vs sequential flush of one identical memtable.
+    let flush_time = |queued: bool| {
+        let (_d, _n, s) = kv_stack(queued);
+        let mut t = SimTime::ZERO;
+        for i in 0..600u64 {
+            t = s.put(&kv_key(i), &kv_val(i), t).unwrap();
+        }
+        let start = t;
+        (s.flush(t).unwrap() - start).as_secs_f64() * 1e6
+    };
+    let queued_us = flush_time(true);
+    let sequential_us = flush_time(false);
+
+    Section {
+        name: "kv_ops",
+        metrics: vec![
+            Metric::new("put_throughput_kops", put_kops, "kops_sim"),
+            Metric::new("get_throughput_kops", get_kops, "kops_sim"),
+            Metric::new("scan_throughput_krows", scan_krows, "krows_sim"),
+            Metric::new("flushes", stats.flushes as f64, "count"),
+            Metric::new("compactions", stats.compactions as f64, "count"),
+            Metric::new("flush_queued_us", queued_us, "us_sim"),
+            Metric::new("flush_sequential_us", sequential_us, "us_sim"),
+            Metric::new("flush_speedup", sequential_us / queued_us.max(f64::MIN_POSITIVE), "x"),
+        ],
+    }
+}
+
+/// Recovery section: mount + WAL redo after a workload, as in the
+/// `recovery` criterion bench but sized for a smoke run.
+pub fn recovery_section(quick: bool) -> Section {
+    let txns: i64 = if quick { 60 } else { 240 };
+    let config = DatabaseConfig {
+        buffer_pages: 512,
+        redo_logging: true,
+        wal_segment_pages: 1_000_000, // keep the tail; we want it long
+        ..DatabaseConfig::default()
+    };
+    let device = device();
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let placement = PlacementConfig::traditional(8, ["t".to_string()]);
+    let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
+    let db = Database::open(backend, config).unwrap();
+    db.create_table(
+        "t",
+        Schema::new(vec![("k", dbms_engine::ColumnType::Int), ("v", dbms_engine::ColumnType::Int)]),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let mut t = db.checkpoint(SimTime::ZERO).unwrap();
+    for i in 0..txns {
+        let mut txn = db.begin(t);
+        db.insert(&mut txn, "t", &vec![Value::Int(i), Value::Int(i * 7)], &[]).unwrap();
+        db.commit(&mut txn).unwrap();
+        t = txn.now;
+    }
+    let wal_pages = db.wal_stats().pages;
+    let snapshot: DeviceSnapshot = device.snapshot();
+
+    let wall = Instant::now();
+    let device2 = Arc::new(NandDevice::from_snapshot(&snapshot, TimingModel::mlc_2015()).unwrap());
+    let (noftl2, mount) = NoFtl::mount(device2, NoFtlConfig::default(), SimTime::ZERO).unwrap();
+    let backend2 = Arc::new(NoFtlBackend::attach(Arc::new(noftl2), &placement).unwrap());
+    let (_db2, report) = Database::recover(backend2, config, mount.completed_at).unwrap();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    Section {
+        name: "recovery",
+        metrics: vec![
+            Metric::new("wal_pages", wal_pages as f64, "pages"),
+            Metric::new("redo_pages_applied", report.redo_pages_applied as f64, "pages"),
+            Metric::new("pages_scanned", mount.pages_scanned as f64, "pages"),
+            Metric::new("mount_simulated_us", mount.completed_at.as_secs_f64() * 1e6, "us_sim"),
+            Metric::new("reboot_recover_wall_ms", wall_ms, "wall_ms"),
+        ],
+    }
+}
+
+/// Serialise sections into a `BENCH_*.json` perf-trajectory point.
+pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"tool\": \"perf_smoke\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"sections\": {\n");
+    for (si, section) in sections.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", section.name));
+        for (mi, m) in section.metrics.iter().enumerate() {
+            let comma = if mi + 1 == section.metrics.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      \"{}\": {{\"value\": {:.3}, \"unit\": \"{}\"}}{comma}\n",
+                m.name, m.value, m.unit
+            ));
+        }
+        let comma = if si + 1 == sections.len() { "" } else { "," };
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+/// Render sections as an aligned text table (the binary's stdout).
+pub fn render_table(sections: &[Section]) -> String {
+    let mut out = String::new();
+    for section in sections {
+        out.push_str(&format!("[{}]\n", section.name));
+        for m in &section.metrics {
+            out.push_str(&format!("  {:<28} {:>14.3} {}\n", m.name, m.value, m.unit));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_section_is_sane() {
+        let section = queue_depth_section();
+        let get =
+            |name: &str| section.metrics.iter().find(|m| m.name == name).map(|m| m.value).unwrap();
+        assert!(get("depth_1_us") >= get("depth_dies_us"), "deeper queues never slower");
+        assert!(get("write_batch_speedup") > 1.0, "queued batch must beat sequential");
+    }
+
+    #[test]
+    fn kv_ops_section_quick_is_sane() {
+        let section = kv_ops_section(true);
+        let get =
+            |name: &str| section.metrics.iter().find(|m| m.name == name).map(|m| m.value).unwrap();
+        assert!(get("put_throughput_kops") > 0.0);
+        assert!(get("flushes") >= 1.0);
+        assert!(get("flush_speedup") > 1.0, "queued flush must beat sequential");
+    }
+
+    #[test]
+    fn recovery_section_quick_is_sane() {
+        let section = recovery_section(true);
+        let get =
+            |name: &str| section.metrics.iter().find(|m| m.name == name).map(|m| m.value).unwrap();
+        assert!(get("wal_pages") > 0.0);
+        assert!(get("redo_pages_applied") > 0.0);
+    }
+
+    #[test]
+    fn json_serialisation_shape() {
+        let sections = vec![Section {
+            name: "demo",
+            metrics: vec![Metric::new("a", 1.5, "us_sim"), Metric::new("b", 2.0, "x")],
+        }];
+        let path = std::env::temp_dir().join(format!("bench-smoke-{}.json", std::process::id()));
+        write_json(&path, "quick", &sections).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"demo\""));
+        assert!(text.contains("\"a\": {\"value\": 1.500, \"unit\": \"us_sim\"}"));
+        assert!(text.contains("\"pr\": 4"));
+        let table = render_table(&sections);
+        assert!(table.contains("[demo]"));
+    }
+}

@@ -77,6 +77,13 @@ pub enum NoFtlError {
         /// Human-readable description.
         message: String,
     },
+    /// A NoFTL-KV store operation failed (missing store, corrupt run,
+    /// oversized entry, or a crash-consistency contract violation caught
+    /// by the harness).
+    Kv {
+        /// Human-readable description.
+        message: String,
+    },
     /// An underlying native flash error.
     Flash(FlashError),
 }
@@ -108,6 +115,7 @@ impl fmt::Display for NoFtlError {
                  cannot rebuild the object directory"
             ),
             NoFtlError::Recovery { message } => write!(f, "recovery error: {message}"),
+            NoFtlError::Kv { message } => write!(f, "kv error: {message}"),
             NoFtlError::Flash(e) => write!(f, "flash error: {e}"),
         }
     }

@@ -1,0 +1,336 @@
+//! KV crash harness: workload → power cut → reboot → mount → open →
+//! verify, the key-value analogue of `dbms::crash_harness`.
+//!
+//! The harness drives a deterministic put/delete workload with auto
+//! flushes (and therefore cascading compactions) against a [`KvStore`],
+//! cuts power at a chosen simulated instant, reboots the device from its
+//! snapshot, remounts the storage manager and reopens the store, then
+//! verifies the store's durability contract:
+//!
+//! * **no lost committed keys** — every key state covered by an
+//!   *acknowledged* flush is fully present with its exact value;
+//! * **flush atomicity** — the one flush that may have been in flight at
+//!   the cut is either completely visible (its checkpoint landed) or
+//!   completely absent (its torn run was discarded on open);
+//! * **scan/get agreement** — a full range scan of the reopened store
+//!   returns exactly the point-lookup view.
+//!
+//! Because the simulator is deterministic the harness first performs a
+//! dry run to learn the workload's time span — and the simulated-time
+//! windows of its compaction merges, so cuts can be aimed *into a
+//! compaction* to prove that a torn merge never loses source data.
+//!
+//! [`KvStore`]: super::store::KvStore
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use flash_sim::{DeviceBuilder, FlashGeometry, NandDevice, SimTime, TimingModel};
+
+use crate::error::NoFtlError;
+use crate::manager::NoFtl;
+use crate::recovery::MountReport;
+use crate::region::RegionSpec;
+use crate::{NoFtlConfig, Result};
+
+use super::store::{KvConfig, KvOpenReport, KvStore};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct KvCrashConfig {
+    /// Device geometry (default: the tiny unit-test geometry).
+    pub geometry: FlashGeometry,
+    /// Device timing model.
+    pub timing: TimingModel,
+    /// Store configuration.  The default shrinks the memtable threshold
+    /// so flushes and compactions fire every few dozen operations.
+    pub kv: KvConfig,
+    /// Dies of the store's region.
+    pub region_dies: u32,
+    /// Operations to attempt (~80 % puts, ~20 % deletes).
+    pub ops: u64,
+    /// Distinct keys in the working set.
+    pub keys: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvCrashConfig {
+    fn default() -> Self {
+        KvCrashConfig {
+            geometry: FlashGeometry::small_test(),
+            timing: TimingModel::mlc_2015(),
+            kv: KvConfig { memtable_bytes: 2048, compaction_threshold: 3, ..KvConfig::default() },
+            region_dies: 2,
+            ops: 400,
+            keys: 48,
+            seed: 0x5EED_4B56,
+        }
+    }
+}
+
+/// Outcome of one workload → cut → reboot → open → verify cycle.
+#[derive(Debug, Clone)]
+pub struct KvCrashOutcome {
+    /// The armed power-cut instant.
+    pub cut_at: SimTime,
+    /// Keys (with exact values) covered by the last acknowledged flush.
+    pub committed_keys: u64,
+    /// Flushes acknowledged before the cut.
+    pub flushes_acknowledged: u64,
+    /// Whether the cut landed inside a compaction merge.
+    pub cut_during_compaction: bool,
+    /// Whether the flush in flight at the cut survived in full (its
+    /// checkpoint landed before the power went out).
+    pub in_flight_flush_survived: bool,
+    /// Keys verified after recovery.
+    pub verified_keys: u64,
+    /// The storage-manager mount summary.
+    pub mount: MountReport,
+    /// The store-open summary (torn/superseded runs discarded).
+    pub open: KvOpenReport,
+}
+
+/// Deterministic SplitMix64, the harness's workload RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn key_bytes(key: u64) -> Vec<u8> {
+    format!("user{key:06}").into_bytes()
+}
+
+fn value_bytes(key: u64, op: u64) -> Vec<u8> {
+    format!("v-{key:06}-{op:08}-pad-pad-pad").into_bytes()
+}
+
+const STORE: &str = "kvcrash";
+
+struct Stack {
+    device: Arc<NandDevice>,
+    store: KvStore,
+}
+
+fn build_stack(cfg: &KvCrashConfig) -> Result<(Stack, SimTime)> {
+    let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(cfg.region_dies))?;
+    let (store, created_at) =
+        KvStore::create(Arc::clone(&noftl), rid, STORE, cfg.kv, SimTime::ZERO)?;
+    let setup_end = created_at.max(device.quiesce_time());
+    Ok((Stack { device, store }, setup_end))
+}
+
+struct RunResult {
+    /// World as of the last *acknowledged* flush.
+    committed: BTreeMap<u64, Vec<u8>>,
+    /// World including the operation that errored out (meaningful only if
+    /// that operation's flush may have landed before the cut).
+    in_flight: Option<BTreeMap<u64, Vec<u8>>>,
+    flushes_acknowledged: u64,
+    cut_during_compaction: bool,
+    end: SimTime,
+    compaction_windows: Vec<(u64, u64)>,
+}
+
+/// Run the put/delete workload until `ops` operations complete or the
+/// device loses power.
+fn run_workload(cfg: &KvCrashConfig, stack: &Stack, start: SimTime) -> RunResult {
+    let mut rng = Rng(cfg.seed);
+    let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut committed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut in_flight = None;
+    let mut flushes_seen = 0u64;
+    let mut now = start;
+    let store = &stack.store;
+    for op in 0..cfg.ops {
+        let k = rng.below(cfg.keys);
+        let delete = rng.below(10) < 2;
+        let result = if delete {
+            pending.remove(&k);
+            store.delete(&key_bytes(k), now)
+        } else {
+            let v = value_bytes(k, op);
+            pending.insert(k, v.clone());
+            store.put(&key_bytes(k), &v, now)
+        };
+        match result {
+            Ok(t) => {
+                now = t;
+                let flushes = store.stats().flushes;
+                if flushes > flushes_seen {
+                    // The operation triggered a flush and it was
+                    // acknowledged: everything so far is durable.
+                    flushes_seen = flushes;
+                    committed = pending.clone();
+                }
+            }
+            Err(_) => {
+                // Power cut.  The erroring operation entered the memtable
+                // before the flush attempt, so if its flush's checkpoint
+                // landed the recovered world includes this operation too.
+                in_flight = Some(pending.clone());
+                break;
+            }
+        }
+    }
+    let stats = store.stats();
+    RunResult {
+        committed,
+        in_flight,
+        flushes_acknowledged: flushes_seen,
+        cut_during_compaction: stats.compactions_started > stats.compactions,
+        end: now.max(stack.device.quiesce_time()),
+        compaction_windows: stats.compaction_windows,
+    }
+}
+
+/// Execute one full crash cycle with the cut at
+/// `setup_end + fraction · span`.  `fraction` is clamped to `[0, 1)`.
+pub fn run_kv_crash_cycle(cfg: &KvCrashConfig, fraction: f64) -> Result<KvCrashOutcome> {
+    let (dry, dry_setup_end) = build_stack(cfg)?;
+    let dry_run = run_workload(cfg, &dry, dry_setup_end);
+    let span = dry_run.end.as_nanos().saturating_sub(dry_setup_end.as_nanos()).max(1);
+    let fraction = fraction.clamp(0.0, 0.999_999);
+    let cut_at = SimTime(dry_setup_end.as_nanos() + (span as f64 * fraction) as u64);
+    run_cycle_with_cut(cfg, cut_at)
+}
+
+/// Execute one crash cycle with the cut aimed *inside a compaction
+/// merge* (the `fraction`-th window of the dry run, midpoint).  Returns
+/// `Ok(None)` if the dry run never compacted — callers should then grow
+/// the workload.
+pub fn run_kv_crash_cycle_in_compaction(
+    cfg: &KvCrashConfig,
+    fraction: f64,
+) -> Result<Option<KvCrashOutcome>> {
+    let (dry, dry_setup_end) = build_stack(cfg)?;
+    let dry_run = run_workload(cfg, &dry, dry_setup_end);
+    if dry_run.compaction_windows.is_empty() {
+        return Ok(None);
+    }
+    let fraction = fraction.clamp(0.0, 0.999_999);
+    let pick = ((dry_run.compaction_windows.len() as f64) * fraction) as usize;
+    let (start, end) = dry_run.compaction_windows[pick.min(dry_run.compaction_windows.len() - 1)];
+    // Aim at the merge's queued batch: somewhere strictly inside the
+    // window, biased by the fractional part so repeated calls sweep it.
+    let inside = start + ((end.saturating_sub(start)) as f64 * (0.2 + 0.6 * fraction)) as u64;
+    let outcome = run_cycle_with_cut(cfg, SimTime(inside.max(start + 1)))?;
+    Ok(Some(outcome))
+}
+
+fn run_cycle_with_cut(cfg: &KvCrashConfig, cut_at: SimTime) -> Result<KvCrashOutcome> {
+    let (stack, setup_end) = build_stack(cfg)?;
+    stack.device.arm_power_cut(cut_at);
+    let run = run_workload(cfg, &stack, setup_end);
+
+    // Reboot → mount → open.
+    let snap = stack.device.snapshot();
+    let device2 = Arc::new(
+        NandDevice::from_snapshot(&snap, cfg.timing)
+            .map_err(|e| NoFtlError::Recovery { message: format!("reboot failed: {e}") })?,
+    );
+    let (noftl2, mount) = NoFtl::mount(Arc::clone(&device2), NoFtlConfig::default(), cut_at)?;
+    let (store2, open) = KvStore::open(Arc::new(noftl2), STORE, cfg.kv, mount.completed_at)?;
+
+    // ---- Verification -------------------------------------------------
+    let mut now = open.completed_at;
+    let mut actual: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for k in 0..cfg.keys {
+        let (got, t) = store2.get(&key_bytes(k), now)?;
+        now = t;
+        if let Some(v) = got {
+            actual.insert(k, v);
+        }
+    }
+    let matches_committed = actual == run.committed;
+    let matches_in_flight = run.in_flight.as_ref() == Some(&actual);
+    if !matches_committed && !matches_in_flight {
+        return Err(NoFtlError::Kv {
+            message: format!(
+                "recovered state matches neither the committed world ({} keys, {} flushes) \
+                 nor the in-flight world ({:?} keys); actual has {} keys (cut at {} ns)",
+                run.committed.len(),
+                run.flushes_acknowledged,
+                run.in_flight.as_ref().map(BTreeMap::len),
+                actual.len(),
+                cut_at.as_nanos()
+            ),
+        });
+    }
+    // A full scan must agree with the point-lookup view exactly.
+    let (scanned, _) = store2.scan(None, None, now)?;
+    let scan_view: BTreeMap<u64, Vec<u8>> = scanned
+        .into_iter()
+        .filter_map(|(k, v)| {
+            String::from_utf8_lossy(&k)
+                .strip_prefix("user")
+                .and_then(|s| s.parse().ok())
+                .map(|key: u64| (key, v))
+        })
+        .collect();
+    if scan_view != actual {
+        return Err(NoFtlError::Kv {
+            message: format!(
+                "scan sees {} keys but point lookups see {}",
+                scan_view.len(),
+                actual.len()
+            ),
+        });
+    }
+
+    Ok(KvCrashOutcome {
+        cut_at,
+        committed_keys: run.committed.len() as u64,
+        flushes_acknowledged: run.flushes_acknowledged,
+        cut_during_compaction: run.cut_during_compaction,
+        in_flight_flush_survived: matches_in_flight && !matches_committed,
+        verified_keys: actual.len() as u64,
+        mount,
+        open,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dry_run_produces_flushes_and_compactions() {
+        let cfg = KvCrashConfig::default();
+        let (stack, setup_end) = build_stack(&cfg).unwrap();
+        let run = run_workload(&cfg, &stack, setup_end);
+        assert!(run.in_flight.is_none(), "dry run must not crash");
+        assert!(run.flushes_acknowledged >= 5, "got {}", run.flushes_acknowledged);
+        assert!(!run.compaction_windows.is_empty(), "workload must compact");
+        assert!(!run.committed.is_empty());
+    }
+
+    #[test]
+    fn mid_workload_cut_recovers_committed_keys() {
+        let outcome = run_kv_crash_cycle(&KvCrashConfig::default(), 0.5).unwrap();
+        assert!(outcome.flushes_acknowledged > 0);
+        assert!(outcome.mount.checkpoint_seq > 0);
+        assert!(outcome.verified_keys <= KvCrashConfig::default().keys);
+    }
+
+    #[test]
+    fn cut_inside_a_compaction_never_loses_sources() {
+        let outcome = run_kv_crash_cycle_in_compaction(&KvCrashConfig::default(), 0.4)
+            .unwrap()
+            .expect("default workload compacts");
+        assert!(outcome.cut_during_compaction, "the cut was aimed into a merge window but missed");
+    }
+}

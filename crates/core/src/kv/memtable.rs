@@ -1,0 +1,149 @@
+//! The in-memory sorted write buffer of a [`KvStore`].
+//!
+//! A memtable maps keys to either a value or a *tombstone* (a recorded
+//! delete).  Both must be kept until they reach a sorted run: a tombstone
+//! has to shadow older on-flash versions of the key.  The memtable tracks
+//! an approximate byte footprint so the store can flush once a configured
+//! threshold is crossed.
+//!
+//! [`KvStore`]: super::store::KvStore
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Fixed per-entry overhead charged against the flush threshold (map node,
+/// lengths, option discriminant) on top of the key/value payload bytes.
+const ENTRY_OVERHEAD: usize = 32;
+
+/// An in-memory sorted buffer of key → value-or-tombstone entries.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Memtable::default()
+    }
+
+    /// Record a put (`Some(value)`) or a delete tombstone (`None`).
+    pub fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let added = ENTRY_OVERHEAD + key.len() + value.as_ref().map_or(0, Vec::len);
+        let key_len = key.len();
+        if let Some(old) = self.entries.insert(key, value) {
+            // Replaced in place: release the old entry's full charge (the
+            // key included — `added` re-charges it) so repeated overwrites
+            // of a resident key leave the footprint payload-accurate.
+            self.bytes = self
+                .bytes
+                .saturating_sub(ENTRY_OVERHEAD + key_len + old.as_ref().map_or(0, Vec::len));
+        }
+        self.bytes += added;
+    }
+
+    /// Look a key up.  `None` = not present here (check the runs);
+    /// `Some(None)` = tombstoned; `Some(Some(v))` = live value.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries.get(key).map(|v| v.as_deref())
+    }
+
+    /// Number of buffered entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memtable holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes, compared against the flush threshold.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterate entries of `[lo, hi]` in key order (tombstones included).
+    pub fn range<'a>(
+        &'a self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        self.entries.range::<[u8], _>((lo, hi)).map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Drain the memtable into a sorted entry list for a flush.
+    pub fn take_sorted(&mut self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_tombstones() {
+        let mut m = Memtable::new();
+        assert!(m.is_empty());
+        m.insert(b"b".to_vec(), Some(b"2".to_vec()));
+        m.insert(b"a".to_vec(), Some(b"1".to_vec()));
+        m.insert(b"c".to_vec(), None);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(b"a"), Some(Some(b"1".as_slice())));
+        assert_eq!(m.get(b"c"), Some(None), "tombstone is present but empty");
+        assert_eq!(m.get(b"d"), None, "unknown key is absent");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_replacements() {
+        let mut m = Memtable::new();
+        m.insert(b"k".to_vec(), Some(vec![0u8; 100]));
+        let first = m.approx_bytes();
+        m.insert(b"k".to_vec(), Some(vec![0u8; 10]));
+        assert!(m.approx_bytes() < first, "smaller replacement shrinks the footprint");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn same_size_overwrites_do_not_inflate_the_footprint() {
+        // Regression: overwriting a resident key used to leak the key's
+        // length into the footprint on every replacement, flushing
+        // near-empty memtables under update-heavy workloads.
+        let mut m = Memtable::new();
+        m.insert(b"counter".to_vec(), Some(vec![1u8; 50]));
+        let first = m.approx_bytes();
+        for _ in 0..1_000 {
+            m.insert(b"counter".to_vec(), Some(vec![2u8; 50]));
+        }
+        assert_eq!(m.approx_bytes(), first, "steady-state overwrites keep the footprint flat");
+    }
+
+    #[test]
+    fn take_sorted_drains_in_key_order() {
+        let mut m = Memtable::new();
+        m.insert(b"z".to_vec(), Some(b"26".to_vec()));
+        m.insert(b"a".to_vec(), None);
+        let items = m.take_sorted();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, b"a");
+        assert_eq!(items[1].0, b"z");
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut m = Memtable::new();
+        for k in [b"a", b"b", b"c", b"d"] {
+            m.insert(k.to_vec(), Some(k.to_vec()));
+        }
+        let mid: Vec<&[u8]> = m
+            .range(Bound::Included(b"b".as_slice()), Bound::Excluded(b"d".as_slice()))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(mid, vec![b"b".as_slice(), b"c".as_slice()]);
+    }
+}

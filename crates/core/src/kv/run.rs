@@ -1,0 +1,480 @@
+//! Sorted-run page format.
+//!
+//! A run is one immutable NoFTL object: `data_pages` pages of sorted
+//! key/value entries followed by a single *footer* page.  The footer is
+//! self-describing — store name, level, the flush-sequence range the run
+//! covers, entry count and a sparse per-page index — so a remount can
+//! rebuild the whole run directory from object contents alone, and a run
+//! whose footer (or any data page) was torn by a power cut is detected
+//! and discarded.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! data page:  [magic "KVDP"][count u32] then per entry
+//!             [klen u16][vlen u32]([vlen == u32::MAX] = tombstone)[key][value]
+//! footer:     [magic "KVRF"][version u16][store_len u16][store]
+//!             [level u32][seq_lo u64][seq_hi u64][entries u64]
+//!             [data_pages u32][maxk_len u16][max_key]
+//!             [index_count u32] then per entry [page u32][klen u16][first_key]
+//! ```
+//!
+//! The index records the first key of every `stride`-th data page (stride
+//! 1 unless the run is so large the index would overflow the footer
+//! page), so a point lookup reads at most `stride` data pages after one
+//! footer-guided jump.
+
+use flash_sim::SimTime;
+
+use crate::object::ObjectId;
+
+/// Magic of a run data page (`"KVDP"`).
+pub const DATA_MAGIC: u32 = 0x4B56_4450;
+/// Magic of a run footer page (`"KVRF"`).
+pub const FOOTER_MAGIC: u32 = 0x4B56_5246;
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Value-length sentinel marking a tombstone entry.
+const TOMBSTONE: u32 = u32::MAX;
+/// Per-page header: magic + entry count.
+const DATA_HEADER: usize = 8;
+/// Per-entry framing: klen (u16) + vlen (u32).
+const ENTRY_HEADER: usize = 6;
+
+/// One key/value-or-tombstone entry.
+pub type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+/// In-memory descriptor of one on-flash run, rebuilt from the footer.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// The NoFTL object holding the run's pages.
+    pub object: ObjectId,
+    /// LSM level (0 = freshly flushed memtables).
+    pub level: u32,
+    /// Lowest flush sequence number folded into this run.
+    pub seq_lo: u64,
+    /// Highest flush sequence number folded into this run.
+    pub seq_hi: u64,
+    /// Entries stored (tombstones included).
+    pub entries: u64,
+    /// Number of data pages (the footer lives at logical page
+    /// `data_pages`).
+    pub data_pages: u32,
+    /// Smallest key in the run (empty for an entry-less run).
+    pub min_key: Vec<u8>,
+    /// Largest key in the run (empty for an entry-less run).
+    pub max_key: Vec<u8>,
+    /// Sparse index: (first key of page, page number), ascending.
+    pub index: Vec<(Vec<u8>, u32)>,
+    /// Device time when the run became durable.
+    pub written_at: SimTime,
+}
+
+impl RunMeta {
+    /// Whether `key` can possibly live in this run.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.entries > 0 && key >= self.min_key.as_slice() && key <= self.max_key.as_slice()
+    }
+
+    /// Data-page window `[start, end)` a point lookup of `key` must read.
+    pub fn page_window(&self, key: &[u8]) -> (u32, u32) {
+        if self.index.is_empty() {
+            return (0, self.data_pages);
+        }
+        // Last index entry whose first key is <= key.
+        let pos = self.index.partition_point(|(first, _)| first.as_slice() <= key);
+        if pos == 0 {
+            return (0, 0); // key sorts before the first page
+        }
+        let start = self.index[pos - 1].1;
+        let end = self.index.get(pos).map(|(_, p)| *p).unwrap_or(self.data_pages);
+        (start, end)
+    }
+
+    /// Data-page window `[start, end)` overlapping the key range
+    /// `[lo, hi]` (both inclusive; `None` = unbounded).
+    pub fn range_window(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> (u32, u32) {
+        if self.index.is_empty() {
+            return (0, self.data_pages);
+        }
+        let start = match lo {
+            None => 0,
+            Some(lo) => {
+                let pos = self.index.partition_point(|(first, _)| first.as_slice() <= lo);
+                if pos == 0 {
+                    0
+                } else {
+                    self.index[pos - 1].1
+                }
+            }
+        };
+        let end = match hi {
+            None => self.data_pages,
+            Some(hi) => {
+                let pos = self.index.partition_point(|(first, _)| first.as_slice() <= hi);
+                self.index.get(pos).map(|(_, p)| *p).unwrap_or(self.data_pages)
+            }
+        };
+        (start, end.max(start))
+    }
+}
+
+/// Everything `encode_run` produces: the page images (data pages followed
+/// by the footer) and the descriptor matching them.
+#[derive(Debug)]
+pub struct EncodedRun {
+    /// Page payloads, each exactly `page_size` bytes; the last one is the
+    /// footer.
+    pub pages: Vec<Vec<u8>>,
+    /// Descriptor (with `object` left as 0 for the caller to fill in).
+    pub meta: RunMeta,
+}
+
+/// Largest key+value payload a single entry may carry for `page_size`.
+pub fn max_entry_payload(page_size: usize) -> usize {
+    page_size - DATA_HEADER - ENTRY_HEADER
+}
+
+/// Serialise sorted `entries` into run pages.
+///
+/// # Panics
+/// Panics if an entry exceeds [`max_entry_payload`] or the footer cannot
+/// fit its fixed fields — both are programming errors the store's put
+/// path rejects much earlier.
+pub fn encode_run(
+    store: &str,
+    level: u32,
+    seq_lo: u64,
+    seq_hi: u64,
+    entries: &[Entry],
+    page_size: usize,
+) -> EncodedRun {
+    let mut pages: Vec<Vec<u8>> = Vec::new();
+    let mut first_keys: Vec<Vec<u8>> = Vec::new();
+    let mut page: Vec<u8> = Vec::new();
+    let mut count = 0u32;
+    let flush = |pages: &mut Vec<Vec<u8>>, page: &mut Vec<u8>, count: &mut u32| {
+        if *count == 0 {
+            return;
+        }
+        let mut full = Vec::with_capacity(page_size);
+        full.extend_from_slice(&DATA_MAGIC.to_le_bytes());
+        full.extend_from_slice(&count.to_le_bytes());
+        full.extend_from_slice(page);
+        full.resize(page_size, 0);
+        pages.push(full);
+        page.clear();
+        *count = 0;
+    };
+    for (key, value) in entries {
+        let vlen = value.as_ref().map_or(0, Vec::len);
+        // The same bound `KvStore::check_entry_size` enforces at put time:
+        // a maximum-size entry occupies a data page exactly.
+        assert!(
+            key.len() + vlen <= max_entry_payload(page_size),
+            "entry of {} payload bytes exceeds the page budget",
+            key.len() + vlen
+        );
+        let need = ENTRY_HEADER + key.len() + vlen;
+        if DATA_HEADER + page.len() + need > page_size {
+            flush(&mut pages, &mut page, &mut count);
+        }
+        if count == 0 {
+            first_keys.push(key.clone());
+        }
+        page.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        let vtag = match value {
+            Some(v) => v.len() as u32,
+            None => TOMBSTONE,
+        };
+        page.extend_from_slice(&vtag.to_le_bytes());
+        page.extend_from_slice(key);
+        if let Some(v) = value {
+            page.extend_from_slice(v);
+        }
+        count += 1;
+    }
+    flush(&mut pages, &mut page, &mut count);
+
+    let data_pages = pages.len() as u32;
+    let min_key = entries.first().map(|(k, _)| k.clone()).unwrap_or_default();
+    let max_key = entries.last().map(|(k, _)| k.clone()).unwrap_or_default();
+
+    // Sparse index: widen the stride until the footer fits in one page.
+    let fixed = 4 + 2 + 2 + store.len() + 4 + 8 + 8 + 8 + 4 + 2 + max_key.len() + 4;
+    assert!(fixed < page_size, "footer fixed fields must fit a page");
+    let mut stride = 1usize;
+    let index: Vec<(Vec<u8>, u32)> = loop {
+        let picked: Vec<(Vec<u8>, u32)> = first_keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(i, k)| (k.clone(), i as u32))
+            .collect();
+        let size: usize = picked.iter().map(|(k, _)| 6 + k.len()).sum();
+        if fixed + size <= page_size {
+            break picked;
+        }
+        stride *= 2;
+    };
+
+    let mut footer = Vec::with_capacity(page_size);
+    footer.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+    footer.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    footer.extend_from_slice(&(store.len() as u16).to_le_bytes());
+    footer.extend_from_slice(store.as_bytes());
+    footer.extend_from_slice(&level.to_le_bytes());
+    footer.extend_from_slice(&seq_lo.to_le_bytes());
+    footer.extend_from_slice(&seq_hi.to_le_bytes());
+    footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    footer.extend_from_slice(&data_pages.to_le_bytes());
+    footer.extend_from_slice(&(max_key.len() as u16).to_le_bytes());
+    footer.extend_from_slice(&max_key);
+    footer.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    for (key, page_no) in &index {
+        footer.extend_from_slice(&page_no.to_le_bytes());
+        footer.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        footer.extend_from_slice(key);
+    }
+    footer.resize(page_size, 0);
+    pages.push(footer);
+
+    EncodedRun {
+        pages,
+        meta: RunMeta {
+            object: 0,
+            level,
+            seq_lo,
+            seq_hi,
+            entries: entries.len() as u64,
+            data_pages,
+            min_key,
+            max_key,
+            index,
+            written_at: SimTime::ZERO,
+        },
+    }
+}
+
+/// Fields decoded from a footer page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FooterInfo {
+    /// Store the run belongs to.
+    pub store: String,
+    /// LSM level.
+    pub level: u32,
+    /// Flush-sequence range `[seq_lo, seq_hi]`.
+    pub seq_lo: u64,
+    /// See `seq_lo`.
+    pub seq_hi: u64,
+    /// Entry count.
+    pub entries: u64,
+    /// Data pages preceding the footer.
+    pub data_pages: u32,
+    /// Largest key.
+    pub max_key: Vec<u8>,
+    /// Sparse index.
+    pub index: Vec<(Vec<u8>, u32)>,
+}
+
+struct Cursor<'a>(&'a [u8], usize);
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let out = self.0.get(self.1..self.1 + n)?;
+        self.1 += n;
+        Some(out)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+}
+
+/// Decode a footer page; `None` if it is not a well-formed KV run footer.
+pub fn decode_footer(page: &[u8]) -> Option<FooterInfo> {
+    let mut c = Cursor(page, 0);
+    if c.u32()? != FOOTER_MAGIC || c.u16()? != FORMAT_VERSION {
+        return None;
+    }
+    let store_len = c.u16()? as usize;
+    let store = String::from_utf8(c.bytes(store_len)?.to_vec()).ok()?;
+    let level = c.u32()?;
+    let seq_lo = c.u64()?;
+    let seq_hi = c.u64()?;
+    if seq_lo > seq_hi {
+        return None;
+    }
+    let entries = c.u64()?;
+    let data_pages = c.u32()?;
+    let maxk_len = c.u16()? as usize;
+    let max_key = c.bytes(maxk_len)?.to_vec();
+    let index_count = c.u32()? as usize;
+    let mut index = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        let page_no = c.u32()?;
+        if page_no >= data_pages {
+            return None;
+        }
+        let klen = c.u16()? as usize;
+        index.push((c.bytes(klen)?.to_vec(), page_no));
+    }
+    Some(FooterInfo { store, level, seq_lo, seq_hi, entries, data_pages, max_key, index })
+}
+
+/// Decode a data page into its sorted entries; `None` if malformed.
+pub fn decode_data_page(page: &[u8]) -> Option<Vec<Entry>> {
+    let mut c = Cursor(page, 0);
+    if c.u32()? != DATA_MAGIC {
+        return None;
+    }
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let klen = c.u16()? as usize;
+        let vtag = c.u32()?;
+        let key = c.bytes(klen)?.to_vec();
+        let value = if vtag == TOMBSTONE { None } else { Some(c.bytes(vtag as usize)?.to_vec()) };
+        out.push((key, value));
+    }
+    Some(out)
+}
+
+/// Binary-search a decoded data page for `key`.
+pub fn search_entries<'a>(entries: &'a [Entry], key: &[u8]) -> Option<&'a Option<Vec<u8>>> {
+    entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)).ok().map(|i| &entries[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: u32) -> Entry {
+        (format!("key-{i:06}").into_bytes(), Some(vec![i as u8; 40]))
+    }
+
+    #[test]
+    fn roundtrip_small_run() {
+        let entries: Vec<Entry> = (0..10).map(kv).collect();
+        let run = encode_run("s", 0, 3, 3, &entries, 4096);
+        assert_eq!(run.meta.data_pages as usize + 1, run.pages.len());
+        let footer = decode_footer(run.pages.last().unwrap()).unwrap();
+        assert_eq!(footer.store, "s");
+        assert_eq!((footer.seq_lo, footer.seq_hi, footer.level), (3, 3, 0));
+        assert_eq!(footer.entries, 10);
+        assert_eq!(footer.max_key, entries.last().unwrap().0);
+        let mut all = Vec::new();
+        for page in &run.pages[..run.meta.data_pages as usize] {
+            all.extend(decode_data_page(page).unwrap());
+        }
+        assert_eq!(all, entries);
+    }
+
+    #[test]
+    fn multi_page_run_has_usable_index() {
+        // ~54 bytes per entry → a few hundred entries span several pages.
+        let entries: Vec<Entry> = (0..400).map(kv).collect();
+        let run = encode_run("s", 1, 1, 4, &entries, 4096);
+        assert!(run.meta.data_pages > 2);
+        assert_eq!(run.meta.index.len(), run.meta.data_pages as usize, "stride 1 fits");
+        for (i, entry) in entries.iter().enumerate().step_by(37) {
+            let key = &entry.0;
+            let (start, end) = run.meta.page_window(key);
+            assert!(start < end, "entry {i} window empty");
+            let found = (start..end).any(|p| {
+                let decoded = decode_data_page(&run.pages[p as usize]).unwrap();
+                search_entries(&decoded, key).is_some()
+            });
+            assert!(found, "entry {i} not found via index window");
+        }
+        // A key below the minimum probes nothing.
+        assert_eq!(run.meta.page_window(b"key-"), (0, 0));
+        assert!(!run.meta.may_contain(b"zzz") || entries.last().unwrap().0 >= b"zzz".to_vec());
+    }
+
+    #[test]
+    fn tombstones_survive_the_roundtrip() {
+        let entries = vec![(b"a".to_vec(), Some(b"1".to_vec())), (b"b".to_vec(), None::<Vec<u8>>)];
+        let run = encode_run("s", 0, 1, 1, &entries, 4096);
+        let decoded = decode_data_page(&run.pages[0]).unwrap();
+        assert_eq!(search_entries(&decoded, b"b"), Some(&None));
+        assert_eq!(search_entries(&decoded, b"a"), Some(&Some(b"1".to_vec())));
+        assert_eq!(search_entries(&decoded, b"c"), None);
+    }
+
+    #[test]
+    fn empty_run_is_footer_only() {
+        let run = encode_run("s", 2, 5, 9, &[], 4096);
+        assert_eq!(run.meta.data_pages, 0);
+        assert_eq!(run.pages.len(), 1);
+        let footer = decode_footer(&run.pages[0]).unwrap();
+        assert_eq!(footer.entries, 0);
+        assert!(!run.meta.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn oversized_index_falls_back_to_sparse_stride() {
+        // Long keys force the index past one page: the stride widens but
+        // lookups still work through wider windows.
+        let entries: Vec<Entry> = (0..6000)
+            .map(|i| {
+                (format!("verbose-key-prefix-{i:08}-pad-pad-pad").into_bytes(), Some(vec![1; 40]))
+            })
+            .collect();
+        let run = encode_run("s", 0, 1, 1, &entries, 4096);
+        assert!(run.meta.index.len() < run.meta.data_pages as usize, "stride must widen");
+        let probe = &entries[1234].0;
+        let (start, end) = run.meta.page_window(probe);
+        let found = (start..end).any(|p| {
+            let decoded = decode_data_page(&run.pages[p as usize]).unwrap();
+            search_entries(&decoded, probe).is_some()
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn maximum_size_entry_fills_a_page_exactly() {
+        // The boundary the store's put-time check admits: key + value ==
+        // max_entry_payload must encode without panicking, as a single
+        // full data page.
+        let key = vec![b'k'; 16];
+        let value = vec![b'v'; max_entry_payload(4096) - 16];
+        let entries = vec![(key.clone(), Some(value.clone()))];
+        let run = encode_run("s", 0, 1, 1, &entries, 4096);
+        assert_eq!(run.meta.data_pages, 1);
+        let decoded = decode_data_page(&run.pages[0]).unwrap();
+        assert_eq!(search_entries(&decoded, &key), Some(&Some(value)));
+    }
+
+    #[test]
+    fn garbage_pages_decode_to_none() {
+        assert!(decode_footer(&[0u8; 4096]).is_none());
+        assert!(decode_data_page(&[0u8; 4096]).is_none());
+        assert!(decode_footer(&[]).is_none());
+        // A data page is not a footer and vice versa.
+        let run = encode_run("s", 0, 1, 1, &[(b"k".to_vec(), Some(b"v".to_vec()))], 4096);
+        assert!(decode_footer(&run.pages[0]).is_none());
+        assert!(decode_data_page(&run.pages[1]).is_none());
+    }
+
+    #[test]
+    fn range_window_prunes_pages() {
+        let entries: Vec<Entry> = (0..400).map(kv).collect();
+        let run = encode_run("s", 0, 1, 1, &entries, 4096);
+        let lo = entries[200].0.clone();
+        let hi = entries[210].0.clone();
+        let (start, end) = run.meta.range_window(Some(&lo), Some(&hi));
+        assert!(start < end && end <= run.meta.data_pages);
+        assert!(end - start < run.meta.data_pages, "a narrow range must prune pages");
+        let (full_start, full_end) = run.meta.range_window(None, None);
+        assert_eq!((full_start, full_end), (0, run.meta.data_pages));
+    }
+}

@@ -31,7 +31,10 @@
 //!   `CREATE TABLESPACE`, `CREATE TABLE ... TABLESPACE`;
 //! * **flusher batches** ([`flusher`]) and **short atomic writes**
 //!   ([`atomic`]) exploiting direct control of out-of-place updates
-//!   (advantage (iv) in the paper's introduction).
+//!   (advantage (iv) in the paper's introduction);
+//! * **NoFTL-KV** ([`kv`]) — a log-structured key-value layer whose
+//!   memtable flushes and compactions are region-local queued multi-die
+//!   batches, with crash safety riding the checkpoint/mount path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,6 +46,7 @@ pub mod error;
 pub mod flusher;
 pub mod gc;
 pub mod hotcold;
+pub mod kv;
 pub mod manager;
 pub mod object;
 pub mod placement;
@@ -55,6 +59,7 @@ pub use config::{GcPolicy, NoFtlConfig, WearLevelingPolicy};
 pub use ddl::{Ddl, DdlStatement};
 pub use error::NoFtlError;
 pub use hotcold::{ObjectProfile, Temperature};
+pub use kv::{KvConfig, KvOpenReport, KvStats, KvStore};
 pub use manager::NoFtl;
 pub use object::ObjectId;
 pub use placement::{PlacementAdvisor, PlacementConfig, RegionAssignment};

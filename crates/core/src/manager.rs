@@ -459,6 +459,20 @@ impl NoFtl {
             .collect()
     }
 
+    /// Ids and names of all live objects whose name starts with `prefix`.
+    /// Layers that manage families of objects (e.g. the NoFTL-KV run
+    /// directory) use this to rediscover their members after a mount.
+    pub fn objects_with_prefix(&self, prefix: &str) -> Vec<(ObjectId, String)> {
+        let inner = self.inner.lock();
+        inner
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(id, o)| o.as_ref().map(|state| (id as ObjectId, state.name.clone())))
+            .filter(|(_, name)| name.starts_with(prefix))
+            .collect()
+    }
+
     /// Number of live (mapped) pages of an object.
     pub fn object_pages(&self, obj: ObjectId) -> Result<u64> {
         let inner = self.inner.lock();

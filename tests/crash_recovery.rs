@@ -14,6 +14,9 @@
 //! * the remounted manager exposes region/object state identical to the
 //!   pre-crash instance (checkpoint + WAL tail).
 
+mod common;
+
+use common::{property_rounds, splitmix};
 use noftl_regions::dbms::crash_harness::{run_crash_cycle, CrashHarnessConfig};
 use noftl_regions::dbms::{Database, DatabaseConfig, NoFtlBackend};
 use noftl_regions::flash::{
@@ -22,22 +25,14 @@ use noftl_regions::flash::{
 use noftl_regions::noftl::{NoFtl, NoFtlConfig, PlacementConfig};
 use std::sync::Arc;
 
-/// Deterministic SplitMix64 for picking cut fractions.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 #[test]
 fn fifty_random_power_cuts_recover_committed_data_only() {
+    let rounds = property_rounds(50);
     let mut rng = 0xDEAD_BEEFu64;
     let mut committed_total = 0u64;
     let mut in_flight_survivals = 0u64;
     let mut torn_discards = 0u64;
-    for round in 0..50u64 {
+    for round in 0..rounds {
         let cfg = CrashHarnessConfig {
             txns: 80,
             // Vary the workload itself every few rounds so the cuts do not
@@ -56,13 +51,16 @@ fn fifty_random_power_cuts_recover_committed_data_only() {
         assert!(outcome.mount.checkpoint_seq > 0, "round {round}");
         assert!(outcome.rows_verified <= 32, "round {round}");
     }
-    // Across 50 cuts the workload must have made real progress…
-    assert!(committed_total > 500, "committed only {committed_total} txns over 50 rounds");
+    // Across the cuts the workload must have made real progress…
+    assert!(
+        committed_total > rounds * 10,
+        "committed only {committed_total} txns over {rounds} rounds"
+    );
     // …and at least some cuts should land mid-operation, producing torn
     // pages that recovery had to discard.
     assert!(torn_discards > 0, "no cut ever tore a page — cuts are not exercising the device");
     println!(
-        "50 cuts: {committed_total} committed txns, {torn_discards} torn pages discarded, \
+        "{rounds} cuts: {committed_total} committed txns, {torn_discards} torn pages discarded, \
          {in_flight_survivals} in-flight commits survived"
     );
 }

@@ -29,6 +29,21 @@ fn tiny_device_through_facade_reexports() {
     let (data, _) = noftl.read(obj, 5, now).unwrap();
     assert_eq!(data, vec![5u8; 4096]);
 
+    // noftl::kv: the NoFTL-KV layer round-trips through the facade too.
+    let noftl = Arc::new(noftl);
+    let kv_region = noftl.create_region(RegionSpec::named("rgKv").with_die_count(2)).unwrap();
+    let (kv, kv_t) = noftl_regions::noftl::kv::KvStore::create(
+        Arc::clone(&noftl),
+        kv_region,
+        "smoke",
+        noftl_regions::noftl::kv::KvConfig::default(),
+        now,
+    )
+    .unwrap();
+    let kv_t = kv.put(b"answer", b"42", kv_t).unwrap();
+    let kv_t = kv.flush(kv_t).unwrap();
+    assert_eq!(kv.get(b"answer", kv_t).unwrap().0.as_deref(), Some(b"42".as_slice()));
+
     // dbms: run the storage engine on a NoFTL backend, via the facade only.
     // A fresh device: the manager above already owns the first one's pages.
     let device = Arc::new(

@@ -11,6 +11,11 @@
 //! stub: cases are drawn from a fixed deterministic seed (reproducible but
 //! not configurable), failing inputs are not shrunk, and rejected cases
 //! (`prop_assume!`) are simply skipped without a rejection quota.
+//!
+//! Like the real crate, the `PROPTEST_CASES` environment variable
+//! overrides the *default* case count (CI pins it to bound property-test
+//! runtime); an explicit `ProptestConfig::with_cases` in the source still
+//! wins.
 
 use std::ops::Range;
 
@@ -23,7 +28,8 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
