@@ -1,22 +1,32 @@
 //! CI perf-smoke harness: run the headline measurements of the
-//! `queue_depth`, `kv_ops` and `recovery` benches in quick mode and
-//! write them to a `BENCH_PR4.json` perf-trajectory point.
+//! `queue_depth` (incl. the skewed-load placement comparison), `kv_ops`
+//! and `recovery` benches in quick mode, write them to a `BENCH_PR5.json`
+//! perf-trajectory point and optionally gate against a committed
+//! baseline point.
 //!
 //! ```text
-//! cargo run --release -p noftl-bench --bin perf_smoke -- --out BENCH_PR4.json
+//! cargo run --release -p noftl-bench --bin perf_smoke -- \
+//!     --out BENCH_PR5.json --compare BENCH_PR4.json
 //! ```
 //!
-//! Flags: `--out <path>` (default `BENCH_PR4.json`), `--full` for the
-//! larger workloads.  All numbers except the `_wall_ms` ones are
-//! simulated device time and therefore deterministic across runs and
-//! machines — exactly what a CI artifact needs to be comparable.
+//! Flags: `--out <path>` (default `BENCH_PR5.json`), `--full` for the
+//! larger workloads, `--compare <baseline.json>` to fail (exit 1) when
+//! any simulated-time metric shared with the baseline regressed by more
+//! than 20 % (metrics new in this PR are warn-only).  All numbers except
+//! the `_wall_ms` ones are simulated device time and therefore
+//! deterministic across runs and machines — exactly what a CI artifact
+//! needs to be comparable.
 
 use std::path::PathBuf;
 
 use noftl_bench::smoke;
 
+/// Gate: fail on simulated-time regressions beyond this fraction.
+const TOLERANCE: f64 = 0.20;
+
 fn main() {
-    let mut out = PathBuf::from("BENCH_PR4.json");
+    let mut out = PathBuf::from("BENCH_PR5.json");
+    let mut baseline: Option<PathBuf> = None;
     let mut quick = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -24,10 +34,16 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(args.next().expect("--out needs a path"));
             }
+            "--compare" => {
+                baseline = Some(PathBuf::from(args.next().expect("--compare needs a path")));
+            }
             "--full" => quick = false,
             "--quick" => quick = true,
             other => {
-                eprintln!("unknown flag '{other}' (expected --out <path>, --quick, --full)");
+                eprintln!(
+                    "unknown flag '{other}' \
+                     (expected --out <path>, --compare <path>, --quick, --full)"
+                );
                 std::process::exit(2);
             }
         }
@@ -42,4 +58,25 @@ fn main() {
     print!("{}", smoke::render_table(&sections));
     smoke::write_json(&out, mode, &sections).expect("write bench JSON");
     println!("wrote {}", out.display());
+
+    if let Some(baseline) = baseline {
+        let old_text = std::fs::read_to_string(&baseline)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline.display()));
+        let cmp = smoke::compare_perf_points(&old_text, &sections, TOLERANCE);
+        println!("comparison against {}:", baseline.display());
+        for note in &cmp.notes {
+            println!("  note: {note}");
+        }
+        if cmp.failures.is_empty() {
+            println!(
+                "  OK — no shared simulated-time metric regressed by more than {:.0}%",
+                TOLERANCE * 100.0
+            );
+        } else {
+            for failure in &cmp.failures {
+                eprintln!("  REGRESSION: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

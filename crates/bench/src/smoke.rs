@@ -15,11 +15,12 @@ use std::time::Instant;
 use dbms_engine::{Database, DatabaseConfig, NoFtlBackend, Schema, Value};
 use flash_sim::queue::{CommandQueue, FlashCommand};
 use flash_sim::{
-    DeviceBuilder, DeviceSnapshot, DieId, FlashGeometry, NandDevice, PageAddr, PageMetadata,
-    SimTime, TimingModel, UtilizationSummary,
+    BlockAddr, DeviceBuilder, DeviceSnapshot, DieId, FlashGeometry, NandDevice, PageAddr,
+    PageMetadata, SimTime, TimingModel, UtilizationSummary,
 };
+use noftl_core::flusher::Flusher;
 use noftl_core::kv::{KvConfig, KvStore};
-use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig, RegionSpec};
+use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig, PlacementPolicyKind, RegionSpec};
 
 /// One headline number.
 #[derive(Debug, Clone)]
@@ -143,8 +144,75 @@ pub fn write_batch_comparison(pages: u64) -> BatchComparison {
     BatchComparison { queued, sequential, queued_util, sequential_util }
 }
 
-/// Queue-depth section: simulated batch completion vs queue depth plus
-/// the queued/sequential `write_batch` headline.
+/// Skewed-load flush comparison: the measuring stick of the queue-aware
+/// placement redesign.
+///
+/// Half of an 8-die region's dies are busy with a background erase storm
+/// (a stand-in for GC / wear-leveling traffic) when the flusher writes a
+/// batch of dirty pages back through the completion-driven pipeline.
+/// Under `RoundRobin` a fixed 1/N of the batch queues behind the storm
+/// and gates the flush; `QueueAware` reads the per-die load snapshots and
+/// feeds the idle dies until the load evens out, finishing earlier *and*
+/// leaving no die idling at the tail — visible as a higher minimum per-die
+/// busy fraction.
+#[derive(Debug)]
+pub struct SkewedFlushComparison {
+    /// Simulated flush completion under round-robin placement.
+    pub round_robin: SimTime,
+    /// Simulated flush completion under queue-aware placement.
+    pub queue_aware: SimTime,
+    /// Device utilisation after the round-robin flush.
+    pub rr_util: UtilizationSummary,
+    /// Device utilisation after the queue-aware flush.
+    pub qa_util: UtilizationSummary,
+}
+
+impl SkewedFlushComparison {
+    /// Round-robin-over-queue-aware simulated-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.round_robin.as_secs_f64() / self.queue_aware.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measure [`SkewedFlushComparison`] for a flush of `pages` pages with
+/// `storm_erases` background erases on each of the first half of the
+/// region's dies.
+pub fn skewed_flush_comparison(pages: u64, storm_erases: u32) -> SkewedFlushComparison {
+    let run = |placement: PlacementPolicyKind| {
+        let dev = device();
+        let config = NoFtlConfig { placement, ..NoFtlConfig::default() };
+        let noftl = NoFtl::new(Arc::clone(&dev), config);
+        let dies_total = dev.geometry().total_dies();
+        let rid =
+            noftl.create_region(RegionSpec::named("rgSkew").with_die_count(dies_total)).unwrap();
+        let obj = noftl.create_object("t", rid).unwrap();
+        let dies = noftl.region_dies(rid).unwrap();
+        // Background erase storm on the first half of the dies, issued at
+        // t=0 straight to the device (the region sees the blocks erased
+        // either way; only the dies' busy windows matter).
+        for die in &dies[..dies.len() / 2] {
+            for b in 0..storm_erases {
+                dev.erase_block(BlockAddr::new(*die, 0, b), SimTime::ZERO).unwrap();
+            }
+        }
+        // Flush `pages` dirty pages through the completion-driven
+        // pipeline while the storm is in flight.
+        let flusher = Flusher::new(pages as usize + 1);
+        for p in 0..pages {
+            flusher.submit(&noftl, obj, p, vec![p as u8; 4096], SimTime::ZERO).unwrap();
+        }
+        let done = flusher.flush_all(&noftl, SimTime::ZERO).unwrap();
+        (done, dev.utilization())
+    };
+    let (round_robin, rr_util) = run(PlacementPolicyKind::RoundRobin);
+    let (queue_aware, qa_util) = run(PlacementPolicyKind::QueueAware);
+    SkewedFlushComparison { round_robin, queue_aware, rr_util, qa_util }
+}
+
+/// Queue-depth section: simulated batch completion vs queue depth, the
+/// queued/sequential `write_batch` headline (with its per-die utilisation
+/// spread), and the skewed-load flush comparison of the placement
+/// policies.
 pub fn queue_depth_section() -> Section {
     let dies = FlashGeometry::example().total_dies() as usize;
     let mut metrics = Vec::new();
@@ -163,6 +231,24 @@ pub fn queue_depth_section() -> Section {
     ));
     metrics.push(Metric::new("write_batch_speedup", cmp.speedup(), "x"));
     metrics.push(Metric::new("write_batch_util_mean", cmp.queued_util.mean, "fraction"));
+    metrics.push(Metric::new("write_batch_util_min", cmp.queued_util.min, "fraction"));
+    metrics.push(Metric::new("write_batch_util_max", cmp.queued_util.max, "fraction"));
+    let skew = skewed_flush_comparison(64, 3);
+    metrics.push(Metric::new(
+        "skewed_flush_round_robin_us",
+        skew.round_robin.as_secs_f64() * 1e6,
+        "us_sim",
+    ));
+    metrics.push(Metric::new(
+        "skewed_flush_queue_aware_us",
+        skew.queue_aware.as_secs_f64() * 1e6,
+        "us_sim",
+    ));
+    metrics.push(Metric::new("skewed_flush_speedup", skew.speedup(), "x"));
+    metrics.push(Metric::new("skewed_util_min_round_robin", skew.rr_util.min, "fraction"));
+    metrics.push(Metric::new("skewed_util_min_queue_aware", skew.qa_util.min, "fraction"));
+    metrics.push(Metric::new("skewed_util_mean_round_robin", skew.rr_util.mean, "fraction"));
+    metrics.push(Metric::new("skewed_util_mean_queue_aware", skew.qa_util.mean, "fraction"));
     Section { name: "queue_depth", metrics }
 }
 
@@ -293,11 +379,14 @@ pub fn recovery_section(quick: bool) -> Section {
     }
 }
 
+/// The PR number stamped into the perf-trajectory JSON.
+pub const PERF_POINT_PR: u32 = 5;
+
 /// Serialise sections into a `BENCH_*.json` perf-trajectory point.
 pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str(&format!("  \"pr\": {PERF_POINT_PR},\n"));
     out.push_str("  \"tool\": \"perf_smoke\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"sections\": {\n");
@@ -316,6 +405,119 @@ pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Res
     out.push_str("  }\n}\n");
     let mut file = std::fs::File::create(path)?;
     file.write_all(out.as_bytes())
+}
+
+/// One metric parsed back out of a committed `BENCH_*.json` point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedMetric {
+    /// Section the metric belongs to.
+    pub section: String,
+    /// Metric name.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label.
+    pub unit: String,
+}
+
+/// Parse the metrics out of a `BENCH_*.json` file produced by
+/// [`write_json`].  Line-oriented on the emitter's fixed shape (the
+/// workspace's `serde` is an offline marker stub with no deserialisers);
+/// unknown lines are skipped, so the parser tolerates points written by
+/// future emitters that add fields.
+pub fn parse_bench_json(text: &str) -> Vec<ParsedMetric> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for line in text.lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix('"') else { continue };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        let rest = rest.trim_start().trim_start_matches(':').trim_start();
+        if rest == "{" {
+            section = name.to_string();
+            continue;
+        }
+        let Some(body) = rest.strip_prefix("{\"value\":") else { continue };
+        let Some((value, tail)) = body.split_once(',') else { continue };
+        let Ok(value) = value.trim().parse::<f64>() else { continue };
+        let Some(unit) = tail.split('"').nth(3) else { continue };
+        out.push(ParsedMetric {
+            section: section.clone(),
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+    out
+}
+
+/// Verdict of comparing a fresh perf point against a committed baseline.
+#[derive(Debug, Default)]
+pub struct BenchComparison {
+    /// Hard failures: shared simulated-time metrics that regressed beyond
+    /// the tolerance.
+    pub failures: Vec<String>,
+    /// Warn-only observations: new metrics without a baseline, retired
+    /// baseline metrics, improvements, non-gating drift.
+    pub notes: Vec<String>,
+}
+
+/// Compare fresh `sections` against a committed baseline point
+/// (`old_text`, as written by [`write_json`] — any PR's).
+///
+/// Only **shared simulated-time metrics** (`us_sim`, lower is better)
+/// gate: a value more than `tolerance` (e.g. `0.2` = 20 %) above the
+/// baseline is a failure.  Metrics present on only one side, wall-clock
+/// numbers and derived ratios are reported warn-only — a new PR may add
+/// metrics freely without tripping the gate.
+pub fn compare_perf_points(
+    old_text: &str,
+    sections: &[Section],
+    tolerance: f64,
+) -> BenchComparison {
+    let old = parse_bench_json(old_text);
+    let mut cmp = BenchComparison::default();
+    for section in sections {
+        for m in &section.metrics {
+            let baseline = old.iter().find(|o| o.section == section.name && o.name == m.name);
+            let Some(baseline) = baseline else {
+                cmp.notes.push(format!(
+                    "{}/{}: new metric, no baseline (warn-only)",
+                    section.name, m.name
+                ));
+                continue;
+            };
+            if m.unit != "us_sim" || baseline.unit != "us_sim" {
+                continue; // counts, ratios and wall-clock never gate
+            }
+            let limit = baseline.value * (1.0 + tolerance);
+            if m.value > limit {
+                cmp.failures.push(format!(
+                    "{}/{}: {:.1} us_sim vs baseline {:.1} (> {:.0}% regression)",
+                    section.name,
+                    m.name,
+                    m.value,
+                    baseline.value,
+                    tolerance * 100.0
+                ));
+            } else if m.value < baseline.value * (1.0 - tolerance) {
+                cmp.notes.push(format!(
+                    "{}/{}: improved to {:.1} us_sim from {:.1}",
+                    section.name, m.name, m.value, baseline.value
+                ));
+            }
+        }
+    }
+    for o in &old {
+        let retired = !sections
+            .iter()
+            .any(|s| s.name == o.section && s.metrics.iter().any(|m| m.name == o.name));
+        if retired && !o.section.is_empty() {
+            cmp.notes
+                .push(format!("{}/{}: baseline metric retired (warn-only)", o.section, o.name));
+        }
+    }
+    cmp
 }
 
 /// Render sections as an aligned text table (the binary's stdout).
@@ -374,8 +576,86 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(text.contains("\"demo\""));
         assert!(text.contains("\"a\": {\"value\": 1.500, \"unit\": \"us_sim\"}"));
-        assert!(text.contains("\"pr\": 4"));
+        assert!(text.contains("\"pr\": 5"));
         let table = render_table(&sections);
         assert!(table.contains("[demo]"));
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_the_parser() {
+        let sections = vec![Section {
+            name: "queue_depth",
+            metrics: vec![
+                Metric::new("depth_1_us", 45760.0, "us_sim"),
+                Metric::new("write_batch_speedup", 4.05, "x"),
+            ],
+        }];
+        let path = std::env::temp_dir().join(format!("bench-parse-{}.json", std::process::id()));
+        write_json(&path, "quick", &sections).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let parsed = parse_bench_json(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].section, "queue_depth");
+        assert_eq!(parsed[0].name, "depth_1_us");
+        assert_eq!(parsed[0].value, 45760.0);
+        assert_eq!(parsed[0].unit, "us_sim");
+        assert_eq!(parsed[1].unit, "x");
+    }
+
+    #[test]
+    fn perf_comparison_gates_only_shared_simulated_time_metrics() {
+        let baseline = vec![Section {
+            name: "queue_depth",
+            metrics: vec![
+                Metric::new("depth_1_us", 1000.0, "us_sim"),
+                Metric::new("old_only_us", 5.0, "us_sim"),
+                Metric::new("wall", 3.0, "wall_ms"),
+            ],
+        }];
+        let path = std::env::temp_dir().join(format!("bench-cmp-{}.json", std::process::id()));
+        write_json(&path, "quick", &baseline).unwrap();
+        let old_text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // 30 % regression on a shared us_sim metric fails at 20 % tolerance;
+        // new metrics and wall-clock drift are warn-only.
+        let fresh = vec![Section {
+            name: "queue_depth",
+            metrics: vec![
+                Metric::new("depth_1_us", 1300.0, "us_sim"),
+                Metric::new("brand_new_us", 9.0, "us_sim"),
+                Metric::new("wall", 300.0, "wall_ms"),
+            ],
+        }];
+        let cmp = compare_perf_points(&old_text, &fresh, 0.2);
+        assert_eq!(cmp.failures.len(), 1, "failures: {:?}", cmp.failures);
+        assert!(cmp.failures[0].contains("depth_1_us"));
+        assert!(cmp.notes.iter().any(|n| n.contains("brand_new_us") && n.contains("warn-only")));
+        assert!(cmp.notes.iter().any(|n| n.contains("old_only_us") && n.contains("retired")));
+
+        // Within tolerance: clean.
+        let fresh_ok = vec![Section {
+            name: "queue_depth",
+            metrics: vec![Metric::new("depth_1_us", 1100.0, "us_sim")],
+        }];
+        assert!(compare_perf_points(&old_text, &fresh_ok, 0.2).failures.is_empty());
+    }
+
+    #[test]
+    fn skewed_flush_prefers_queue_aware() {
+        let skew = skewed_flush_comparison(64, 3);
+        assert!(
+            skew.queue_aware < skew.round_robin,
+            "queue-aware flush ({:?}) must beat round-robin ({:?}) under skew",
+            skew.queue_aware,
+            skew.round_robin
+        );
+        assert!(
+            skew.qa_util.min > skew.rr_util.min,
+            "queue-aware must raise the minimum per-die utilisation ({:.3} vs {:.3})",
+            skew.qa_util.min,
+            skew.rr_util.min
+        );
     }
 }

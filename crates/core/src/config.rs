@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::placement::PlacementPolicyKind;
+
 /// Garbage-collection victim selection policy (per region).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GcPolicy {
@@ -41,6 +43,13 @@ pub struct NoFtlConfig {
     /// Fraction of each region's raw capacity that must remain unexported
     /// as GC headroom (the NoFTL analogue of SSD over-provisioning).
     pub gc_headroom: f64,
+    /// Die-level write placement inside regions.  The default
+    /// [`PlacementPolicyKind::RoundRobin`] reproduces the seed allocator's
+    /// striping byte-for-byte; [`PlacementPolicyKind::QueueAware`] steers
+    /// writes toward idle dies using the device's load snapshots.
+    /// Individual regions can override this via
+    /// [`crate::RegionSpec::with_placement`].
+    pub placement: PlacementPolicyKind,
 }
 
 impl NoFtlConfig {
@@ -53,6 +62,7 @@ impl NoFtlConfig {
             gc_policy: GcPolicy::Greedy,
             wear_leveling: WearLevelingPolicy::Dynamic,
             gc_headroom: 0.10,
+            placement: PlacementPolicyKind::RoundRobin,
         }
     }
 

@@ -23,13 +23,15 @@ use serde::{Deserialize, Serialize};
 use crate::error::NoFtlError;
 use crate::manager::NoFtl;
 use crate::object::ObjectId;
+use crate::placement::PlacementPolicyKind;
 use crate::region::{RegionId, RegionSpec};
 use crate::Result;
 
 /// A parsed DDL statement.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DdlStatement {
-    /// `CREATE REGION name (MAX_CHIPS=.., MAX_CHANNELS=.., MAX_SIZE=.., DIES=..)`
+    /// `CREATE REGION name (MAX_CHIPS=.., MAX_CHANNELS=.., MAX_SIZE=..,
+    /// DIES=.., PLACEMENT=..)`
     CreateRegion {
         /// Region name.
         name: String,
@@ -41,6 +43,9 @@ pub enum DdlStatement {
         max_channels: Option<u32>,
         /// `MAX_SIZE` limit in bytes, if given.
         max_size_bytes: Option<u64>,
+        /// `PLACEMENT` policy override (`ROUND_ROBIN`/`QUEUE_AWARE`), if
+        /// given.
+        placement: Option<PlacementPolicyKind>,
     },
     /// `CREATE TABLESPACE name (REGION=.., EXTENT_SIZE=..)`
     CreateTablespace {
@@ -192,6 +197,7 @@ fn parse_create_region(rest: &str) -> Result<DdlStatement> {
     let mut max_chips = None;
     let mut max_channels = None;
     let mut max_size_bytes = None;
+    let mut placement = None;
     if let Some(body) = body {
         let opts = parse_kv_options(&body)?;
         for (k, v) in opts {
@@ -209,11 +215,25 @@ fn parse_create_region(rest: &str) -> Result<DdlStatement> {
                     )
                 }
                 "MAX_SIZE" => max_size_bytes = Some(parse_size(&v)?),
+                "PLACEMENT" => {
+                    placement = Some(PlacementPolicyKind::parse(&v).ok_or_else(|| {
+                        ddl_err(format!(
+                            "bad PLACEMENT value '{v}' (expected ROUND_ROBIN or QUEUE_AWARE)"
+                        ))
+                    })?)
+                }
                 other => return Err(ddl_err(format!("unknown CREATE REGION option '{other}'"))),
             }
         }
     }
-    Ok(DdlStatement::CreateRegion { name, dies, max_chips, max_channels, max_size_bytes })
+    Ok(DdlStatement::CreateRegion {
+        name,
+        dies,
+        max_chips,
+        max_channels,
+        max_size_bytes,
+        placement,
+    })
 }
 
 fn parse_create_tablespace(rest: &str) -> Result<DdlStatement> {
@@ -289,12 +309,20 @@ impl<'a> Ddl<'a> {
     /// Execute a single parsed statement.
     pub fn execute(&self, stmt: &DdlStatement) -> Result<()> {
         match stmt {
-            DdlStatement::CreateRegion { name, dies, max_chips, max_channels, max_size_bytes } => {
+            DdlStatement::CreateRegion {
+                name,
+                dies,
+                max_chips,
+                max_channels,
+                max_size_bytes,
+                placement,
+            } => {
                 let mut spec = RegionSpec::named(name.clone());
                 spec.die_count = *dies;
                 spec.max_chips = *max_chips;
                 spec.max_channels = *max_channels;
                 spec.max_size_bytes = *max_size_bytes;
+                spec.placement = *placement;
                 self.noftl.create_region(spec)?;
                 Ok(())
             }
@@ -399,8 +427,22 @@ mod tests {
                 max_chips: Some(8),
                 max_channels: Some(4),
                 max_size_bytes: Some(1280 * 1024 * 1024),
+                placement: None,
             }
         );
+        let s = parse_statement("CREATE REGION rgBusy (DIES=2, PLACEMENT=QUEUE_AWARE)").unwrap();
+        assert_eq!(
+            s,
+            DdlStatement::CreateRegion {
+                name: "rgBusy".into(),
+                dies: Some(2),
+                max_chips: None,
+                max_channels: None,
+                max_size_bytes: None,
+                placement: Some(PlacementPolicyKind::QueueAware),
+            }
+        );
+        assert!(parse_statement("CREATE REGION rgBad (PLACEMENT=FANCY)").is_err());
         let s = parse_statement("CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT_SIZE=128K)")
             .unwrap();
         assert_eq!(

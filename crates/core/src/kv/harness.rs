@@ -29,6 +29,7 @@ use flash_sim::{DeviceBuilder, FlashGeometry, NandDevice, SimTime, TimingModel};
 
 use crate::error::NoFtlError;
 use crate::manager::NoFtl;
+use crate::placement::PlacementPolicyKind;
 use crate::recovery::MountReport;
 use crate::region::RegionSpec;
 use crate::{NoFtlConfig, Result};
@@ -53,6 +54,11 @@ pub struct KvCrashConfig {
     pub keys: u64,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Die-level write placement under test.  The default honours the
+    /// [`crate::PLACEMENT_ENV`] environment variable (falling back to
+    /// round-robin), so the whole sweep can be pointed at either policy;
+    /// the tier-1 crash tests also alternate it per round explicitly.
+    pub placement: PlacementPolicyKind,
 }
 
 impl Default for KvCrashConfig {
@@ -65,6 +71,7 @@ impl Default for KvCrashConfig {
             ops: 400,
             keys: 48,
             seed: 0x5EED_4B56,
+            placement: PlacementPolicyKind::from_env(PlacementPolicyKind::RoundRobin),
         }
     }
 }
@@ -123,9 +130,13 @@ struct Stack {
     store: KvStore,
 }
 
+fn noftl_config(cfg: &KvCrashConfig) -> NoFtlConfig {
+    NoFtlConfig { placement: cfg.placement, ..NoFtlConfig::default() }
+}
+
 fn build_stack(cfg: &KvCrashConfig) -> Result<(Stack, SimTime)> {
     let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), noftl_config(cfg)));
     let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(cfg.region_dies))?;
     let (store, created_at) =
         KvStore::create(Arc::clone(&noftl), rid, STORE, cfg.kv, SimTime::ZERO)?;
@@ -242,7 +253,7 @@ fn run_cycle_with_cut(cfg: &KvCrashConfig, cut_at: SimTime) -> Result<KvCrashOut
         NandDevice::from_snapshot(&snap, cfg.timing)
             .map_err(|e| NoFtlError::Recovery { message: format!("reboot failed: {e}") })?,
     );
-    let (noftl2, mount) = NoFtl::mount(Arc::clone(&device2), NoFtlConfig::default(), cut_at)?;
+    let (noftl2, mount) = NoFtl::mount(Arc::clone(&device2), noftl_config(cfg), cut_at)?;
     let (store2, open) = KvStore::open(Arc::new(noftl2), STORE, cfg.kv, mount.completed_at)?;
 
     // ---- Verification -------------------------------------------------

@@ -62,7 +62,10 @@ pub use hotcold::{ObjectProfile, Temperature};
 pub use kv::{KvConfig, KvOpenReport, KvStats, KvStore};
 pub use manager::NoFtl;
 pub use object::ObjectId;
-pub use placement::{PlacementAdvisor, PlacementConfig, RegionAssignment};
+pub use placement::{
+    suggest_policies, PlacementAdvisor, PlacementConfig, PlacementPolicy, PlacementPolicyKind,
+    QueueAware, RegionAssignment, RoundRobin, PLACEMENT_ENV,
+};
 pub use recovery::{MountReport, META_OBJECT_ID, META_REGION_NAME};
 pub use region::{RegionId, RegionInfo, RegionSpec};
 pub use stats::{NoFtlStats, ObjectStats, RegionStats};

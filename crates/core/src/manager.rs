@@ -661,6 +661,69 @@ impl NoFtl {
         }
     }
 
+    /// Write a batch of pages through a bounded completion-driven
+    /// pipeline: up to `window` pages are kept in flight via
+    /// [`NoFtl::submit_write`], and each further page is issued at the
+    /// completion instant of the oldest outstanding one — the behaviour
+    /// of a depth-limited host driver.  With `window >= dies` this
+    /// reproduces [`NoFtl::write_batch`]'s fan-out timing exactly while
+    /// holding only `window` submissions outstanding.
+    ///
+    /// The returned time is the **maximum completion across the whole
+    /// window**, not the last page's: under queue-aware placement a later
+    /// page steered to an idle die can complete before an earlier page
+    /// queued behind a busy one.
+    ///
+    /// On failure the pipeline drains its outstanding completions (so
+    /// none is leaked), keeps every already-committed translation — the
+    /// same torn-tail semantics as `write_batch` — and returns the first
+    /// error.
+    pub fn write_windowed(
+        &self,
+        writes: &[(ObjectId, u64, Vec<u8>)],
+        at: SimTime,
+        window: usize,
+    ) -> Result<SimTime> {
+        let window_cap = window.max(1);
+        let mut inflight: std::collections::VecDeque<CmdHandle> =
+            std::collections::VecDeque::with_capacity(window_cap);
+        let mut clock = at;
+        let mut done = at;
+        let mut failure: Option<NoFtlError> = None;
+        for (obj, page, data) in writes {
+            if inflight.len() == window_cap {
+                let oldest = inflight.pop_front().expect("window is full");
+                match self.wait_io(oldest) {
+                    Ok((_, completed)) => {
+                        done = done.max(completed);
+                        clock = clock.max(completed);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match self.submit_write(*obj, *page, data, clock) {
+                Ok(handle) => inflight.push_back(handle),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        for handle in inflight {
+            match self.wait_io(handle) {
+                Ok((_, completed)) => done = done.max(completed),
+                Err(e) => failure = failure.or(Some(e)),
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(done),
+        }
+    }
+
     /// Submit an asynchronous read of a logical page, issued at `at`.
     ///
     /// The returned handle is claimed with [`NoFtl::wait_io`], which
@@ -1351,6 +1414,18 @@ impl NoFtl {
     /// Allocate the next physical page for a host write in `region`,
     /// running GC when a die's free-block pool runs low.  Returns `None`
     /// when the region is completely full.
+    ///
+    /// The die is chosen by the region's
+    /// [`PlacementPolicy`](crate::placement::PlacementPolicy): the policy
+    /// produces a probe order over the region's dies (for the default
+    /// [`RoundRobin`](crate::placement::RoundRobin) exactly the seed
+    /// allocator's `next_die` stripe; for
+    /// [`QueueAware`](crate::placement::QueueAware) sorted by the device's
+    /// per-die load snapshots), and the allocator takes the first die in
+    /// that order able to yield a page.  Every write path — single writes,
+    /// `write_batch`, `write_atomic`, `submit_write`, rebalancing and the
+    /// metadata journal — funnels through here, so a policy governs the
+    /// complete write path of its region.
     fn allocate_in_region(
         device: &NandDevice,
         config: &NoFtlConfig,
@@ -1364,8 +1439,20 @@ impl NoFtl {
         if die_count == 0 {
             return None;
         }
-        for attempt in 0..die_count {
-            let idx = (region.next_die + attempt) % die_count;
+        let policy = region.placement_kind(config).policy();
+        // Probe order and load snapshots fill region-owned scratch
+        // buffers (taken out for the borrow, put back below), so the
+        // per-write path allocates nothing — as cheap as the seed
+        // allocator's modular loop.
+        let mut loads = std::mem::take(&mut region.load_scratch);
+        loads.clear();
+        if policy.needs_loads() {
+            loads.extend(region.dies.iter().map(|d| device.die_load(d.die, at)));
+        }
+        let mut order = std::mem::take(&mut region.probe_scratch);
+        policy.probe_order_into(die_count, region.next_die, at, &loads, &mut order);
+        let mut picked = None;
+        for &idx in &order {
             if (region.dies[idx].free_blocks.len() as u32) <= config.gc_low_watermark {
                 Self::gc_die(device, config, region, objects, meta_dir, idx, at);
             }
@@ -1373,10 +1460,13 @@ impl NoFtl {
                 region.dies[idx].next_host_page(device, config.wear_leveling, pages_per_block)
             {
                 region.next_die = (idx + 1) % die_count;
-                return Some(ppa);
+                picked = Some(ppa);
+                break;
             }
         }
-        None
+        region.probe_scratch = order;
+        region.load_scratch = loads;
+        picked
     }
 
     /// Update the owner's translation after a page move (GC copyback or
@@ -1908,6 +1998,111 @@ mod tests {
             assert_eq!(&queued.read(obj, *p, queued_done).unwrap().0, d);
             assert_eq!(&serial.read(obj, *p, serial_done).unwrap().0, d);
         }
+    }
+
+    #[test]
+    fn queue_aware_placement_steers_around_a_busy_die() {
+        use crate::placement::PlacementPolicyKind;
+        // Two fresh managers over identical devices; dies 0 and 1 form the
+        // region, and die 0 (the round-robin cursor's first choice) is
+        // made busy with a burst of background erases before a write
+        // lands.  RoundRobin ignores the load and queues behind the
+        // erases; QueueAware starts on the idle die immediately.
+        let run = |placement: PlacementPolicyKind| {
+            let device = Arc::new(
+                DeviceBuilder::new(FlashGeometry::small_test())
+                    .timing(TimingModel::mlc_2015())
+                    .build(),
+            );
+            let config = NoFtlConfig { placement, ..NoFtlConfig::default() };
+            let noftl = NoFtl::new(Arc::clone(&device), config);
+            let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
+            let obj = noftl.create_object("t", r).unwrap();
+            let dies = noftl.region_dies(r).unwrap();
+            // Background erase storm on the first region die (a stand-in
+            // for GC/wear-leveling traffic).
+            let blocks = device.geometry().blocks_per_die();
+            for b in 0..4u32 {
+                device
+                    .erase_block(flash_sim::BlockAddr::new(dies[0], 0, b % blocks), SimTime::ZERO)
+                    .unwrap();
+            }
+            noftl.write(obj, 0, &page(0x5E), SimTime::ZERO).unwrap()
+        };
+        let rr_done = run(PlacementPolicyKind::RoundRobin);
+        let qa_done = run(PlacementPolicyKind::QueueAware);
+        assert!(
+            qa_done < rr_done,
+            "queue-aware write ({qa_done}) must dodge the busy die ({rr_done})"
+        );
+    }
+
+    #[test]
+    fn region_spec_placement_overrides_the_config_default() {
+        use crate::placement::PlacementPolicyKind;
+        // Config default RoundRobin, but the region opts into QueueAware:
+        // the write behaves queue-aware (starts on the idle die).
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
+        );
+        let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::default());
+        let r = noftl
+            .create_region(
+                RegionSpec::named("rg")
+                    .with_die_count(2)
+                    .with_placement(PlacementPolicyKind::QueueAware),
+            )
+            .unwrap();
+        let obj = noftl.create_object("t", r).unwrap();
+        let dies = noftl.region_dies(r).unwrap();
+        for b in 0..4u32 {
+            device.erase_block(flash_sim::BlockAddr::new(dies[0], 0, b), SimTime::ZERO).unwrap();
+        }
+        let busy_until = device.die_busy_until(dies[0]);
+        let done = noftl.write(obj, 0, &page(0x7A), SimTime::ZERO).unwrap();
+        assert!(
+            done < busy_until,
+            "override must steer the write to the idle die (done {done}, busy {busy_until})"
+        );
+        // The mapping still round-trips.
+        assert_eq!(noftl.read(obj, 0, done).unwrap().0, page(0x7A));
+    }
+
+    #[test]
+    fn queue_aware_batch_balances_skewed_die_load() {
+        use crate::placement::PlacementPolicyKind;
+        // A 4-die region with erase storms on half the dies, then a
+        // 32-page batch: QueueAware must finish the batch earlier than
+        // RoundRobin because it feeds the idle dies first.
+        let run = |placement: PlacementPolicyKind| {
+            let device = Arc::new(
+                DeviceBuilder::new(FlashGeometry::small_test())
+                    .timing(TimingModel::mlc_2015())
+                    .build(),
+            );
+            let config = NoFtlConfig { placement, ..NoFtlConfig::default() };
+            let noftl = NoFtl::new(Arc::clone(&device), config);
+            let r = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
+            let obj = noftl.create_object("t", r).unwrap();
+            let dies = noftl.region_dies(r).unwrap();
+            for die in &dies[..2] {
+                for b in 0..3u32 {
+                    device
+                        .erase_block(flash_sim::BlockAddr::new(*die, 0, b), SimTime::ZERO)
+                        .unwrap();
+                }
+            }
+            let batch: Vec<(ObjectId, u64, Vec<u8>)> =
+                (0..32u64).map(|p| (obj, p, page(p as u8))).collect();
+            let done = noftl.write_batch(&batch, SimTime::ZERO).unwrap();
+            for p in 0..32u64 {
+                assert_eq!(noftl.read(obj, p, done).unwrap().0, page(p as u8), "page {p}");
+            }
+            done
+        };
+        let rr = run(PlacementPolicyKind::RoundRobin);
+        let qa = run(PlacementPolicyKind::QueueAware);
+        assert!(qa < rr, "queue-aware batch ({qa}) must beat round-robin ({rr}) under skew");
     }
 
     #[test]

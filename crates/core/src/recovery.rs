@@ -24,6 +24,7 @@
 use flash_sim::{DieId, PageAddr, SimTime};
 
 use crate::object::{ObjectCounters, ObjectId};
+use crate::placement::PlacementPolicyKind;
 use crate::region::{RegionId, RegionSpec};
 
 /// Reserved object id for checkpoint chunks ("no object" is 0, real
@@ -42,8 +43,11 @@ const CHUNK_MAGIC: u32 = 0x4E46_434B; // "NFCK"
 /// magic:4 | seq:8 | index:4 | count:4 | len:4.
 pub(crate) const CHUNK_HEADER: usize = 24;
 
-/// Magic prefix of the checkpoint blob itself.
-const BLOB_MAGIC: &[u8; 8] = b"NFCKPT01";
+/// Magic prefix of the checkpoint blob itself.  Version 02 added the
+/// per-region placement-policy tag; the bump makes blobs written by
+/// older code decode as "no checkpoint" instead of mis-aligning the
+/// cursor on the new field.
+const BLOB_MAGIC: &[u8; 8] = b"NFCKPT02";
 
 /// Summary of what `NoFtl::mount` found and rebuilt.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -148,6 +152,14 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
+fn put_placement(out: &mut Vec<u8>, v: Option<PlacementPolicyKind>) {
+    out.push(match v {
+        None => 0,
+        Some(PlacementPolicyKind::RoundRobin) => 1,
+        Some(PlacementPolicyKind::QueueAware) => 2,
+    });
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -187,6 +199,17 @@ impl<'a> Cursor<'a> {
     fn opt_u64(&mut self) -> Option<Option<u64>> {
         Some(if self.u8()? != 0 { Some(self.u64()?) } else { None })
     }
+
+    /// Decode the placement-policy tag written by `put_placement`; the
+    /// outer `None` marks a corrupt blob, the inner one "no override".
+    fn placement(&mut self) -> Option<Option<PlacementPolicyKind>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(PlacementPolicyKind::RoundRobin)),
+            2 => Some(Some(PlacementPolicyKind::QueueAware)),
+            _ => None,
+        }
+    }
 }
 
 impl CheckpointImage {
@@ -209,6 +232,7 @@ impl CheckpointImage {
             put_opt_u32(&mut out, r.spec.max_chips);
             put_opt_u32(&mut out, r.spec.max_channels);
             put_opt_u64(&mut out, r.spec.max_size_bytes);
+            put_placement(&mut out, r.spec.placement);
             put_u32(&mut out, r.dies.len() as u32);
             for d in &r.dies {
                 put_u32(&mut out, d.0);
@@ -272,6 +296,7 @@ impl CheckpointImage {
             spec.max_chips = c.opt_u32()?;
             spec.max_channels = c.opt_u32()?;
             spec.max_size_bytes = c.opt_u64()?;
+            spec.placement = c.placement()?;
             let die_count = c.u32()? as usize;
             let mut dies = Vec::with_capacity(die_count);
             for _ in 0..die_count {
@@ -360,7 +385,10 @@ mod tests {
             free_dies: vec![DieId(6), DieId(7)],
             regions: vec![RegionImage {
                 id: RegionId(0),
-                spec: RegionSpec::named("rgHot").with_die_count(2).with_max_channels(1),
+                spec: RegionSpec::named("rgHot")
+                    .with_die_count(2)
+                    .with_max_channels(1)
+                    .with_placement(PlacementPolicyKind::QueueAware),
                 dies: vec![DieId(0), DieId(1)],
                 objects: vec![1, 2],
             }],

@@ -5,11 +5,12 @@
 //! a region with more dies offers more I/O parallelism.  All space
 //! reclamation (GC) and wear leveling happen region-locally.
 
-use flash_sim::{BlockAddr, DieId, FlashGeometry, NandDevice, PageAddr};
+use flash_sim::{BlockAddr, DieId, DieLoad, FlashGeometry, NandDevice, PageAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::config::{NoFtlConfig, WearLevelingPolicy};
+use crate::placement::PlacementPolicyKind;
 use crate::stats::RegionStats;
 use crate::wear::{pick_free_block, FreeBlockCandidate};
 
@@ -38,6 +39,10 @@ pub struct RegionSpec {
     pub max_channels: Option<u32>,
     /// Upper bound on the region's raw capacity in bytes.
     pub max_size_bytes: Option<u64>,
+    /// Die-level write placement override for this region; `None` falls
+    /// back to [`NoFtlConfig::placement`].  Persisted through region
+    /// checkpoints, so a remounted region keeps its policy.
+    pub placement: Option<PlacementPolicyKind>,
 }
 
 impl RegionSpec {
@@ -49,6 +54,7 @@ impl RegionSpec {
             max_chips: None,
             max_channels: None,
             max_size_bytes: None,
+            placement: None,
         }
     }
 
@@ -73,6 +79,13 @@ impl RegionSpec {
     /// Limit the region's raw size in bytes (paper: `MAX_SIZE`).
     pub fn with_max_size_bytes(mut self, bytes: u64) -> Self {
         self.max_size_bytes = Some(bytes);
+        self
+    }
+
+    /// Override the die-level write placement policy for this region
+    /// (DDL: `PLACEMENT=QUEUE_AWARE`).
+    pub fn with_placement(mut self, placement: PlacementPolicyKind) -> Self {
+        self.placement = Some(placement);
         self
     }
 
@@ -338,6 +351,11 @@ pub(crate) struct RegionRuntime {
     pub block_invalidate_seq: HashMap<(u32, u32, u32), u64>,
     /// Region-level statistics.
     pub stats: RegionStats,
+    /// Reusable buffer for the placement policy's probe order, so the
+    /// per-write allocation path performs no heap allocation.
+    pub probe_scratch: Vec<usize>,
+    /// Reusable buffer for per-die load snapshots (queue-aware policies).
+    pub load_scratch: Vec<DieLoad>,
 }
 
 impl RegionRuntime {
@@ -358,7 +376,15 @@ impl RegionRuntime {
             invalidate_seq: 0,
             block_invalidate_seq: HashMap::new(),
             stats: RegionStats::default(),
+            probe_scratch: Vec::new(),
+            load_scratch: Vec::new(),
         }
+    }
+
+    /// The die-level placement policy in effect for this region: the
+    /// spec's override when present, the manager-wide default otherwise.
+    pub(crate) fn placement_kind(&self, config: &NoFtlConfig) -> PlacementPolicyKind {
+        self.spec.placement.unwrap_or(config.placement)
     }
 
     /// Record that a page in `block` has been invalidated (for cost-benefit

@@ -77,6 +77,11 @@ struct PoolInner {
     capture: Option<Capture>,
 }
 
+/// Default bound on in-flight pages of a [`BufferPool::flush_all`]
+/// pipeline — the storage manager's flusher default, defined once in
+/// `noftl_core` (the die count of the largest preset geometry).
+pub const DEFAULT_FLUSH_WINDOW: usize = noftl_core::flusher::DEFAULT_WINDOW;
+
 /// A fixed-capacity buffer pool over a [`StorageBackend`].
 pub struct BufferPool {
     backend: Arc<dyn StorageBackend>,
@@ -85,6 +90,8 @@ pub struct BufferPool {
     /// data cannot reach storage behind the WAL's back.  Required for the
     /// redo-only (no undo pass) recovery protocol.
     no_steal: bool,
+    /// In-flight page bound of the completion-driven flush pipeline.
+    flush_window: usize,
     inner: Mutex<PoolInner>,
 }
 
@@ -104,6 +111,7 @@ impl BufferPool {
             backend,
             capacity,
             no_steal,
+            flush_window: DEFAULT_FLUSH_WINDOW,
             inner: Mutex::new(PoolInner {
                 frames: (0..capacity).map(|_| None).collect(),
                 map: HashMap::with_capacity(capacity),
@@ -112,6 +120,18 @@ impl BufferPool {
                 capture: None,
             }),
         }
+    }
+
+    /// Set the in-flight page bound of the flush pipeline (clamped to at
+    /// least 1; 1 degenerates to strictly sequential write-back).
+    pub fn with_flush_window(mut self, window: usize) -> Self {
+        self.flush_window = window.max(1);
+        self
+    }
+
+    /// The in-flight page bound of the flush pipeline.
+    pub fn flush_window(&self) -> usize {
+        self.flush_window
     }
 
     /// The backend underneath the pool.
@@ -274,11 +294,13 @@ impl BufferPool {
         Ok(now)
     }
 
-    /// Write back every dirty page as one queued batch.  All writes are
-    /// issued at `now` and fan out over the backend's internal parallelism
-    /// (per-die command queues under NoFTL); the returned time is the
-    /// completion of the slowest one.  On failure the frames stay dirty so
-    /// a later flush retries them.
+    /// Write back every dirty page through the backend's
+    /// completion-driven pipeline: at most [`BufferPool::flush_window`]
+    /// pages in flight, each further page issued the instant the oldest
+    /// outstanding one completes, overlapping the backend's internal
+    /// parallelism (per-die command queues under NoFTL).  The returned
+    /// time is the maximum completion over the whole window.  On failure
+    /// the frames stay dirty so a later flush retries them.
     pub fn flush_all(&self, now: SimTime) -> Result<SimTime> {
         let mut inner = self.inner.lock();
         let batch: Vec<(ObjectId, u64, Vec<u8>)> = inner
@@ -291,7 +313,7 @@ impl BufferPool {
         if batch.is_empty() {
             return Ok(now);
         }
-        let done = self.backend.write_batch(&batch, now)?;
+        let done = self.backend.write_windowed(&batch, now, self.flush_window)?;
         let mut flushed = 0u64;
         for frame in inner.frames.iter_mut().flatten() {
             if frame.dirty {
@@ -421,5 +443,46 @@ mod tests {
         let backend = backend();
         let pool = BufferPool::new(backend, 0);
         assert!(pool.capacity() >= 4);
+    }
+
+    #[test]
+    fn flush_window_is_configurable_and_preserves_data() {
+        let backend = backend();
+        let obj = backend.create_object("t").unwrap();
+        let pool = BufferPool::new(backend.clone(), 32);
+        assert_eq!(pool.flush_window(), DEFAULT_FLUSH_WINDOW);
+        // A window of 1 degenerates to strictly sequential write-back and
+        // must still land every page.
+        let pool = BufferPool::new(backend.clone(), 32).with_flush_window(0);
+        assert_eq!(pool.flush_window(), 1);
+        for p in 0..6u64 {
+            pool.write_page(obj, p, &page(p as u8), SimTime::ZERO).unwrap();
+        }
+        let done = pool.flush_all(SimTime::ZERO).unwrap();
+        assert!(done > SimTime::ZERO);
+        assert_eq!(pool.dirty_pages(), 0);
+        let fresh = BufferPool::new(backend, 32);
+        for p in 0..6u64 {
+            assert_eq!(fresh.read_page(obj, p, done).unwrap().0, page(p as u8));
+        }
+    }
+
+    #[test]
+    fn windowed_flush_matches_batch_fanout_when_the_window_is_deep() {
+        // With a window covering the whole dirty set, the pipeline issues
+        // every page at the flush instant — identical simulated timing to
+        // the old one-shot write_batch.
+        let run = |window: usize| {
+            let backend = backend();
+            let obj = backend.create_object("t").unwrap();
+            let pool = BufferPool::new(backend, 32).with_flush_window(window);
+            for p in 0..8u64 {
+                pool.write_page(obj, p, &page(p as u8), SimTime::ZERO).unwrap();
+            }
+            pool.flush_all(SimTime::ZERO).unwrap()
+        };
+        let deep = run(16);
+        let narrow = run(1);
+        assert!(deep < narrow, "deep window ({deep}) must overlap dies, window 1 ({narrow}) not");
     }
 }

@@ -28,7 +28,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use flash_sim::{DeviceBuilder, DeviceSnapshot, FlashGeometry, NandDevice, SimTime, TimingModel};
-use noftl_core::{MountReport, NoFtl, NoFtlConfig, PlacementConfig, RegionAssignment};
+use noftl_core::{
+    MountReport, NoFtl, NoFtlConfig, PlacementConfig, PlacementPolicyKind, RegionAssignment,
+};
 
 use crate::db::{
     Database, DatabaseConfig, RecoveryReport, CATALOG_OBJECT, LOG_OBJECT, METADATA_OBJECT,
@@ -65,6 +67,11 @@ pub struct CrashHarnessConfig {
     /// Round-trip the device snapshot through a file-backed image on
     /// reboot (exercises the persistence path; slower).
     pub image_file: bool,
+    /// Die-level write placement under test.  The default honours the
+    /// `NOFTL_PLACEMENT` environment variable (falling back to
+    /// round-robin), so the whole sweep can be pointed at either policy;
+    /// the tier-1 crash tests also alternate it per round explicitly.
+    pub placement: PlacementPolicyKind,
 }
 
 impl Default for CrashHarnessConfig {
@@ -78,6 +85,7 @@ impl Default for CrashHarnessConfig {
             keys: 32,
             seed: 0xC0FFEE,
             image_file: false,
+            placement: PlacementPolicyKind::from_env(PlacementPolicyKind::RoundRobin),
         }
     }
 }
@@ -173,9 +181,13 @@ fn db_config(cfg: &CrashHarnessConfig) -> DatabaseConfig {
 
 /// Build device → NoFTL → backend → database and run the DDL setup,
 /// finishing with a checkpoint.  Returns the stack and the setup end time.
+fn noftl_config(cfg: &CrashHarnessConfig) -> NoFtlConfig {
+    NoFtlConfig { placement: cfg.placement, ..NoFtlConfig::default() }
+}
+
 fn build_stack(cfg: &CrashHarnessConfig) -> Result<(Stack, SimTime)> {
     let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), noftl_config(cfg)));
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement())?);
     let db = Database::open(backend, db_config(cfg))?;
     let t0 = SimTime::ZERO;
@@ -358,8 +370,8 @@ pub fn run_crash_cycle(cfg: &CrashHarnessConfig, fraction: f64) -> Result<CrashO
 
     // Reboot → mount → recover.
     let device2 = reboot_device(&stack.device, cfg.timing, cfg.image_file, cfg.seed)?;
-    let (noftl2, mount) = NoFtl::mount(Arc::clone(&device2), NoFtlConfig::default(), cut_at)
-        .map_err(DbError::storage)?;
+    let (noftl2, mount) =
+        NoFtl::mount(Arc::clone(&device2), noftl_config(cfg), cut_at).map_err(DbError::storage)?;
     let noftl2 = Arc::new(noftl2);
     let backend2 = Arc::new(NoFtlBackend::attach(Arc::clone(&noftl2), &placement())?);
     let (db2, recovery) = Database::recover(backend2, db_config(cfg), mount.completed_at)?;

@@ -57,6 +57,9 @@ pub struct DatabaseConfig {
     /// many pages, the next commit triggers a checkpoint and truncates
     /// the log.
     pub wal_segment_pages: u64,
+    /// In-flight page bound of the buffer pool's completion-driven flush
+    /// pipeline (see [`crate::buffer::BufferPool::flush_all`]).
+    pub flush_window: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -67,6 +70,7 @@ impl Default for DatabaseConfig {
             op_cpu: Duration::from_us(2),
             redo_logging: false,
             wal_segment_pages: 1_024,
+            flush_window: crate::buffer::DEFAULT_FLUSH_WINDOW,
         }
     }
 }
@@ -137,7 +141,8 @@ impl Database {
             None
         };
         let no_steal = config.wal_enabled && config.redo_logging;
-        let pool = BufferPool::with_policy(Arc::clone(&backend), config.buffer_pages, no_steal);
+        let pool = BufferPool::with_policy(Arc::clone(&backend), config.buffer_pages, no_steal)
+            .with_flush_window(config.flush_window);
         Ok(Database {
             backend,
             pool,
@@ -628,13 +633,27 @@ impl Database {
     /// crash at any point leaves either the previous checkpoint plus an
     /// intact log tail, or the new checkpoint — never a state recovery
     /// cannot handle.
+    ///
+    /// The data-page flush and the WAL force are *both issued at `now`*:
+    /// the pending log records belong to already-committed transactions
+    /// (commit forces the log, and the pool is no-steal under redo
+    /// logging), so forcing them early can only move the log further
+    /// ahead of the data — the WAL invariant — while the log and data
+    /// objects live on different dies and overlap in simulated time.
+    /// This is the group-commit shape of the completion-driven flush
+    /// redesign: a checkpoint no longer serialises "all data, then the
+    /// log".  Truncation still waits for everything: it only happens
+    /// after the flush, the catalog snapshot and the backend checkpoint
+    /// are all durable.
     pub fn checkpoint(&self, now: SimTime) -> Result<SimTime> {
         self.check_usable()?;
-        let mut done = self.pool.flush_all(now)?;
+        let data_done = self.pool.flush_all(now)?;
+        let wal_done =
+            if let Some(wal) = &self.wal { wal.force(&*self.backend, now)? } else { now };
+        let mut done = data_done.max(wal_done);
         done = done.max(self.write_catalog_snapshot(done)?);
         done = done.max(self.backend.checkpoint(done)?);
         if let Some(wal) = &self.wal {
-            done = done.max(wal.force(&*self.backend, done)?);
             wal.truncate(&*self.backend)?;
             wal.append(&WalRecord::Checkpoint);
         }
@@ -699,7 +718,8 @@ impl Database {
         let (catalog_seq, tables) = Self::read_catalog_snapshot(&backend, catalog_obj, t);
         report.catalog_seq = catalog_seq;
         let no_steal = config.wal_enabled && config.redo_logging;
-        let pool = BufferPool::with_policy(Arc::clone(&backend), config.buffer_pages, no_steal);
+        let pool = BufferPool::with_policy(Arc::clone(&backend), config.buffer_pages, no_steal)
+            .with_flush_window(config.flush_window);
         let catalog = Catalog::new();
         for (name, schema, index_names) in tables {
             let Some(heap_obj) = backend.lookup_object(&name) else {

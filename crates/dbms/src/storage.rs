@@ -67,6 +67,23 @@ pub trait StorageBackend: Send + Sync {
         Ok(done)
     }
 
+    /// Write a batch through a bounded completion-driven pipeline: at
+    /// most `window` pages in flight, each further page issued at the
+    /// completion of the oldest outstanding one, returning the maximum
+    /// completion over the whole window.  The buffer pool's flushers
+    /// drive this so checkpoint write-back overlaps the region's dies
+    /// without unbounded outstanding I/O.  Backends without asynchronous
+    /// submission fall back to [`StorageBackend::write_batch`].
+    fn write_windowed(
+        &self,
+        writes: &[(ObjectId, u64, Vec<u8>)],
+        at: SimTime,
+        window: usize,
+    ) -> Result<SimTime> {
+        let _ = window;
+        self.write_batch(writes, at)
+    }
+
     /// Release a logical page.
     fn free_page(&self, obj: ObjectId, page: u64) -> Result<()>;
 
@@ -183,6 +200,15 @@ impl StorageBackend for NoFtlBackend {
         // Fans the batch across the dies of each target region through the
         // storage manager's command queue.
         self.noftl.write_batch(writes, at).map_err(Into::into)
+    }
+
+    fn write_windowed(
+        &self,
+        writes: &[(ObjectId, u64, Vec<u8>)],
+        at: SimTime,
+        window: usize,
+    ) -> Result<SimTime> {
+        self.noftl.write_windowed(writes, at, window).map_err(Into::into)
     }
 
     fn free_page(&self, obj: ObjectId, page: u64) -> Result<()> {

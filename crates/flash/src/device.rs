@@ -47,6 +47,27 @@ pub struct OpOutcome {
     pub completed_at: SimTime,
 }
 
+/// Instantaneous load of one die, as reported by [`NandDevice::die_load`]
+/// and [`NandDevice::die_loads`]: the input of queue-aware write
+/// placement.  `busy_until` is the instant the die's accepted work drains;
+/// `queue_depth` counts the commands still in flight at the observation
+/// time (0 = idle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DieLoad {
+    /// The die is executing accepted operations until this instant.
+    pub busy_until: SimTime,
+    /// Commands in flight (executing or queued) at the observation time.
+    pub queue_depth: u32,
+}
+
+impl DieLoad {
+    /// Earliest instant an operation issued at `at` could start on this
+    /// die — the sort key queue-aware placement orders dies by.
+    pub fn earliest_start(&self, at: SimTime) -> SimTime {
+        self.busy_until.max(at)
+    }
+}
+
 /// Builder for [`NandDevice`].
 #[derive(Debug, Clone)]
 pub struct DeviceBuilder {
@@ -761,6 +782,34 @@ impl NandDevice {
         self.dies.get(die.0 as usize).map(|d| d.lock().busy_until).unwrap_or(SimTime::ZERO)
     }
 
+    /// Instantaneous load snapshot of one die as of `at`: when its current
+    /// work drains and how many commands are still in flight.  This is the
+    /// cheap per-die view queue-aware placement policies steer by — one
+    /// shard lock, no allocation, and purely observational (the timing
+    /// state is not perturbed).  An out-of-range die reports as idle.
+    pub fn die_load(&self, die: DieId, at: SimTime) -> DieLoad {
+        self.dies
+            .get(die.0 as usize)
+            .map(|d| {
+                let d = d.lock();
+                DieLoad { busy_until: d.busy_until, queue_depth: d.pending_at(at) }
+            })
+            .unwrap_or_default()
+    }
+
+    /// Load snapshots of every die as of `at`, indexed by die id.  Shards
+    /// are locked one at a time (not all at once), so concurrent I/O on
+    /// other dies is never stalled by a load scan.
+    pub fn die_loads(&self, at: SimTime) -> Vec<DieLoad> {
+        self.dies
+            .iter()
+            .map(|d| {
+                let d = d.lock();
+                DieLoad { busy_until: d.busy_until, queue_depth: d.pending_at(at) }
+            })
+            .collect()
+    }
+
     fn die_stats_from(die: &Die) -> DieStats {
         let total_erases: u64 =
             die.planes.iter().flat_map(|p| p.blocks.iter()).map(|b| b.erase_count).sum();
@@ -1160,6 +1209,40 @@ mod tests {
         assert!(util.per_die[0] > 0.9, "die 0 was busy almost the whole window");
         assert_eq!(util.per_die[1], 0.0);
         assert!(util.max >= util.mean && util.mean >= util.min);
+    }
+
+    #[test]
+    fn die_loads_report_busy_until_and_in_flight_depth() {
+        let d = dev();
+        let b = BlockAddr::new(DieId(0), 0, 0);
+        // Three programs queued on die 0 at t=0; die 1 untouched.
+        let mut last = SimTime::ZERO;
+        for i in 0..3 {
+            last = d
+                .program_page(
+                    b.page(i),
+                    &payload(i as u8, &d),
+                    PageMetadata::new(1, i as u64),
+                    SimTime::ZERO,
+                )
+                .unwrap()
+                .completed_at;
+        }
+        let loads = d.die_loads(SimTime::ZERO);
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads[0].busy_until, last);
+        assert_eq!(loads[0].queue_depth, 3, "all three programs still in flight at t=0");
+        assert_eq!(loads[1], DieLoad::default(), "untouched die is idle");
+        assert_eq!(loads[0].earliest_start(SimTime::ZERO), last);
+        assert_eq!(loads[1].earliest_start(SimTime::from_us(7)), SimTime::from_us(7));
+        // Observed after everything drained: depth 0, busy_until unchanged.
+        let after = d.die_load(DieId(0), last);
+        assert_eq!(after.queue_depth, 0);
+        assert_eq!(after.busy_until, last);
+        // Observation is non-destructive: the timing state is unchanged.
+        assert_eq!(d.die_load(DieId(0), SimTime::ZERO).queue_depth, 3);
+        // Out-of-range dies report as idle.
+        assert_eq!(d.die_load(DieId(99), SimTime::ZERO), DieLoad::default());
     }
 
     #[test]

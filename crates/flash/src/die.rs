@@ -56,6 +56,14 @@ impl Die {
         }
     }
 
+    /// Number of operations still executing (or queued) on this die as of
+    /// `at`: the in-flight completion times later than `at`.  A pure
+    /// observation — nothing is pruned, so load snapshots never perturb
+    /// the timing state.
+    pub(crate) fn pending_at(&self, at: SimTime) -> u32 {
+        self.inflight.iter().filter(|done| **done > at).count() as u32
+    }
+
     /// Reserve the die for an array operation of length `dur` starting no
     /// earlier than `at`.  Returns `(start, end, depth)` of the operation,
     /// where `depth` is the die's queue depth at issue time (1 = the die

@@ -75,7 +75,7 @@ pub use addr::{BlockAddr, DieId, PageAddr, PlaneAddr};
 pub use badblock::BadBlockPolicy;
 pub use block::{BlockInfo, BlockSnapshot, BlockState, PageState};
 pub use crc::crc32;
-pub use device::{DeviceBuilder, DeviceSnapshot, NandDevice, OpOutcome};
+pub use device::{DeviceBuilder, DeviceSnapshot, DieLoad, NandDevice, OpOutcome};
 pub use error::FlashError;
 pub use geometry::FlashGeometry;
 pub use metadata::PageMetadata;

@@ -25,3 +25,10 @@ pub use ftl_sim as ftl;
 pub use noftl_bench as bench;
 pub use noftl_core as noftl;
 pub use tpcc_workload as tpcc;
+
+// Die-level write placement is part of the repo's top-level story (the
+// queue-aware allocation redesign), so the policy types are additionally
+// re-exported at the root: the policy trait, its two implementations, the
+// serialisable selector and the per-die load snapshot they steer by.
+pub use flash_sim::DieLoad;
+pub use noftl_core::{PlacementPolicy, PlacementPolicyKind, QueueAware, RoundRobin};

@@ -1,4 +1,8 @@
-//! Helpers shared by the crash property-test suites.
+//! Helpers shared by the crash/equivalence property-test suites.
+//!
+//! Not every test binary uses every helper; dead-code warnings here only
+//! reflect per-binary slices of the shared module.
+#![allow(dead_code)]
 
 /// Deterministic SplitMix64 for picking cut fractions.
 pub fn splitmix(state: &mut u64) -> u64 {
