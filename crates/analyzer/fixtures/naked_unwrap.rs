@@ -1,0 +1,8 @@
+//! Seeded violation: a naked `.unwrap()` in production manager code.
+//! `self_check()` asserts the `panic_freedom` rule catches this.
+
+impl Manager {
+    fn region_or_die(&self, name: &str) -> RegionId {
+        self.region_id(name).unwrap()
+    }
+}

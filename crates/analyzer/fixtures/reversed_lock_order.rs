@@ -1,0 +1,12 @@
+//! Seeded violation: channel shard acquired before die shard, the
+//! reverse of the documented Manager < PendingIo < Queue < Die <
+//! Channel < Shared order.  `self_check()` asserts the `lock_order`
+//! rule catches this.
+
+impl Device {
+    fn mixed_up(&self, die: DieId, ch: u32) -> u64 {
+        let chan = self.channel_shard(ch);
+        let d = self.die_shard(die); // out of order: Channel(4) held, Die(3) requested
+        chan.busy_until.max(d.busy_until)
+    }
+}

@@ -1,0 +1,202 @@
+//! Queue-discipline rule.
+//!
+//! Two invariants around `CommandQueue`:
+//!
+//! 1. **No blocking device calls off the execute path.**  Completion
+//!    and poll paths in `queue.rs` must never call the blocking
+//!    `NandDevice` operations directly — those belong to the dedicated
+//!    execute/submit functions, where the queue lock is not held.
+//! 2. **Completion errors must be observed.**  A `Completion` carries the
+//!    device's error arm; dropping the result of `wait`/`poll`/`drain`
+//!    on the floor (`q.wait(h);` or `let _ = q.wait(h);`) silently
+//!    swallows media failures.
+
+use super::{is_method_call, FileView, RawFinding};
+
+/// Rule name for `analyzer:allow`.
+pub const RULE: &str = "queue_discipline";
+
+/// Blocking `NandDevice` entry points.
+const BLOCKING_DEVICE_CALLS: &[&str] =
+    &["read_page", "program_page", "erase_block", "copyback", "read_metadata"];
+
+/// Functions in `queue.rs` allowed to invoke the device directly.
+const EXECUTE_FNS: &[&str] = &["execute", "submit", "submit_batch"];
+
+/// Completion-bearing calls whose result must be consumed.
+const COMPLETION_CALLS: &[&str] = &["wait", "poll", "drain"];
+
+/// Crate roots the dropped-completion check applies to.
+const SCOPES: &[&str] = &["crates/flash/src", "crates/core/src"];
+
+/// Run the rule over one file.
+pub fn check(view: &FileView<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let toks = view.tokens;
+    let path = view.path.replace('\\', "/");
+
+    // Invariant 1: blocking device calls outside the execute path.
+    if path.ends_with("crates/flash/src/queue.rs") || path.ends_with("fixtures/queue.rs") {
+        for item in view.fn_items() {
+            if item.body.start < toks.len() && !view.is_production(item.body.start) {
+                continue;
+            }
+            if EXECUTE_FNS.contains(&item.name.as_str()) {
+                continue;
+            }
+            for i in item.body.clone() {
+                if BLOCKING_DEVICE_CALLS.contains(&toks[i].text.as_str())
+                    && is_method_call(toks, i, &toks[i].text)
+                {
+                    out.push(RawFinding {
+                        rule: RULE,
+                        line: toks[i].line,
+                        message: format!(
+                            "blocking device call `.{}()` reachable from `{}`; completion/poll \
+                             paths must not touch the NAND device directly",
+                            toks[i].text, item.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Invariant 2: dropped Completion results.
+    if !SCOPES.iter().any(|s| path.contains(s)) {
+        return out;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !view.is_production(i) || !COMPLETION_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !is_method_call(toks, i, &t.text) {
+            continue;
+        }
+        // `drain` is also a std collection method; the queue's variant is
+        // nullary, so an argument list (e.g. `vec.drain(..)`) exempts it.
+        if t.text == "drain" && !toks.get(i + 2).is_some_and(|n| n.is_punct(')')) {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 1) else { continue };
+        // Chained consumption (`?`, `.is_err()`, `.into_iter()`) counts
+        // as observing the result.
+        let consumed_after = toks.get(close + 1).is_some_and(|n| !n.is_punct(';'));
+        if consumed_after {
+            continue;
+        }
+        // Look back to the start of the statement for a binding or
+        // control-flow use of the value.
+        let start = statement_start(toks, i);
+        let discarded_into_underscore = toks[start..i]
+            .windows(3)
+            .any(|w| w[0].is_ident("let") && w[1].is_ident("_") && w[2].is_punct('='));
+        let bound = !discarded_into_underscore
+            && toks[start..i].iter().any(|t| {
+                t.is_punct('=')
+                    || t.is_ident("return")
+                    || t.is_ident("match")
+                    || t.is_ident("if")
+                    || t.is_ident("while")
+                    || t.is_ident("for")
+            });
+        if !bound {
+            out.push(RawFinding {
+                rule: RULE,
+                line: t.line,
+                message: format!(
+                    "result of `.{}()` is dropped; a Completion carries the device error and \
+                     must be checked",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[crate::lexer::Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Walk back from token `i` to the statement boundary (`;`, `{` or `}`).
+fn statement_start(toks: &[crate::lexer::Tok], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<RawFinding> {
+        let lexed = lex(src);
+        let view = FileView::new(path, &lexed.tokens);
+        check(&view)
+    }
+
+    #[test]
+    fn dropped_wait_is_flagged() {
+        let f = run("crates/flash/src/queue.rs", "fn f(q: &Q, h: H) { q.wait(h); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("dropped"));
+    }
+
+    #[test]
+    fn let_underscore_wait_is_flagged() {
+        let f = run("crates/core/src/manager.rs", "fn f(q: &Q, h: H) { let _ = q.wait(h); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn bound_wait_is_fine() {
+        let src = "fn f(q: &Q, h: H) -> R { let c = q.wait(h); if q.poll(h).is_some() { } c }";
+        assert!(run("crates/flash/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn propagated_wait_is_fine() {
+        let src = "fn f(q: &Q, h: H) -> Result<(), E> { q.wait(h)?; Ok(()) }";
+        assert!(run("crates/flash/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vec_drain_with_range_is_fine() {
+        let src = "fn f(v: &mut Vec<u8>) { v.drain(..); }";
+        assert!(run("crates/core/src/kv/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nullary_drain_dropped_is_flagged() {
+        let f = run("crates/flash/src/queue.rs", "fn f(q: &Q) { q.drain(); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn blocking_device_call_outside_execute_is_flagged() {
+        let src = "fn poll_inner(&self) { self.dev.read_page(a, b); }\nfn execute(&self) { self.dev.read_page(a, b); }";
+        let f = run("crates/flash/src/queue.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("poll_inner"));
+    }
+}

@@ -1,0 +1,10 @@
+//! The seeded-violation fixtures must be caught.  This is the same check
+//! CI runs via `noftl-analyzer --self-check`; duplicating it as a cargo
+//! test keeps plain `cargo test` honest about analyzer health.
+
+#[test]
+fn seeded_violations_are_detected_and_clean_fixture_passes() {
+    if let Err(e) = noftl_analyzer::self_check() {
+        panic!("analyzer self-check failed:\n{e}");
+    }
+}

@@ -1,0 +1,24 @@
+//! The real workspace sources must analyze clean.  This runs the same
+//! scan as `noftl-analyzer --deny-warnings` in CI: any new unwrap,
+//! out-of-order lock acquisition or dropped completion in the scoped
+//! crates fails `cargo test` locally before CI ever sees it.
+
+use std::path::PathBuf;
+
+#[test]
+fn flash_and_core_sources_have_no_findings() {
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let roots: Vec<PathBuf> =
+        noftl_analyzer::DEFAULT_ROOTS.iter().map(|r| workspace.join(r)).collect();
+    for root in &roots {
+        assert!(root.is_dir(), "analysis root missing: {}", root.display());
+    }
+    let analysis = noftl_analyzer::analyze_paths(&roots, Some(&workspace))
+        .expect("workspace sources are readable");
+    assert!(analysis.files_scanned > 10, "suspiciously few files scanned");
+    assert!(
+        analysis.findings.is_empty(),
+        "workspace has analyzer findings:\n{}",
+        analysis.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -87,10 +87,10 @@ pub fn parse_size(s: &str) -> Result<u64> {
     if s.is_empty() {
         return Err(ddl_err("empty size literal"));
     }
-    let (digits, suffix) = match s.chars().last().unwrap() {
-        'k' | 'K' => (&s[..s.len() - 1], 1024u64),
-        'm' | 'M' => (&s[..s.len() - 1], 1024 * 1024),
-        'g' | 'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+    let (digits, suffix) = match s.chars().last() {
+        Some('k' | 'K') => (&s[..s.len() - 1], 1024u64),
+        Some('m' | 'M') => (&s[..s.len() - 1], 1024 * 1024),
+        Some('g' | 'G') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
         _ => (s, 1),
     };
     digits

@@ -135,6 +135,9 @@ fn noftl_config(cfg: &KvCrashConfig) -> NoFtlConfig {
 }
 
 fn build_stack(cfg: &KvCrashConfig) -> Result<(Stack, SimTime)> {
+    // The infallible `Default` impl can only log a malformed placement
+    // override; here the harness can return it as a proper config error.
+    PlacementPolicyKind::try_from_env(cfg.placement)?;
     let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
     let noftl = Arc::new(NoFtl::new(Arc::clone(&device), noftl_config(cfg)));
     let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(cfg.region_dies))?;

@@ -572,8 +572,10 @@ impl KvStore {
         }
         inner.stats.compactions_started += 1;
         let started = at;
-        let seq_lo = sources.iter().map(|r| r.seq_lo).min().expect("non-empty");
-        let seq_hi = sources.iter().map(|r| r.seq_hi).max().expect("non-empty");
+        // `sources.len() >= 2` was checked above, so the fold always sees
+        // at least one run.
+        let (seq_lo, seq_hi) =
+            sources.iter().fold((u64::MAX, 0), |(lo, hi), r| (lo.min(r.seq_lo), hi.max(r.seq_hi)));
         // Tombstones may be dropped once no older run could still hold a
         // shadowed version of the key.
         let bottom = !inner.runs.iter().any(|r| r.seq_hi < seq_lo);

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use flash_sim::lockorder::{self, LockClass, TrackedGuard};
 use flash_sim::queue::{CmdHandle, CommandQueue, FlashCommand};
 use flash_sim::{BlockAddr, DieId, NandDevice, PageAddr, PageMetadata, PageState, SimTime};
 
@@ -81,7 +82,7 @@ pub struct NoFtl {
 
 impl std::fmt::Debug for NoFtl {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         f.debug_struct("NoFtl")
             .field("regions", &inner.region_by_name.len())
             .field("objects", &inner.object_by_name.len())
@@ -97,6 +98,7 @@ impl NoFtl {
     /// # Panics
     /// Panics if the configuration fails validation (a programming error).
     pub fn new(device: Arc<NandDevice>, config: NoFtlConfig) -> Self {
+        // analyzer:allow(panic_freedom) configuration failures are programming errors, documented under `# Panics`
         config.validate().unwrap_or_else(|e| panic!("invalid NoFTL configuration: {e}"));
         let free_dies: Vec<DieId> = device.geometry().dies().collect();
         NoFtl {
@@ -122,6 +124,7 @@ impl NoFtl {
         let noftl = Self::new(device, config);
         let rid = noftl
             .create_region(RegionSpec::named("rgAll").with_die_count(total))
+            // analyzer:allow(panic_freedom) a fresh manager has every die free, so one region spanning them all always fits
             .expect("single region over all dies always fits");
         (noftl, rid)
     }
@@ -136,6 +139,22 @@ impl NoFtl {
         &self.config
     }
 
+    /// Lock the manager state.  This is the sole acquisition site of the
+    /// manager lock, the first class in the documented lock order: it may
+    /// be held across queue and device calls (allocation and translation
+    /// commit must be atomic with respect to GC) but never acquired while
+    /// any later-ordered lock is held.
+    fn lock_inner(&self) -> TrackedGuard<'_, Inner> {
+        lockorder::lock_tracked(LockClass::Manager, &self.inner)
+    }
+
+    /// Lock the pending-I/O completion map.  Sole acquisition site of the
+    /// pending-io lock; held only for a map insert/remove, never across
+    /// device execution.
+    fn lock_pending_io(&self) -> TrackedGuard<'_, HashMap<u64, PendingIo>> {
+        lockorder::lock_tracked(LockClass::PendingIo, &self.pending_io)
+    }
+
     // ------------------------------------------------------------------
     // Region management
     // ------------------------------------------------------------------
@@ -144,7 +163,7 @@ impl NoFtl {
     /// the free pool, spread over as many channels as possible (or at most
     /// `max_channels` if the spec limits them).
     pub fn create_region(&self, spec: RegionSpec) -> Result<RegionId> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         if inner.region_by_name.contains_key(&spec.name) {
             return Err(NoFtlError::RegionExists { name: spec.name });
         }
@@ -198,7 +217,7 @@ impl NoFtl {
     /// its dies to the free pool.  Returns the time at which the erases
     /// complete.
     pub fn drop_region(&self, rid: RegionId, at: SimTime) -> Result<SimTime> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         if inner.meta.region == Some(rid) {
             return Err(NoFtlError::Recovery {
                 message: format!(
@@ -243,56 +262,56 @@ impl NoFtl {
 
     /// Look up a region id by name.
     pub fn region_id(&self, name: &str) -> Option<RegionId> {
-        self.inner.lock().region_by_name.get(name).copied()
+        self.lock_inner().region_by_name.get(name).copied()
     }
 
     /// Ids of all live regions.
     pub fn region_ids(&self) -> Vec<RegionId> {
-        self.inner.lock().regions.iter().filter_map(|r| r.as_ref().map(|r| r.id)).collect()
+        self.lock_inner().regions.iter().filter_map(|r| r.as_ref().map(|r| r.id)).collect()
     }
 
     /// Name of a region.
     pub fn region_name(&self, rid: RegionId) -> Result<String> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         Ok(Self::region_ref(&inner.regions, rid)?.name.clone())
     }
 
     /// Dies currently owned by a region.
     pub fn region_dies(&self, rid: RegionId) -> Result<Vec<DieId>> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         Ok(Self::region_ref(&inner.regions, rid)?.die_ids())
     }
 
     /// Statistics of a region.
     pub fn region_stats(&self, rid: RegionId) -> Result<RegionStats> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         Ok(Self::region_ref(&inner.regions, rid)?.stats.clone())
     }
 
     /// Configuration/occupancy snapshot of a region.
     pub fn region_info(&self, rid: RegionId) -> Result<crate::region::RegionInfo> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         Ok(Self::region_ref(&inner.regions, rid)?.info(self.device.geometry(), &self.config))
     }
 
     /// Number of dies still unassigned.
     pub fn free_die_count(&self) -> u32 {
-        self.inner.lock().free_dies.len() as u32
+        self.lock_inner().free_dies.len() as u32
     }
 
     /// Add `additional_dies` dies from the free pool to a region.
     pub fn grow_region(&self, rid: RegionId, additional_dies: u32) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         if (inner.free_dies.len() as u32) < additional_dies {
             return Err(NoFtlError::NotEnoughDies {
                 requested: additional_dies,
                 available: inner.free_dies.len() as u32,
             });
         }
-        let mut taken = Vec::with_capacity(additional_dies as usize);
-        for _ in 0..additional_dies {
-            taken.push(inner.free_dies.pop().expect("checked above"));
-        }
+        // Take from the tail in the same order repeated `pop()`s would.
+        let keep = inner.free_dies.len() - additional_dies as usize;
+        let mut taken = inner.free_dies.split_off(keep);
+        taken.reverse();
         let device = Arc::clone(&self.device);
         let region = Self::region_mut(&mut inner.regions, rid)?;
         for die in taken {
@@ -306,7 +325,7 @@ impl NoFtl {
     /// which the paper lists as a reason for dynamic region membership).
     /// Returns the completion time of the migration.
     pub fn shrink_region(&self, rid: RegionId, remove_dies: u32, at: SimTime) -> Result<SimTime> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let geo = *self.device.geometry();
         let region = Self::region_mut(&mut inner.regions, rid)?;
@@ -322,7 +341,7 @@ impl NoFtl {
         let mut done = at;
         let mut freed = Vec::new();
         for _ in 0..remove_dies {
-            let mut die = region.dies.pop().expect("length checked above");
+            let Some(mut die) = region.dies.pop() else { break };
             region.next_die = 0;
             // Collect every block that may hold valid pages.
             let mut blocks: Vec<flash_sim::BlockAddr> = die.used_blocks.drain(..).collect();
@@ -380,7 +399,7 @@ impl NoFtl {
 
     /// Register a new database object in a region.
     pub fn create_object(&self, name: &str, region: RegionId) -> Result<ObjectId> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         if inner.object_by_name.contains_key(name) {
             return Err(NoFtlError::ObjectExists { name: name.to_string() });
         }
@@ -402,12 +421,12 @@ impl NoFtl {
 
     /// Look up an object id by name.
     pub fn object_id(&self, name: &str) -> Option<ObjectId> {
-        self.inner.lock().object_by_name.get(name).copied()
+        self.lock_inner().object_by_name.get(name).copied()
     }
 
     /// Drop an object: all of its pages become invalid (reclaimable by GC).
     pub fn drop_object(&self, obj: ObjectId) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let state = inner
             .objects
@@ -427,7 +446,7 @@ impl NoFtl {
 
     /// Statistics snapshot of one object.
     pub fn object_stats(&self, obj: ObjectId) -> Result<ObjectStats> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         let state = Self::object_ref(&inner.objects, obj)?;
         Ok(ObjectStats {
             object_id: obj,
@@ -441,7 +460,7 @@ impl NoFtl {
 
     /// Statistics snapshots of all live objects.
     pub fn all_object_stats(&self) -> Vec<ObjectStats> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         inner
             .objects
             .iter()
@@ -463,7 +482,7 @@ impl NoFtl {
     /// Layers that manage families of objects (e.g. the NoFTL-KV run
     /// directory) use this to rediscover their members after a mount.
     pub fn objects_with_prefix(&self, prefix: &str) -> Vec<(ObjectId, String)> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         inner
             .objects
             .iter()
@@ -475,7 +494,7 @@ impl NoFtl {
 
     /// Number of live (mapped) pages of an object.
     pub fn object_pages(&self, obj: ObjectId) -> Result<u64> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         Ok(Self::object_ref(&inner.objects, obj)?.mapped_pages())
     }
 
@@ -483,7 +502,7 @@ impl NoFtl {
     /// plus one (0 for an empty object).  The DBMS layer uses this to size
     /// its extent allocation.
     pub fn object_extent(&self, obj: ObjectId) -> Result<u64> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         Ok(Self::object_ref(&inner.objects, obj)?.logical_extent())
     }
 
@@ -494,7 +513,7 @@ impl NoFtl {
     /// Read a logical page of an object.  Returns the payload and the
     /// completion time.
     pub fn read(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let (ppa, rid) = {
             let state = Self::object_mut(&mut inner.objects, obj)?;
@@ -514,7 +533,7 @@ impl NoFtl {
     /// completion time.
     pub fn write(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
         self.check_page_size(data)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let rid = Self::object_ref(&inner.objects, obj)?.region;
         let ppa = {
@@ -593,7 +612,7 @@ impl NoFtl {
         for (_, _, data) in writes {
             self.check_page_size(data)?;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let mut done = at;
         let mut first_err: Option<NoFtlError> = None;
@@ -691,8 +710,9 @@ impl NoFtl {
         let mut done = at;
         let mut failure: Option<NoFtlError> = None;
         for (obj, page, data) in writes {
-            if inflight.len() == window_cap {
-                let oldest = inflight.pop_front().expect("window is full");
+            if let Some(oldest) =
+                (inflight.len() == window_cap).then(|| inflight.pop_front()).flatten()
+            {
                 match self.wait_io(oldest) {
                     Ok((_, completed)) => {
                         done = done.max(completed);
@@ -736,7 +756,7 @@ impl NoFtl {
     /// simulated time; clients that want lock-free die parallelism drive
     /// a [`CommandQueue`] over the device directly.
     pub fn submit_read(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<CmdHandle> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let ppa = {
             let state = Self::object_mut(&mut inner.objects, obj)?;
@@ -754,8 +774,7 @@ impl NoFtl {
                 let region = Self::region_mut(&mut inner.regions, rid)?;
                 region.stats.host_reads += 1;
                 region.stats.read_latency_sum += completed - at;
-                self.pending_io
-                    .lock()
+                self.lock_pending_io()
                     .insert(handle.seq(), PendingIo { data: out.data, completed_at: completed });
                 Ok(handle)
             }
@@ -782,7 +801,7 @@ impl NoFtl {
         at: SimTime,
     ) -> Result<CmdHandle> {
         self.check_page_size(data)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let rid = Self::object_ref(&inner.objects, obj)?.region;
         let ppa = {
@@ -805,8 +824,7 @@ impl NoFtl {
             Ok(out) => {
                 let completed = out.outcome.completed_at;
                 Self::commit_program(&self.device, inner, obj, page, ppa, at, completed)?;
-                self.pending_io
-                    .lock()
+                self.lock_pending_io()
                     .insert(handle.seq(), PendingIo { data: Vec::new(), completed_at: completed });
                 Ok(handle)
             }
@@ -818,7 +836,7 @@ impl NoFtl {
     /// and the completion time.  Fails for a handle that was never
     /// returned by `submit_read`/`submit_write` or was already claimed.
     pub fn wait_io(&self, handle: CmdHandle) -> Result<(Vec<u8>, SimTime)> {
-        match self.pending_io.lock().remove(&handle.seq()) {
+        match self.lock_pending_io().remove(&handle.seq()) {
             Some(io) => Ok((io.data, io.completed_at)),
             None => Err(flash_sim::FlashError::UnknownHandle { handle: handle.seq() }.into()),
         }
@@ -850,7 +868,7 @@ impl NoFtl {
         for (_, _, data) in writes {
             self.check_page_size(data)?;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let mut staged: Vec<(ObjectId, u64, PageAddr, SimTime)> = Vec::with_capacity(writes.len());
         let mut failure: Option<NoFtlError> = None;
@@ -908,7 +926,7 @@ impl NoFtl {
     /// Release a logical page: its flash page becomes invalid and the
     /// translation is removed.
     pub fn free_page(&self, obj: ObjectId, page: u64) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let (old, rid) = {
             let state = Self::object_mut(&mut inner.objects, obj)?;
@@ -923,7 +941,7 @@ impl NoFtl {
 
     /// Aggregate statistics over all regions.
     pub fn stats(&self) -> NoFtlStats {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         let mut agg = NoFtlStats::default();
         for region in inner.regions.iter().flatten() {
             agg.accumulate(&region.stats);
@@ -938,13 +956,13 @@ impl NoFtl {
     /// Sequence number of the newest completed region-metadata checkpoint
     /// (0 if none has been taken yet).
     pub fn checkpoint_seq(&self) -> u64 {
-        self.inner.lock().meta.seq
+        self.lock_inner().meta.seq
     }
 
     /// The region hosting the region-metadata journal, if a checkpoint has
     /// been taken.
     pub fn meta_region(&self) -> Option<RegionId> {
-        self.inner.lock().meta.region
+        self.lock_inner().meta.region
     }
 
     /// Pick (and if necessary create) the region hosting checkpoint
@@ -952,7 +970,7 @@ impl NoFtl {
     /// otherwise the first live region.
     fn ensure_meta_region(&self) -> Result<RegionId> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.lock_inner();
             if let Some(rid) = inner.meta.region {
                 return Ok(rid);
             }
@@ -972,11 +990,14 @@ impl NoFtl {
             Ok(rid) => rid,
             // Present from a previous incarnation (e.g. after a remount).
             Err(NoFtlError::RegionExists { .. }) => {
-                self.region_id(META_REGION_NAME).expect("region exists")
+                self.region_id(META_REGION_NAME).ok_or_else(|| NoFtlError::Recovery {
+                    message: format!("region '{META_REGION_NAME}' exists but has no id entry"),
+                })?
             }
             Err(e) => return Err(e),
         };
-        self.inner.lock().meta.region = Some(rid);
+        // analyzer:allow(lock_order) two disjoint lock sections: the probe guard above is scoped out before create_region runs, then the choice is recorded
+        self.lock_inner().meta.region = Some(rid);
         Ok(rid)
     }
 
@@ -1002,7 +1023,7 @@ impl NoFtl {
     /// Returns the completion time of the slowest chunk program.
     pub fn checkpoint(&self, at: SimTime) -> Result<SimTime> {
         let rid = self.ensure_meta_region()?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         let seq = inner.meta.seq + 1;
         let image = CheckpointImage {
@@ -1319,7 +1340,10 @@ impl NoFtl {
                 }
                 report.orphaned_objects.push(obj);
             }
-            let state = objects[obj as usize].as_mut().expect("just ensured");
+            // The entry was installed just above when missing; a `None`
+            // here would mean the page's die has no owning region, and
+            // that case already `continue`d.
+            let Some(state) = objects[obj as usize].as_mut() else { continue };
             state.set_translation(lp, ppa);
             report.mapped_pages += 1;
             if epoch > image.epoch_watermark {

@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use flash_sim::{DieLoad, SimTime};
 
+use crate::error::NoFtlError;
 use crate::hotcold::{classify, ObjectProfile, Temperature};
 
 /// Environment variable overriding the default die-level placement policy
@@ -190,10 +191,41 @@ impl PlacementPolicyKind {
         }
     }
 
+    /// Resolve an optional [`PLACEMENT_ENV`] value: an unset variable
+    /// selects `default`; a set value must name a policy or the malformed
+    /// input is surfaced as a [`NoFtlError::Config`].  Pure so it can be
+    /// unit-tested without mutating the process environment.
+    pub fn parse_env_value(value: Option<&str>, default: Self) -> crate::Result<Self> {
+        match value {
+            None => Ok(default),
+            Some(v) => Self::parse(v).ok_or_else(|| NoFtlError::Config {
+                message: format!(
+                    "malformed {PLACEMENT_ENV} value '{v}': \
+                     expected round_robin/rr or queue_aware/qa"
+                ),
+            }),
+        }
+    }
+
+    /// The kind selected by the [`PLACEMENT_ENV`] environment variable:
+    /// `default` when unset, an error when set to an unparseable value.
+    /// Config-load paths that can return an error (the crash harnesses)
+    /// call this instead of [`PlacementPolicyKind::from_env`].
+    pub fn try_from_env(default: Self) -> crate::Result<Self> {
+        let value = std::env::var(PLACEMENT_ENV).ok();
+        Self::parse_env_value(value.as_deref(), default)
+    }
+
     /// The kind selected by the [`PLACEMENT_ENV`] environment variable,
-    /// or `default` when the variable is unset or unparseable.
+    /// or `default` when the variable is unset.  A malformed value is
+    /// *logged* and falls back to `default` — infallible contexts
+    /// (`Default` impls) cannot return the parse error, but they no
+    /// longer swallow it silently.
     pub fn from_env(default: Self) -> Self {
-        std::env::var(PLACEMENT_ENV).ok().and_then(|v| Self::parse(&v)).unwrap_or(default)
+        Self::try_from_env(default).unwrap_or_else(|e| {
+            eprintln!("noftl: {e}; falling back to {}", default.name());
+            default
+        })
     }
 
     /// The policy suggested for an object temperature: hot objects write
@@ -449,6 +481,46 @@ mod tests {
                 vec![profile("no_idx", 300, 1_000, 1_200), profile("o_idx", 400, 900, 800)],
             ),
         ]
+    }
+
+    #[test]
+    fn parse_env_value_accepts_all_spellings() {
+        for (input, want) in [
+            ("round_robin", PlacementPolicyKind::RoundRobin),
+            ("rr", PlacementPolicyKind::RoundRobin),
+            ("Round-Robin", PlacementPolicyKind::RoundRobin),
+            ("queue_aware", PlacementPolicyKind::QueueAware),
+            ("QA", PlacementPolicyKind::QueueAware),
+            (" queueaware ", PlacementPolicyKind::QueueAware),
+        ] {
+            let got =
+                PlacementPolicyKind::parse_env_value(Some(input), PlacementPolicyKind::RoundRobin)
+                    .unwrap();
+            assert_eq!(got, want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn parse_env_value_unset_selects_the_default() {
+        for default in [PlacementPolicyKind::RoundRobin, PlacementPolicyKind::QueueAware] {
+            assert_eq!(PlacementPolicyKind::parse_env_value(None, default).unwrap(), default);
+        }
+    }
+
+    #[test]
+    fn parse_env_value_rejects_malformed_input_instead_of_falling_back() {
+        let err = PlacementPolicyKind::parse_env_value(
+            Some("queue_awrae"),
+            PlacementPolicyKind::RoundRobin,
+        )
+        .unwrap_err();
+        match err {
+            NoFtlError::Config { message } => {
+                assert!(message.contains("queue_awrae"), "names the bad input: {message}");
+                assert!(message.contains(PLACEMENT_ENV), "names the variable: {message}");
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -186,6 +186,9 @@ fn noftl_config(cfg: &CrashHarnessConfig) -> NoFtlConfig {
 }
 
 fn build_stack(cfg: &CrashHarnessConfig) -> Result<(Stack, SimTime)> {
+    // The infallible `Default` impl can only log a malformed placement
+    // override; here the harness can return it as a proper config error.
+    PlacementPolicyKind::try_from_env(cfg.placement)?;
     let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
     let noftl = Arc::new(NoFtl::new(Arc::clone(&device), noftl_config(cfg)));
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement())?);

@@ -15,11 +15,15 @@
 //! therefore never contend on a common lock — the host-side analogue of
 //! the die-level parallelism the timing model already exposes.  The lock
 //! hierarchy is fixed (die → channel → shared) so operations that touch a
-//! die and its channel cannot deadlock.
+//! die and its channel cannot deadlock.  Every acquisition goes through
+//! one choke point per class (`die_shard`, `channel_shard`,
+//! `shared_shard`, `lock_all_dies`), which the [`crate::lockorder`]
+//! sanitizer checks against the documented order in debug builds and the
+//! `noftl-analyzer` lock-order rule checks statically.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::Mutex;
 
 use crate::addr::{BlockAddr, DieId, PageAddr};
 use crate::badblock::BadBlockPolicy;
@@ -27,6 +31,7 @@ use crate::block::{Block, BlockInfo, BlockSnapshot, BlockState, PageState};
 use crate::die::{Channel, Die};
 use crate::error::FlashError;
 use crate::geometry::FlashGeometry;
+use crate::lockorder::{self, LockClass, TrackedGuard};
 use crate::metadata::PageMetadata;
 use crate::sched;
 use crate::stats::{DeviceStats, DieStats, UtilizationSummary, WearSummary};
@@ -130,6 +135,7 @@ impl DeviceBuilder {
     /// Panics if the geometry fails validation; geometry errors are
     /// programming errors, not runtime conditions.
     pub fn build(self) -> NandDevice {
+        // analyzer:allow(panic_freedom) geometry failures are programming errors, documented under `# Panics`
         self.geometry.validate().unwrap_or_else(|e| panic!("invalid flash geometry: {e}"));
         let g = self.geometry;
         let mut dies: Vec<Die> = (0..g.total_dies())
@@ -257,7 +263,7 @@ impl NandDevice {
 
     /// Record a failed operation in the aggregate statistics.
     fn note_error(&self) {
-        self.shared.lock().stats.errors += 1;
+        self.shared_shard().stats.errors += 1;
     }
 
     /// Fail if the device has already lost power at `at`.
@@ -288,9 +294,23 @@ impl NandDevice {
     }
 
     /// Lock the shard owning `die`.  Addresses are bounds-checked before
-    /// this is called.
-    fn die_shard(&self, die: DieId) -> MutexGuard<'_, Die> {
-        self.dies[die.0 as usize].lock()
+    /// this is called.  This is the sole acquisition site of die shards.
+    fn die_shard(&self, die: DieId) -> TrackedGuard<'_, Die> {
+        lockorder::lock_tracked(LockClass::Die(die.0), &self.dies[die.0 as usize])
+    }
+
+    /// Lock channel `ch`'s transfer-bus shard.  This is the sole
+    /// acquisition site of channel shards; it must only be reached while
+    /// no later-ordered lock is held.
+    fn channel_shard(&self, ch: u32) -> TrackedGuard<'_, Channel> {
+        lockorder::lock_tracked(LockClass::Channel(ch), &self.channels[ch as usize])
+    }
+
+    /// Lock the device-global shared section (stats + trace).  This is
+    /// the sole acquisition site of the shared shard and the last lock in
+    /// the documented order.
+    fn shared_shard(&self) -> TrackedGuard<'_, Shared> {
+        lockorder::lock_tracked(LockClass::Shared, &self.shared)
     }
 
     /// Read a page: returns the payload (empty if the device does not store
@@ -302,7 +322,7 @@ impl NandDevice {
     ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
         self.check_page(addr)?;
         self.check_powered(at)?;
-        let ch = self.geometry.channel_of_die(addr.die) as usize;
+        let ch = self.geometry.channel_of_die(addr.die);
         let mut die = self.die_shard(addr.die);
         {
             let block = &die.planes[addr.plane as usize].blocks[addr.block as usize];
@@ -316,7 +336,7 @@ impl NandDevice {
             }
         }
         let sched = {
-            let mut chan = self.channels[ch].lock();
+            let mut chan = self.channel_shard(ch);
             sched::schedule_read(&mut die, &mut chan, &self.timing, at, self.geometry.page_size)
         };
         // A read whose result would only arrive after the power cut never
@@ -339,7 +359,7 @@ impl NandDevice {
             Vec::new()
         };
         let meta = block.meta[addr.page as usize];
-        let mut shared = self.shared.lock();
+        let mut shared = self.shared_shard();
         shared.stats.page_reads += 1;
         shared.stats.bytes_transferred += self.geometry.page_size as u64;
         shared.stats.read_latency_sum += sched.complete - at;
@@ -365,7 +385,7 @@ impl NandDevice {
     ) -> Result<(Option<PageMetadata>, OpOutcome)> {
         self.check_page(addr)?;
         self.check_powered(at)?;
-        let ch = self.geometry.channel_of_die(addr.die) as usize;
+        let ch = self.geometry.channel_of_die(addr.die);
         let mut die = self.die_shard(addr.die);
         {
             let block = &die.planes[addr.plane as usize].blocks[addr.block as usize];
@@ -375,7 +395,7 @@ impl NandDevice {
             }
         }
         let sched = {
-            let mut chan = self.channels[ch].lock();
+            let mut chan = self.channel_shard(ch);
             sched::schedule_metadata_read(
                 &mut die,
                 &mut chan,
@@ -392,7 +412,7 @@ impl NandDevice {
         }
         let meta =
             die.planes[addr.plane as usize].blocks[addr.block as usize].meta[addr.page as usize];
-        let mut shared = self.shared.lock();
+        let mut shared = self.shared_shard();
         shared.stats.metadata_reads += 1;
         shared.stats.bytes_transferred += self.geometry.oob_size as u64;
         shared.stats.queue_depth_hwm = shared.stats.queue_depth_hwm.max(sched.depth as u64);
@@ -427,7 +447,7 @@ impl NandDevice {
             });
         }
         self.check_powered(at)?;
-        let ch = self.geometry.channel_of_die(addr.die) as usize;
+        let ch = self.geometry.channel_of_die(addr.die);
         let mut die = self.die_shard(addr.die);
         {
             let block = &die.planes[addr.plane as usize].blocks[addr.block as usize];
@@ -451,7 +471,7 @@ impl NandDevice {
             meta.epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         }
         let sched = {
-            let mut chan = self.channels[ch].lock();
+            let mut chan = self.channel_shard(ch);
             sched::schedule_program(&mut die, &mut chan, &self.timing, at, self.geometry.page_size)
         };
         let pages_per_block = self.geometry.pages_per_block;
@@ -514,7 +534,7 @@ impl NandDevice {
         block.write_ptr = addr.page + 1;
         block.state =
             if block.write_ptr == pages_per_block { BlockState::Full } else { BlockState::Open };
-        let mut shared = self.shared.lock();
+        let mut shared = self.shared_shard();
         shared.stats.page_programs += 1;
         shared.stats.bytes_transferred += self.geometry.page_size as u64;
         shared.stats.program_latency_sum += sched.complete - at;
@@ -574,7 +594,7 @@ impl NandDevice {
         let block = &mut die.planes[addr.plane as usize].blocks[addr.block as usize];
         block.reset_erased();
         block.erase_count += 1;
-        let mut shared = self.shared.lock();
+        let mut shared = self.shared_shard();
         shared.stats.block_erases += 1;
         shared.stats.erase_latency_sum += sched.complete - at;
         shared.stats.queue_depth_hwm = shared.stats.queue_depth_hwm.max(sched.depth as u64);
@@ -704,7 +724,7 @@ impl NandDevice {
             sblock.pages[src.page as usize] = PageState::Invalid;
             sblock.valid_pages = sblock.valid_pages.saturating_sub(1);
         }
-        let mut shared = self.shared.lock();
+        let mut shared = self.shared_shard();
         shared.stats.copybacks += 1;
         shared.stats.copyback_latency_sum += sched.complete - at;
         shared.stats.queue_depth_hwm = shared.stats.queue_depth_hwm.max(sched.depth as u64);
@@ -764,22 +784,31 @@ impl NandDevice {
 
     /// Aggregate device statistics.
     pub fn stats(&self) -> DeviceStats {
-        self.shared.lock().stats.clone()
+        self.shared_shard().stats.clone()
     }
 
     /// Latest completion time over all dies and channels — i.e. when the
     /// device becomes fully idle given the operations issued so far.
     pub fn quiesce_time(&self) -> SimTime {
-        let die_max = self.dies.iter().map(|d| d.lock().busy_until).max().unwrap_or(SimTime::ZERO);
-        let ch_max =
-            self.channels.iter().map(|c| c.lock().busy_until).max().unwrap_or(SimTime::ZERO);
+        let die_max = (0..self.dies.len())
+            .map(|i| self.die_shard(DieId(i as u32)).busy_until)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let ch_max = (0..self.channels.len())
+            .map(|i| self.channel_shard(i as u32).busy_until)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         die_max.max(ch_max)
     }
 
     /// Busy-until time of a single die (used by allocation policies that
-    /// prefer idle dies).
+    /// prefer idle dies).  An out-of-range die reports as idle.
     pub fn die_busy_until(&self, die: DieId) -> SimTime {
-        self.dies.get(die.0 as usize).map(|d| d.lock().busy_until).unwrap_or(SimTime::ZERO)
+        if (die.0 as usize) < self.dies.len() {
+            self.die_shard(die).busy_until
+        } else {
+            SimTime::ZERO
+        }
     }
 
     /// Instantaneous load snapshot of one die as of `at`: when its current
@@ -788,23 +817,20 @@ impl NandDevice {
     /// shard lock, no allocation, and purely observational (the timing
     /// state is not perturbed).  An out-of-range die reports as idle.
     pub fn die_load(&self, die: DieId, at: SimTime) -> DieLoad {
-        self.dies
-            .get(die.0 as usize)
-            .map(|d| {
-                let d = d.lock();
-                DieLoad { busy_until: d.busy_until, queue_depth: d.pending_at(at) }
-            })
-            .unwrap_or_default()
+        if (die.0 as usize) >= self.dies.len() {
+            return DieLoad::default();
+        }
+        let d = self.die_shard(die);
+        DieLoad { busy_until: d.busy_until, queue_depth: d.pending_at(at) }
     }
 
     /// Load snapshots of every die as of `at`, indexed by die id.  Shards
     /// are locked one at a time (not all at once), so concurrent I/O on
     /// other dies is never stalled by a load scan.
     pub fn die_loads(&self, at: SimTime) -> Vec<DieLoad> {
-        self.dies
-            .iter()
-            .map(|d| {
-                let d = d.lock();
+        (0..self.dies.len())
+            .map(|i| {
+                let d = self.die_shard(DieId(i as u32));
                 DieLoad { busy_until: d.busy_until, queue_depth: d.pending_at(at) }
             })
             .collect()
@@ -831,7 +857,9 @@ impl NandDevice {
 
     /// Per-die statistics.
     pub fn die_stats(&self) -> Vec<DieStats> {
-        self.dies.iter().map(|d| Self::die_stats_from(&d.lock())).collect()
+        (0..self.dies.len())
+            .map(|i| Self::die_stats_from(&self.die_shard(DieId(i as u32))))
+            .collect()
     }
 
     /// Utilisation summary over the whole device: per-die busy fraction of
@@ -844,7 +872,7 @@ impl NandDevice {
         UtilizationSummary::from_die_stats(&self.die_stats(), elapsed)
     }
 
-    fn wear_summary_from(dies: &[MutexGuard<'_, Die>]) -> WearSummary {
+    fn wear_summary_from(dies: &[TrackedGuard<'_, Die>]) -> WearSummary {
         let mut bad = 0u64;
         let counts: Vec<u64> = dies
             .iter()
@@ -860,10 +888,10 @@ impl NandDevice {
         WearSummary::from_counts(counts.into_iter(), bad)
     }
 
-    /// Lock every die shard in index order (the only sanctioned way to
-    /// observe a consistent multi-die image).
-    fn lock_all_dies(&self) -> Vec<MutexGuard<'_, Die>> {
-        self.dies.iter().map(|d| d.lock()).collect()
+    /// Lock every die shard in ascending index order (the only sanctioned
+    /// way to observe a consistent multi-die image).
+    fn lock_all_dies(&self) -> Vec<TrackedGuard<'_, Die>> {
+        (0..self.dies.len()).map(|i| self.die_shard(DieId(i as u32))).collect()
     }
 
     /// Wear distribution over the whole device.
@@ -920,7 +948,7 @@ impl NandDevice {
     /// rebuilt into a live device with [`NandDevice::from_snapshot`].
     pub fn snapshot(&self) -> DeviceSnapshot {
         let dies = self.lock_all_dies();
-        let shared = self.shared.lock();
+        let shared = self.shared_shard();
         DeviceSnapshot {
             stats: shared.stats.clone(),
             die_stats: dies.iter().map(|d| Self::die_stats_from(d)).collect(),
@@ -973,15 +1001,17 @@ impl NandDevice {
                 }
             }
         }
-        let mut block_iter = snap.blocks.iter();
-        let dies: Vec<Die> = (0..g.total_dies())
-            .map(|_| {
+        // `total_blocks == total_dies * blocks_per_die` was validated
+        // above, so chunking yields exactly one full chunk per die.
+        let dies: Vec<Die> = snap
+            .blocks
+            .chunks(g.blocks_per_die() as usize)
+            .map(|chunk| {
                 let mut die = Die::new(g.planes_per_die, g.blocks_per_plane, g.pages_per_block);
-                for plane in &mut die.planes {
-                    for block in &mut plane.blocks {
-                        *block =
-                            Block::from_snapshot(block_iter.next().expect("length checked above"));
-                    }
+                for (slot, snapshot) in
+                    die.planes.iter_mut().flat_map(|p| p.blocks.iter_mut()).zip(chunk)
+                {
+                    *slot = Block::from_snapshot(snapshot);
                 }
                 die
             })
@@ -1002,7 +1032,7 @@ impl NandDevice {
 
     /// Retained operation trace (oldest first); empty when tracing is off.
     pub fn trace(&self) -> Vec<FlashOp> {
-        self.shared.lock().trace.ops().copied().collect()
+        self.shared_shard().trace.ops().copied().collect()
     }
 }
 
@@ -1466,6 +1496,18 @@ mod tests {
         let (data, meta, _) = d.read_page(p, SimTime::ZERO).unwrap();
         assert!(data.is_empty());
         assert_eq!(meta.unwrap().logical_page, 5);
+    }
+
+    /// Satellite requirement of the lock-order sanitizer: taking a channel
+    /// shard before its die shard is a lock-order violation and must panic
+    /// in debug builds before the thread can block on the mutex.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn channel_shard_before_die_shard_panics_in_debug() {
+        let d = dev();
+        let _chan = d.channel_shard(0);
+        let _die = d.die_shard(DieId(0));
     }
 
     #[test]

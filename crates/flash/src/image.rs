@@ -66,10 +66,12 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
+        // analyzer:allow(panic_freedom) take(4) returned exactly 4 bytes, so the fixed-array conversion cannot fail
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
     fn u64(&mut self) -> Result<u64> {
+        // analyzer:allow(panic_freedom) take(8) returned exactly 8 bytes, so the fixed-array conversion cannot fail
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 }
@@ -200,6 +202,7 @@ impl DeviceSnapshot {
             return Err(err("image too short"));
         }
         let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        // analyzer:allow(panic_freedom) split_at(len - 4) yields exactly 4 trailing bytes, so the fixed-array conversion cannot fail
         let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
         if crc32(body) != stored {
             return Err(err("image checksum mismatch (corrupted or truncated file)"));

@@ -63,6 +63,7 @@ pub mod die;
 pub mod error;
 pub mod geometry;
 pub mod image;
+pub mod lockorder;
 pub mod metadata;
 pub mod queue;
 pub mod sched;
@@ -78,6 +79,7 @@ pub use crc::crc32;
 pub use device::{DeviceBuilder, DeviceSnapshot, DieLoad, NandDevice, OpOutcome};
 pub use error::FlashError;
 pub use geometry::FlashGeometry;
+pub use lockorder::{LockClass, TrackedGuard};
 pub use metadata::PageMetadata;
 pub use queue::{CmdHandle, CmdOutput, CommandQueue, Completion, FlashCommand, QueueStats};
 pub use stats::{DeviceStats, DieStats, UtilizationSummary, WearSummary};

@@ -1,0 +1,294 @@
+//! Runtime lock-order sanitizer for the workspace's shard locks.
+//!
+//! The repository's documented lock hierarchy is a single total order:
+//!
+//! ```text
+//! manager → pending-io → queue → die(id) → channel(id) → shared
+//! ```
+//!
+//! with ascending ids inside the `die`/`channel` classes.  Every shard-lock
+//! acquisition in `crates/flash` and `crates/core` goes through one choke
+//! point per lock class ([`lock_tracked`] behind `die_shard`,
+//! `channel_shard`, `shared_shard`, `queue_shard`, `lock_inner`,
+//! `lock_pending_io`), so in debug builds each acquisition is recorded on a
+//! thread-local held-lock stack and checked against the order *before* the
+//! thread blocks on the mutex: a would-be deadlock panics with a message
+//! naming both locks instead of hanging the test suite.
+//!
+//! In release builds [`LockToken`] is a zero-sized type with no `Drop`
+//! impl and [`acquire`] compiles down to nothing — the sanitizer adds zero
+//! overhead to the benchmarked hot path.
+//!
+//! The static companion of this module is the `noftl-analyzer` crate,
+//! whose lock-order rule checks the same total order on the acquisition
+//! sites at lint time; this module validates the model dynamically on
+//! every tier-1 and crash-harness run.
+//!
+//! ```
+//! use flash_sim::lockorder::{acquire, LockClass};
+//!
+//! // Ascending acquisitions are fine; tokens release on drop.
+//! let die = acquire(LockClass::Die(0));
+//! let chan = acquire(LockClass::Channel(0));
+//! let shared = acquire(LockClass::Shared);
+//! drop((shared, chan, die));
+//! ```
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// The lock classes of the workspace, in their documented acquisition
+/// order.  The derived `Ord` **is** the lock order: a lock may only be
+/// acquired while every currently-held lock compares strictly smaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    /// `noftl-core`'s manager state (`NoFtl::inner`).
+    Manager,
+    /// `noftl-core`'s pending-I/O completion map.
+    PendingIo,
+    /// The command queue's submission state (`CommandQueue::inner`).
+    Queue,
+    /// A per-die device shard, ordered by die id.
+    Die(u32),
+    /// A per-channel device shard, ordered by channel id.
+    Channel(u32),
+    /// The device's thin shared section (aggregate stats + trace).
+    Shared,
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockClass::Manager => write!(f, "manager"),
+            LockClass::PendingIo => write!(f, "pending-io"),
+            LockClass::Queue => write!(f, "queue"),
+            LockClass::Die(id) => write!(f, "die({id})"),
+            LockClass::Channel(id) => write!(f, "channel({id})"),
+            LockClass::Shared => write!(f, "shared"),
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// The lock classes held by this thread, in acquisition order.
+    static HELD: std::cell::RefCell<Vec<LockClass>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Proof of a recorded lock acquisition.
+///
+/// In debug builds the token carries its [`LockClass`] and pops it from
+/// the thread-local held stack on drop; in release builds it is a
+/// zero-sized type with no `Drop` impl.
+#[must_use = "dropping the token immediately unrecords the acquisition"]
+pub struct LockToken {
+    #[cfg(debug_assertions)]
+    class: LockClass,
+}
+
+/// Record the acquisition of `class` on this thread's held-lock stack,
+/// panicking if it violates the documented order.
+///
+/// The check runs *before* the caller blocks on the mutex (see
+/// [`lock_tracked`]), so an out-of-order acquisition that could deadlock
+/// panics deterministically instead of hanging.
+///
+/// # Panics
+/// In debug builds, panics when `class` is already held by this thread
+/// (recursive acquisition) or does not compare strictly greater than
+/// every held lock (out-of-order acquisition).  Release builds never
+/// panic — the function is a no-op.
+#[inline]
+pub fn acquire(class: LockClass) -> LockToken {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|held| {
+            let held = held.borrow();
+            for &h in held.iter() {
+                if h == class {
+                    // analyzer:allow(panic_freedom) the sanitizer's entire purpose is to panic on a violation; debug builds only
+                    panic!(
+                        "lock-order violation: recursive acquisition of {class} \
+                         (already held by this thread)"
+                    );
+                }
+                if class < h {
+                    // analyzer:allow(panic_freedom) the sanitizer's entire purpose is to panic on a violation; debug builds only
+                    panic!(
+                        "lock-order violation: acquiring {class} while holding {h}; \
+                         the documented order is \
+                         manager -> pending-io -> queue -> die -> channel -> shared, \
+                         ascending ids within a class"
+                    );
+                }
+            }
+        });
+        HELD.with(|held| held.borrow_mut().push(class));
+        LockToken { class }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = class;
+        LockToken {}
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for LockToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Guards are not always released in LIFO order (e.g. a caller
+            // may drop a die guard before a later-acquired shared guard),
+            // so remove by search rather than popping the top.
+            if let Some(pos) = held.iter().rposition(|&c| c == self.class) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Number of locks the current thread holds (always 0 in release builds,
+/// where nothing is recorded).  Exposed for tests.
+pub fn held_depth() -> usize {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|held| held.borrow().len())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// A [`MutexGuard`] bundled with its [`LockToken`]: dropping the guard
+/// releases the mutex first, then unrecords the acquisition.
+pub struct TrackedGuard<'a, T: ?Sized> {
+    guard: MutexGuard<'a, T>,
+    _token: LockToken,
+}
+
+impl<T: ?Sized> Deref for TrackedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for TrackedGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.guard.fmt(f)
+    }
+}
+
+/// Acquire `mutex` as lock class `class`: the order check and the held
+/// stack recording happen **before** blocking on the mutex, so a
+/// would-be deadlock panics (debug builds) instead of hanging.
+#[inline]
+pub fn lock_tracked<'a, T: ?Sized>(class: LockClass, mutex: &'a Mutex<T>) -> TrackedGuard<'a, T> {
+    let token = acquire(class);
+    TrackedGuard { guard: mutex.lock(), _token: token }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_classes_order_matches_documentation() {
+        assert!(LockClass::Manager < LockClass::PendingIo);
+        assert!(LockClass::PendingIo < LockClass::Queue);
+        assert!(LockClass::Queue < LockClass::Die(0));
+        assert!(LockClass::Die(7) < LockClass::Channel(0));
+        assert!(LockClass::Channel(3) < LockClass::Shared);
+        assert!(LockClass::Die(1) < LockClass::Die(2));
+        assert!(LockClass::Channel(0) < LockClass::Channel(1));
+    }
+
+    #[cfg(debug_assertions)]
+    mod debug_build {
+        use super::*;
+
+        #[test]
+        fn ascending_acquisitions_are_recorded_and_released() {
+            assert_eq!(held_depth(), 0);
+            let a = acquire(LockClass::Die(0));
+            let b = acquire(LockClass::Channel(0));
+            let c = acquire(LockClass::Shared);
+            assert_eq!(held_depth(), 3);
+            // Non-LIFO release must unrecord correctly too.
+            drop(b);
+            assert_eq!(held_depth(), 2);
+            drop((a, c));
+            assert_eq!(held_depth(), 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order violation")]
+        fn channel_before_die_panics() {
+            let _chan = acquire(LockClass::Channel(0));
+            let _die = acquire(LockClass::Die(0));
+        }
+
+        #[test]
+        #[should_panic(expected = "recursive acquisition")]
+        fn recursive_acquisition_panics() {
+            let _a = acquire(LockClass::Shared);
+            let _b = acquire(LockClass::Shared);
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order violation")]
+        fn descending_die_ids_panic() {
+            let _hi = acquire(LockClass::Die(3));
+            let _lo = acquire(LockClass::Die(1));
+        }
+
+        #[test]
+        fn manager_may_nest_device_shards() {
+            let _m = acquire(LockClass::Manager);
+            let _p = acquire(LockClass::PendingIo);
+            let _q = acquire(LockClass::Queue);
+            let _d = acquire(LockClass::Die(0));
+            assert_eq!(held_depth(), 4);
+        }
+
+        #[test]
+        fn tracked_guard_releases_mutex_before_unrecording() {
+            let m = Mutex::new(5u32);
+            {
+                let mut g = lock_tracked(LockClass::Shared, &m);
+                *g += 1;
+                assert_eq!(held_depth(), 1);
+            }
+            assert_eq!(held_depth(), 0);
+            assert_eq!(*m.lock(), 6);
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    mod release_build {
+        use super::*;
+
+        #[test]
+        fn sanitizer_is_a_zero_cost_no_op() {
+            // Zero-sized token, nothing recorded, and out-of-order
+            // acquisition does not panic: the release hot path pays
+            // nothing for the sanitizer.
+            assert_eq!(std::mem::size_of::<LockToken>(), 0);
+            let _chan = acquire(LockClass::Channel(0));
+            let _die = acquire(LockClass::Die(0));
+            assert_eq!(held_depth(), 0);
+        }
+    }
+}
