@@ -1,9 +1,10 @@
 //! Panic-freedom rule.
 //!
-//! Production code in `crates/flash/src` and `crates/core/src` must not
-//! contain `unwrap`/`expect` calls or `panic!`-family macros: on the
-//! device hot path a panic poisons shard mutexes and takes the whole
-//! simulated SSD down.  Direct slice indexing is additionally denied in
+//! Production code in `crates/flash/src`, `crates/core/src` and
+//! `crates/obs/src` must not contain `unwrap`/`expect` calls or
+//! `panic!`-family macros: on the device hot path a panic poisons shard
+//! mutexes and takes the whole simulated SSD down, and the
+//! observability layer is instrumented into those same paths.  Direct slice indexing is additionally denied in
 //! the files on the per-command hot path, where a slip past a bounds
 //! check is most likely and most costly.
 //!
@@ -28,7 +29,7 @@ const HOT_PATH_FILES: &[&str] =
     &["src/queue.rs", "src/sched.rs", "src/flusher.rs", "src/atomic.rs"];
 
 /// Crate roots (by path substring) the rule applies to.
-const SCOPES: &[&str] = &["crates/flash/src", "crates/core/src"];
+const SCOPES: &[&str] = &["crates/flash/src", "crates/core/src", "crates/obs/src"];
 
 /// Does the rule apply to this file at all?
 pub fn in_scope(path: &str) -> bool {

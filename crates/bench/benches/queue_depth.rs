@@ -32,20 +32,24 @@ use flash_sim::{
     UtilizationSummary,
 };
 use noftl_bench::smoke;
+use noftl_obs::MetricsSnapshot;
 
 fn device() -> Arc<NandDevice> {
     Arc::new(DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build())
 }
 
-/// Render the per-die busy fractions of a utilization summary, so skew
-/// between dies is visible (not just the mean/min/max aggregate).
-fn per_die_report(label: &str, util: &UtilizationSummary) {
+/// Render the per-die busy fractions, so skew between dies is visible
+/// (not just the mean/min/max aggregate).  The fractions come out of the
+/// stack's metrics registry (`flash.die<i>.busy_ns` over the quiesce
+/// gauge) rather than a bespoke bench-side counter pass; the aggregate
+/// line still uses the device's [`UtilizationSummary`].
+fn per_die_report(label: &str, util: &UtilizationSummary, snap: &MetricsSnapshot) {
     println!(
         "  {label} utilization: mean {:.2} min {:.2} max {:.2}, depth hwm {}",
         util.mean, util.min, util.max, util.queue_depth_hwm,
     );
     print!("    per die:");
-    for (die, busy) in util.per_die.iter().enumerate() {
+    for (die, busy) in smoke::per_die_busy_fractions(snap).iter().enumerate() {
         print!(" d{die}={busy:.2}");
     }
     println!();
@@ -74,9 +78,9 @@ fn simulated_reports() {
     let cmp = smoke::write_batch_comparison(pages);
     println!("write_batch over a 4-die region, {pages} pages:");
     println!("  queued:     {:>10.1} us simulated", cmp.queued.as_secs_f64() * 1e6);
-    per_die_report("queued", &cmp.queued_util);
+    per_die_report("queued", &cmp.queued_util, &cmp.queued_metrics);
     println!("  sequential: {:>10.1} us simulated", cmp.sequential.as_secs_f64() * 1e6);
-    per_die_report("sequential", &cmp.sequential_util);
+    per_die_report("sequential", &cmp.sequential_util, &cmp.sequential_metrics);
     println!("  speedup: {:.2}x", cmp.speedup());
     assert!(
         cmp.queued < cmp.sequential,
@@ -91,10 +95,17 @@ fn simulated_reports() {
     let skew = smoke::skewed_flush_comparison(pages, 3);
     println!("skewed-load flush, {pages} pages, erase storm on half the dies:");
     println!("  round-robin: {:>10.1} us simulated", skew.round_robin.as_secs_f64() * 1e6);
-    per_die_report("round-robin", &skew.rr_util);
+    per_die_report("round-robin", &skew.rr_util, &skew.rr_metrics);
     println!("  queue-aware: {:>10.1} us simulated", skew.queue_aware.as_secs_f64() * 1e6);
-    per_die_report("queue-aware", &skew.qa_util);
+    per_die_report("queue-aware", &skew.qa_util, &skew.qa_metrics);
     println!("  speedup: {:.2}x", skew.speedup());
+    // The flusher window HWM is read from the registry too — the same
+    // number `FlusherStats::inflight_hwm` used to be printed from.
+    for (label, snap) in [("round-robin", &skew.rr_metrics), ("queue-aware", &skew.qa_metrics)] {
+        if let Some(hwm) = snap.gauge("core.flusher.inflight_hwm") {
+            println!("  {label} flusher in-flight hwm: {hwm}");
+        }
+    }
     assert!(
         skew.queue_aware < skew.round_robin,
         "queue-aware flush must beat round-robin under skew ({:?} vs {:?})",

@@ -1,18 +1,21 @@
 //! CI perf-smoke harness: run the headline measurements of the
 //! `queue_depth` (incl. the skewed-load placement comparison), `kv_ops`
-//! and `recovery` benches in quick mode, write them to a `BENCH_PR5.json`
-//! perf-trajectory point and optionally gate against a committed
-//! baseline point.
+//! and `recovery` benches in quick mode — plus the `latency` section's
+//! histogram percentiles read back out of the shared metrics registry —
+//! write them to a `BENCH_PR7.json` perf-trajectory point and optionally
+//! gate against a committed baseline point.
 //!
 //! ```text
 //! cargo run --release -p noftl-bench --bin perf_smoke -- \
-//!     --out BENCH_PR5.json --compare BENCH_PR4.json
+//!     --out BENCH_PR7.json --compare BENCH_PR6.json
 //! ```
 //!
-//! Flags: `--out <path>` (default `BENCH_PR5.json`), `--full` for the
+//! Flags: `--out <path>` (default `BENCH_PR7.json`), `--full` for the
 //! larger workloads, `--compare <baseline.json>` to fail (exit 1) when
-//! any simulated-time metric shared with the baseline regressed by more
-//! than 20 % (metrics new in this PR are warn-only).  All numbers except
+//! any simulated metric shared with the baseline regressed by more than
+//! 20 % — direction-aware: simulated time and latency percentiles gate
+//! on increases, simulated throughput on decreases (metrics new in this
+//! PR are warn-only, non-gating units are summarised in one line).  All numbers except
 //! the `_wall_ms` ones are simulated device time and therefore
 //! deterministic across runs and machines — exactly what a CI artifact
 //! needs to be comparable.
@@ -25,7 +28,7 @@ use noftl_bench::smoke;
 const TOLERANCE: f64 = 0.20;
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_PR5.json");
+    let mut out = PathBuf::from("BENCH_PR7.json");
     let mut baseline: Option<PathBuf> = None;
     let mut quick = true;
     let mut args = std::env::args().skip(1);
@@ -54,6 +57,7 @@ fn main() {
         smoke::queue_depth_section(),
         smoke::kv_ops_section(quick),
         smoke::recovery_section(quick),
+        smoke::latency_section(quick),
     ];
     print!("{}", smoke::render_table(&sections));
     smoke::write_json(&out, mode, &sections).expect("write bench JSON");
@@ -69,7 +73,7 @@ fn main() {
         }
         if cmp.failures.is_empty() {
             println!(
-                "  OK — no shared simulated-time metric regressed by more than {:.0}%",
+                "  OK — no shared simulated metric regressed by more than {:.0}%",
                 TOLERANCE * 100.0
             );
         } else {

@@ -21,6 +21,7 @@ use flash_sim::{
 use noftl_core::flusher::Flusher;
 use noftl_core::kv::{KvConfig, KvStore};
 use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig, PlacementPolicyKind, RegionSpec};
+use noftl_obs::MetricsSnapshot;
 
 /// One headline number.
 #[derive(Debug, Clone)]
@@ -110,6 +111,10 @@ pub struct BatchComparison {
     pub queued_util: UtilizationSummary,
     /// Device utilisation after the sequential writes.
     pub sequential_util: UtilizationSummary,
+    /// Metrics snapshot of the queued run's stack.
+    pub queued_metrics: MetricsSnapshot,
+    /// Metrics snapshot of the sequential run's stack.
+    pub sequential_metrics: MetricsSnapshot,
 }
 
 impl BatchComparison {
@@ -134,6 +139,7 @@ pub fn write_batch_comparison(pages: u64) -> BatchComparison {
     let batch: Vec<(u32, u64, Vec<u8>)> = (0..pages).map(|p| (obj, p, payload(p))).collect();
     let queued = noftl.write_batch(&batch, SimTime::ZERO).unwrap();
     let queued_util = dev.utilization();
+    let queued_metrics = noftl.metrics_snapshot();
 
     let (dev, noftl, obj) = make();
     let mut sequential = SimTime::ZERO;
@@ -141,7 +147,15 @@ pub fn write_batch_comparison(pages: u64) -> BatchComparison {
         sequential = noftl.write(obj, p, &payload(p), sequential).unwrap();
     }
     let sequential_util = dev.utilization();
-    BatchComparison { queued, sequential, queued_util, sequential_util }
+    let sequential_metrics = noftl.metrics_snapshot();
+    BatchComparison {
+        queued,
+        sequential,
+        queued_util,
+        sequential_util,
+        queued_metrics,
+        sequential_metrics,
+    }
 }
 
 /// Skewed-load flush comparison: the measuring stick of the queue-aware
@@ -165,6 +179,10 @@ pub struct SkewedFlushComparison {
     pub rr_util: UtilizationSummary,
     /// Device utilisation after the queue-aware flush.
     pub qa_util: UtilizationSummary,
+    /// Metrics snapshot of the round-robin run's stack.
+    pub rr_metrics: MetricsSnapshot,
+    /// Metrics snapshot of the queue-aware run's stack.
+    pub qa_metrics: MetricsSnapshot,
 }
 
 impl SkewedFlushComparison {
@@ -202,11 +220,26 @@ pub fn skewed_flush_comparison(pages: u64, storm_erases: u32) -> SkewedFlushComp
             flusher.submit(&noftl, obj, p, vec![p as u8; 4096], SimTime::ZERO).unwrap();
         }
         let done = flusher.flush_all(&noftl, SimTime::ZERO).unwrap();
-        (done, dev.utilization())
+        let snap = noftl.metrics_snapshot();
+        (done, dev.utilization(), snap)
     };
-    let (round_robin, rr_util) = run(PlacementPolicyKind::RoundRobin);
-    let (queue_aware, qa_util) = run(PlacementPolicyKind::QueueAware);
-    SkewedFlushComparison { round_robin, queue_aware, rr_util, qa_util }
+    let (round_robin, rr_util, rr_metrics) = run(PlacementPolicyKind::RoundRobin);
+    let (queue_aware, qa_util, qa_metrics) = run(PlacementPolicyKind::QueueAware);
+    SkewedFlushComparison { round_robin, queue_aware, rr_util, qa_util, rr_metrics, qa_metrics }
+}
+
+/// Per-die busy fractions reconstructed from a stack's metrics snapshot:
+/// `flash.die<i>.busy_ns` over `flash.device.quiesce_ns`.  This is the
+/// registry-backed replacement for the bespoke per-die counters the
+/// `queue_depth` bench used to print from [`UtilizationSummary::per_die`].
+pub fn per_die_busy_fractions(snap: &MetricsSnapshot) -> Vec<f64> {
+    let quiesce = snap.gauge("flash.device.quiesce_ns").unwrap_or(0).max(1) as f64;
+    let mut fractions = Vec::new();
+    for die in 0.. {
+        let Some(busy) = snap.gauge(&format!("flash.die{die}.busy_ns")) else { break };
+        fractions.push(busy as f64 / quiesce);
+    }
+    fractions
 }
 
 /// Queue-depth section: simulated batch completion vs queue depth, the
@@ -379,8 +412,73 @@ pub fn recovery_section(quick: bool) -> Section {
     }
 }
 
+/// The latency quantiles the smoke run reports per histogram.
+const LATENCY_SPECS: [(&str, &str, f64); 12] = [
+    ("queued_read_p50_us", "flash.queue.read.wait_ns", 0.5),
+    ("queued_read_p99_us", "flash.queue.read.wait_ns", 0.99),
+    ("queued_read_p999_us", "flash.queue.read.wait_ns", 0.999),
+    ("queued_write_p50_us", "flash.queue.program.wait_ns", 0.5),
+    ("queued_write_p99_us", "flash.queue.program.wait_ns", 0.99),
+    ("queued_write_p999_us", "flash.queue.program.wait_ns", 0.999),
+    ("flush_window_p50_us", "core.flush.window_ns", 0.5),
+    ("flush_window_p99_us", "core.flush.window_ns", 0.99),
+    ("flush_window_p999_us", "core.flush.window_ns", 0.999),
+    ("kv_put_p50_us", "kv.put.latency_ns", 0.5),
+    ("kv_put_p99_us", "kv.put.latency_ns", 0.99),
+    ("kv_put_p999_us", "kv.put.latency_ns", 0.999),
+];
+
+/// Latency section: percentile latencies read back out of the shared
+/// metrics registry after a mixed workload — queued reads, queued writes
+/// (programs), windowed flushes and KV puts.  All values are simulated
+/// time, so the percentiles are deterministic across runs and machines.
+pub fn latency_section(quick: bool) -> Section {
+    let pages: u64 = if quick { 192 } else { 768 };
+    let puts: u64 = if quick { 2_000 } else { 8_000 };
+    let dev = device();
+    let noftl = Arc::new(NoFtl::new(Arc::clone(&dev), NoFtlConfig::default()));
+    let rid = noftl.create_region(RegionSpec::named("rgLat").with_die_count(4)).unwrap();
+    let obj = noftl.create_object("t", rid).unwrap();
+
+    // Windowed writes fill `flash.queue.program.wait_ns` and
+    // `core.flush.window_ns`.
+    let batch: Vec<(u32, u64, Vec<u8>)> =
+        (0..pages).map(|p| (obj, p, vec![p as u8; 4096])).collect();
+    let mut now = SimTime::ZERO;
+    for chunk in batch.chunks(64) {
+        now = now.max(noftl.write_windowed(chunk, now, 16).unwrap());
+    }
+    // A read sweep through the asynchronous path fills
+    // `flash.queue.read.wait_ns`.
+    for p in 0..pages {
+        let handle = noftl.submit_read(obj, p, now).unwrap();
+        let (_, done) = noftl.wait_io(handle).unwrap();
+        now = now.max(done);
+    }
+    // KV puts (into a second region of the same stack) fill
+    // `kv.put.latency_ns` — mostly memtable-resident, with flush spikes
+    // in the tail.
+    let kv_rid = noftl.create_region(RegionSpec::named("rgKvLat").with_die_count(4)).unwrap();
+    let (store, mut t) =
+        KvStore::create(Arc::clone(&noftl), kv_rid, "lat", KvConfig::default(), now).unwrap();
+    for i in 0..puts {
+        t = store.put(&kv_key(i), &kv_val(i), t).unwrap();
+    }
+    store.flush(t).unwrap();
+
+    let snap = noftl.metrics_snapshot();
+    let metrics = LATENCY_SPECS
+        .iter()
+        .map(|&(name, hist, q)| {
+            let value = snap.histogram(hist).map_or(0, |h| h.percentile(q));
+            Metric::new(name, value as f64 / 1e3, "us_sim")
+        })
+        .collect();
+    Section { name: "latency", metrics }
+}
+
 /// The PR number stamped into the perf-trajectory JSON.
-pub const PERF_POINT_PR: u32 = 5;
+pub const PERF_POINT_PR: u32 = 7;
 
 /// Serialise sections into a `BENCH_*.json` perf-trajectory point.
 pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Result<()> {
@@ -462,14 +560,36 @@ pub struct BenchComparison {
     pub notes: Vec<String>,
 }
 
+/// Gating direction of a metric unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateDirection {
+    /// Simulated time: a value above the baseline is a regression.
+    LowerIsBetter,
+    /// Simulated throughput: a value below the baseline is a regression.
+    HigherIsBetter,
+    /// Wall-clock, counts, fractions, ratios: never gate.
+    Skip,
+}
+
+fn gate_direction(unit: &str) -> GateDirection {
+    match unit {
+        "us_sim" => GateDirection::LowerIsBetter,
+        "kops_sim" | "krows_sim" => GateDirection::HigherIsBetter,
+        _ => GateDirection::Skip,
+    }
+}
+
 /// Compare fresh `sections` against a committed baseline point
 /// (`old_text`, as written by [`write_json`] — any PR's).
 ///
-/// Only **shared simulated-time metrics** (`us_sim`, lower is better)
-/// gate: a value more than `tolerance` (e.g. `0.2` = 20 %) above the
-/// baseline is a failure.  Metrics present on only one side, wall-clock
-/// numbers and derived ratios are reported warn-only — a new PR may add
-/// metrics freely without tripping the gate.
+/// Every **shared simulated metric** gates, direction-aware: `us_sim`
+/// (lower is better, including the latency-section histogram
+/// percentiles) fails when more than `tolerance` (e.g. `0.2` = 20 %)
+/// above the baseline; `kops_sim`/`krows_sim` (higher is better) fail
+/// when more than `tolerance` below it.  Metrics present on only one
+/// side are warn-only — a new PR may add metrics freely — and
+/// non-gating units (wall-clock, counts, ratios) are summarised in a
+/// single note.
 pub fn compare_perf_points(
     old_text: &str,
     sections: &[Section],
@@ -477,6 +597,7 @@ pub fn compare_perf_points(
 ) -> BenchComparison {
     let old = parse_bench_json(old_text);
     let mut cmp = BenchComparison::default();
+    let mut skipped: Vec<String> = Vec::new();
     for section in sections {
         for m in &section.metrics {
             let baseline = old.iter().find(|o| o.section == section.name && o.name == m.name);
@@ -487,23 +608,39 @@ pub fn compare_perf_points(
                 ));
                 continue;
             };
-            if m.unit != "us_sim" || baseline.unit != "us_sim" {
-                continue; // counts, ratios and wall-clock never gate
+            // Gate only when both sides agree on the unit; a metric whose
+            // unit changed is effectively a different measurement.
+            let direction =
+                if m.unit == baseline.unit { gate_direction(m.unit) } else { GateDirection::Skip };
+            if direction == GateDirection::Skip {
+                skipped.push(format!("{}/{}", section.name, m.name));
+                continue;
             }
-            let limit = baseline.value * (1.0 + tolerance);
-            if m.value > limit {
+            let (regressed, improved) = match direction {
+                GateDirection::LowerIsBetter => (
+                    m.value > baseline.value * (1.0 + tolerance),
+                    m.value < baseline.value * (1.0 - tolerance),
+                ),
+                GateDirection::HigherIsBetter => (
+                    m.value < baseline.value * (1.0 - tolerance),
+                    m.value > baseline.value * (1.0 + tolerance),
+                ),
+                GateDirection::Skip => (false, false),
+            };
+            if regressed {
                 cmp.failures.push(format!(
-                    "{}/{}: {:.1} us_sim vs baseline {:.1} (> {:.0}% regression)",
+                    "{}/{}: {:.1} {} vs baseline {:.1} (> {:.0}% regression)",
                     section.name,
                     m.name,
                     m.value,
+                    m.unit,
                     baseline.value,
                     tolerance * 100.0
                 ));
-            } else if m.value < baseline.value * (1.0 - tolerance) {
+            } else if improved {
                 cmp.notes.push(format!(
-                    "{}/{}: improved to {:.1} us_sim from {:.1}",
-                    section.name, m.name, m.value, baseline.value
+                    "{}/{}: improved to {:.1} {} from {:.1}",
+                    section.name, m.name, m.value, m.unit, baseline.value
                 ));
             }
         }
@@ -516,6 +653,13 @@ pub fn compare_perf_points(
             cmp.notes
                 .push(format!("{}/{}: baseline metric retired (warn-only)", o.section, o.name));
         }
+    }
+    if !skipped.is_empty() {
+        cmp.notes.push(format!(
+            "skipped {} non-gating metric(s) (wall-clock/count/ratio units): {}",
+            skipped.len(),
+            skipped.join(", ")
+        ));
     }
     cmp
 }
@@ -576,7 +720,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(text.contains("\"demo\""));
         assert!(text.contains("\"a\": {\"value\": 1.500, \"unit\": \"us_sim\"}"));
-        assert!(text.contains("\"pr\": 5"));
+        assert!(text.contains(&format!("\"pr\": {PERF_POINT_PR}")));
         let table = render_table(&sections);
         assert!(table.contains("[demo]"));
     }
@@ -640,6 +784,70 @@ mod tests {
             metrics: vec![Metric::new("depth_1_us", 1100.0, "us_sim")],
         }];
         assert!(compare_perf_points(&old_text, &fresh_ok, 0.2).failures.is_empty());
+    }
+
+    #[test]
+    fn latency_section_quick_is_sane() {
+        let section = latency_section(true);
+        assert_eq!(section.metrics.len(), LATENCY_SPECS.len());
+        let get =
+            |name: &str| section.metrics.iter().find(|m| m.name == name).map(|m| m.value).unwrap();
+        // Reads, writes and windows all saw real device latency.
+        assert!(get("queued_read_p50_us") > 0.0);
+        assert!(get("queued_write_p50_us") > 0.0);
+        assert!(get("flush_window_p50_us") > 0.0);
+        // Percentiles are monotone within each histogram.
+        for prefix in ["queued_read", "queued_write", "flush_window", "kv_put"] {
+            let p50 = get(&format!("{prefix}_p50_us"));
+            let p99 = get(&format!("{prefix}_p99_us"));
+            let p999 = get(&format!("{prefix}_p999_us"));
+            assert!(p50 <= p99 && p99 <= p999, "{prefix}: {p50} {p99} {p999}");
+        }
+        // The KV tail catches flush spikes even though the median put is
+        // memtable-resident.
+        assert!(get("kv_put_p999_us") >= get("kv_put_p50_us"));
+    }
+
+    #[test]
+    fn perf_comparison_gates_throughput_decreases() {
+        let baseline = vec![Section {
+            name: "kv_ops",
+            metrics: vec![
+                Metric::new("put_throughput_kops", 100.0, "kops_sim"),
+                Metric::new("flushes", 4.0, "count"),
+            ],
+        }];
+        let path = std::env::temp_dir().join(format!("bench-dir-{}.json", std::process::id()));
+        write_json(&path, "quick", &baseline).unwrap();
+        let old_text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // A 30 % throughput drop fails at 20 % tolerance; the count metric
+        // is skipped and summarised in one note.
+        let fresh = vec![Section {
+            name: "kv_ops",
+            metrics: vec![
+                Metric::new("put_throughput_kops", 70.0, "kops_sim"),
+                Metric::new("flushes", 400.0, "count"),
+            ],
+        }];
+        let cmp = compare_perf_points(&old_text, &fresh, 0.2);
+        assert_eq!(cmp.failures.len(), 1, "failures: {:?}", cmp.failures);
+        assert!(cmp.failures[0].contains("put_throughput_kops"));
+        assert!(
+            cmp.notes.iter().any(|n| n.contains("skipped 1 non-gating") && n.contains("flushes")),
+            "notes: {:?}",
+            cmp.notes
+        );
+
+        // A throughput *increase* is an improvement, not a failure.
+        let faster = vec![Section {
+            name: "kv_ops",
+            metrics: vec![Metric::new("put_throughput_kops", 140.0, "kops_sim")],
+        }];
+        let cmp = compare_perf_points(&old_text, &faster, 0.2);
+        assert!(cmp.failures.is_empty());
+        assert!(cmp.notes.iter().any(|n| n.contains("improved")));
     }
 
     #[test]

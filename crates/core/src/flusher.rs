@@ -145,6 +145,7 @@ impl Flusher {
         stats.max_batch = stats.max_batch.max(n);
         // The pipeline fills its window whenever the batch is deep enough.
         stats.inflight_hwm = stats.inflight_hwm.max((self.window as u64).min(n));
+        noftl.obs().note_flusher_batch(n, stats.inflight_hwm);
         Ok(done)
     }
 }

@@ -18,6 +18,7 @@ use flash_sim::SimTime;
 use crate::error::NoFtlError;
 use crate::manager::NoFtl;
 use crate::object::ObjectId;
+use crate::obs::KvObs;
 use crate::region::RegionId;
 use crate::Result;
 
@@ -124,6 +125,8 @@ pub struct KvStore {
     name: String,
     config: KvConfig,
     inner: Mutex<KvInner>,
+    /// Pre-bound metric handles on the stack's shared registry.
+    obs: KvObs,
 }
 
 impl std::fmt::Debug for KvStore {
@@ -185,6 +188,7 @@ impl KvStore {
             now = noftl.checkpoint(now)?;
         }
         let store = KvStore {
+            obs: KvObs::new(Arc::clone(noftl.metrics())),
             noftl,
             region,
             name: name.to_string(),
@@ -276,6 +280,7 @@ impl KvStore {
         report.next_seq = runs.iter().map(|r| r.seq_hi).max().unwrap_or(0) + 1;
         report.completed_at = now;
         let store = KvStore {
+            obs: KvObs::new(Arc::clone(noftl.metrics())),
             noftl,
             region,
             name: name.to_string(),
@@ -373,7 +378,9 @@ impl KvStore {
         let mut inner = self.inner.lock();
         inner.stats.puts += 1;
         inner.memtable.insert(key.to_vec(), Some(value.to_vec()));
-        self.maybe_flush(&mut inner, at)
+        let now = self.maybe_flush(&mut inner, at)?;
+        self.obs.note_put(at, now);
+        Ok(now)
     }
 
     /// Delete a key (a tombstone that shadows older run versions).
@@ -484,6 +491,7 @@ impl KvStore {
         let now = self.write_run(inner, 0, seq, seq, &entries, at)?;
         inner.next_seq = seq + 1;
         inner.stats.flushes += 1;
+        self.obs.note_flush(entries.len() as u64, at, now);
         Ok(now)
     }
 
@@ -616,6 +624,7 @@ impl KvStore {
         }
         inner.stats.compactions += 1;
         inner.stats.compaction_windows.push((started.as_nanos(), now.as_nanos()));
+        self.obs.note_compact(u64::from(level), started, now);
         Ok(now)
     }
 }

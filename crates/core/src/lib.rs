@@ -49,6 +49,7 @@ pub mod hotcold;
 pub mod kv;
 pub mod manager;
 pub mod object;
+pub(crate) mod obs;
 pub mod placement;
 pub mod recovery;
 pub mod region;

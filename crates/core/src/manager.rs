@@ -15,10 +15,13 @@ use flash_sim::lockorder::{self, LockClass, TrackedGuard};
 use flash_sim::queue::{CmdHandle, CommandQueue, FlashCommand};
 use flash_sim::{BlockAddr, DieId, NandDevice, PageAddr, PageMetadata, PageState, SimTime};
 
+use noftl_obs::{MetricsRegistry, MetricsSnapshot};
+
 use crate::config::NoFtlConfig;
 use crate::error::NoFtlError;
 use crate::gc::{select_victim, GcCandidate};
 use crate::object::{ObjectId, ObjectState};
+use crate::obs::CoreObs;
 use crate::recovery::{
     self, CheckpointImage, MountReport, ObjectImage, RegionImage, META_OBJECT_ID, META_REGION_NAME,
 };
@@ -78,6 +81,9 @@ pub struct NoFtl {
     /// Completions of `submit_read`/`submit_write` awaiting `wait_io`.
     pending_io: Mutex<HashMap<u64, PendingIo>>,
     inner: Mutex<Inner>,
+    /// Pre-bound metric handles (placement, GC, flush windows) on the
+    /// device's registry.  Atomics-only: safe under any tracked lock.
+    obs: CoreObs,
 }
 
 impl std::fmt::Debug for NoFtl {
@@ -104,6 +110,7 @@ impl NoFtl {
         NoFtl {
             queue: CommandQueue::new(Arc::clone(&device)),
             pending_io: Mutex::new(HashMap::new()),
+            obs: CoreObs::new(Arc::clone(device.metrics())),
             device,
             config,
             inner: Mutex::new(Inner {
@@ -137,6 +144,23 @@ impl NoFtl {
     /// The configuration in use.
     pub fn config(&self) -> &NoFtlConfig {
         &self.config
+    }
+
+    /// The metrics registry shared with the underlying device: every
+    /// layer of the stack (device, queue, manager, KV) records into it.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.obs.registry()
+    }
+
+    /// Snapshot every counter, gauge and histogram of the shared
+    /// registry at this instant.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.registry().snapshot()
+    }
+
+    /// Pre-bound metric handles (crate-internal recording sites).
+    pub(crate) fn obs(&self) -> &CoreObs {
+        &self.obs
     }
 
     /// Lock the manager state.  This is the sole acquisition site of the
@@ -359,6 +383,7 @@ impl NoFtl {
                         let Some(meta) = meta else { continue };
                         // Re-write the page on one of the remaining dies.
                         let ppa = Self::allocate_in_region(
+                            &self.obs,
                             &self.device,
                             &self.config,
                             region,
@@ -539,6 +564,7 @@ impl NoFtl {
         let ppa = {
             let region = Self::region_mut(&mut inner.regions, rid)?;
             Self::allocate_in_region(
+                &self.obs,
                 &self.device,
                 &self.config,
                 region,
@@ -645,6 +671,7 @@ impl NoFtl {
                 }
             };
             let Some(ppa) = Self::allocate_in_region(
+                &self.obs,
                 &self.device,
                 &self.config,
                 region,
@@ -725,7 +752,10 @@ impl NoFtl {
                 }
             }
             match self.submit_write(*obj, *page, data, clock) {
-                Ok(handle) => inflight.push_back(handle),
+                Ok(handle) => {
+                    inflight.push_back(handle);
+                    self.obs.note_window_occupancy(inflight.len() as u64);
+                }
                 Err(e) => {
                     failure = Some(e);
                     break;
@@ -740,7 +770,12 @@ impl NoFtl {
         }
         match failure {
             Some(e) => Err(e),
-            None => Ok(done),
+            None => {
+                if !writes.is_empty() {
+                    self.obs.note_window_done(writes.len() as u64, at, done);
+                }
+                Ok(done)
+            }
         }
     }
 
@@ -807,6 +842,7 @@ impl NoFtl {
         let ppa = {
             let region = Self::region_mut(&mut inner.regions, rid)?;
             Self::allocate_in_region(
+                &self.obs,
                 &self.device,
                 &self.config,
                 region,
@@ -888,6 +924,7 @@ impl NoFtl {
                 }
             };
             let Some(ppa) = Self::allocate_in_region(
+                &self.obs,
                 &self.device,
                 &self.config,
                 region,
@@ -1080,6 +1117,7 @@ impl NoFtl {
             let ppa = {
                 let region = Self::region_mut(&mut inner.regions, rid)?;
                 Self::allocate_in_region(
+                    &self.obs,
                     &self.device,
                     &self.config,
                     region,
@@ -1378,6 +1416,7 @@ impl NoFtl {
         let noftl = NoFtl {
             queue: CommandQueue::new(Arc::clone(&device)),
             pending_io: Mutex::new(HashMap::new()),
+            obs: CoreObs::new(Arc::clone(device.metrics())),
             device,
             config,
             inner: Mutex::new(Inner {
@@ -1451,6 +1490,7 @@ impl NoFtl {
     /// metadata journal — funnels through here, so a policy governs the
     /// complete write path of its region.
     fn allocate_in_region(
+        obs: &CoreObs,
         device: &NandDevice,
         config: &NoFtlConfig,
         region: &mut RegionRuntime,
@@ -1463,7 +1503,9 @@ impl NoFtl {
         if die_count == 0 {
             return None;
         }
-        let policy = region.placement_kind(config).policy();
+        let kind = region.placement_kind(config);
+        let policy = kind.policy();
+        let stripe_die = region.next_die;
         // Probe order and load snapshots fill region-owned scratch
         // buffers (taken out for the borrow, put back below), so the
         // per-write path allocates nothing — as cheap as the seed
@@ -1476,14 +1518,15 @@ impl NoFtl {
         let mut order = std::mem::take(&mut region.probe_scratch);
         policy.probe_order_into(die_count, region.next_die, at, &loads, &mut order);
         let mut picked = None;
-        for &idx in &order {
+        for (probe, &idx) in order.iter().enumerate() {
             if (region.dies[idx].free_blocks.len() as u32) <= config.gc_low_watermark {
-                Self::gc_die(device, config, region, objects, meta_dir, idx, at);
+                Self::gc_die(obs, device, config, region, objects, meta_dir, idx, at);
             }
             if let Some(ppa) =
                 region.dies[idx].next_host_page(device, config.wear_leveling, pages_per_block)
             {
                 region.next_die = (idx + 1) % die_count;
+                obs.note_allocation(kind, probe as u64 + 1, idx, stripe_die, die_count);
                 picked = Some(ppa);
                 break;
             }
@@ -1520,7 +1563,9 @@ impl NoFtl {
 
     /// Run garbage collection on one die of a region until its free-block
     /// pool reaches the high watermark or no more victims exist.
+    #[allow(clippy::too_many_arguments)]
     fn gc_die(
+        obs: &CoreObs,
         device: &NandDevice,
         config: &NoFtlConfig,
         region: &mut RegionRuntime,
@@ -1530,6 +1575,7 @@ impl NoFtl {
         at: SimTime,
     ) {
         region.stats.gc_runs += 1;
+        let (cb_before, er_before) = (region.stats.gc_copybacks, region.stats.gc_erases);
         let high = config.gc_high_watermark as usize;
         let mut guard = 0u32;
         while region.dies[die_idx].free_blocks.len() < high {
@@ -1563,6 +1609,12 @@ impl NoFtl {
                 break;
             }
         }
+        obs.note_gc(
+            u64::from(region.dies[die_idx].die.0),
+            region.stats.gc_copybacks - cb_before,
+            region.stats.gc_erases - er_before,
+            at,
+        );
         Self::maybe_static_wl(device, config, region, objects, meta_dir, die_idx, at);
     }
 

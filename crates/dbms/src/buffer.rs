@@ -11,12 +11,13 @@
 //!   interference effect the paper measures.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use flash_sim::SimTime;
+use noftl_obs::{Histogram, Unit};
 
 use crate::error::DbError;
 use crate::storage::{ObjectId, StorageBackend};
@@ -93,6 +94,8 @@ pub struct BufferPool {
     /// In-flight page bound of the completion-driven flush pipeline.
     flush_window: usize,
     inner: Mutex<PoolInner>,
+    /// `dbms.buffer.flush_ns` handle, bound lazily on the first flush.
+    flush_hist: OnceLock<Histogram>,
 }
 
 impl BufferPool {
@@ -112,6 +115,7 @@ impl BufferPool {
             capacity,
             no_steal,
             flush_window: DEFAULT_FLUSH_WINDOW,
+            flush_hist: OnceLock::new(),
             inner: Mutex::new(PoolInner {
                 frames: (0..capacity).map(|_| None).collect(),
                 map: HashMap::with_capacity(capacity),
@@ -314,6 +318,21 @@ impl BufferPool {
             return Ok(now);
         }
         let done = self.backend.write_windowed(&batch, now, self.flush_window)?;
+        if let Some(registry) = self.backend.metrics() {
+            let hist = self
+                .flush_hist
+                .get_or_init(|| registry.histogram("dbms.buffer.flush_ns", Unit::SimNanos));
+            hist.record(done.since(now).as_nanos());
+            // Track 102: buffer-pool spans (see the core obs track map).
+            registry.tracer().span(
+                "dbms.buffer",
+                "flush_all",
+                102,
+                now.as_nanos(),
+                done.as_nanos(),
+                &[("pages", batch.len() as u64)],
+            );
+        }
         let mut flushed = 0u64;
         for frame in inner.frames.iter_mut().flatten() {
             if frame.dirty {

@@ -72,6 +72,11 @@ pub struct CrashHarnessConfig {
     /// round-robin), so the whole sweep can be pointed at either policy;
     /// the tier-1 crash tests also alternate it per round explicitly.
     pub placement: PlacementPolicyKind,
+    /// Enable the stack's cross-layer event tracer for the cycle.  The
+    /// determinism tests run identical cycles with this on and off and
+    /// require byte-identical mount reports — tracing must never perturb
+    /// recovery.
+    pub trace: bool,
 }
 
 impl Default for CrashHarnessConfig {
@@ -86,6 +91,7 @@ impl Default for CrashHarnessConfig {
             seed: 0xC0FFEE,
             image_file: false,
             placement: PlacementPolicyKind::from_env(PlacementPolicyKind::RoundRobin),
+            trace: false,
         }
     }
 }
@@ -190,6 +196,7 @@ fn build_stack(cfg: &CrashHarnessConfig) -> Result<(Stack, SimTime)> {
     // override; here the harness can return it as a proper config error.
     PlacementPolicyKind::try_from_env(cfg.placement)?;
     let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
+    device.metrics().tracer().set_enabled(cfg.trace);
     let noftl = Arc::new(NoFtl::new(Arc::clone(&device), noftl_config(cfg)));
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement())?);
     let db = Database::open(backend, db_config(cfg))?;

@@ -84,6 +84,14 @@ pub trait StorageBackend: Send + Sync {
         self.write_batch(writes, at)
     }
 
+    /// The metrics registry of the stack underneath, when the backend
+    /// has one (the NoFTL stack shares the flash device's registry; the
+    /// legacy block backend reports nothing).  The WAL and buffer pool
+    /// record their force/flush latencies through this.
+    fn metrics(&self) -> Option<&Arc<noftl_obs::MetricsRegistry>> {
+        None
+    }
+
     /// Release a logical page.
     fn free_page(&self, obj: ObjectId, page: u64) -> Result<()>;
 
@@ -169,6 +177,10 @@ impl NoFtlBackend {
 impl StorageBackend for NoFtlBackend {
     fn page_size(&self) -> u32 {
         self.noftl.device().geometry().page_size
+    }
+
+    fn metrics(&self) -> Option<&Arc<noftl_obs::MetricsRegistry>> {
+        Some(self.noftl.metrics())
     }
 
     fn create_object(&self, name: &str) -> Result<ObjectId> {

@@ -21,9 +21,12 @@
 //! which frees the old segment's pages and restarts the stream at a fresh
 //! page boundary.
 
+use std::sync::OnceLock;
+
 use parking_lot::Mutex;
 
 use flash_sim::{crc32, SimTime};
+use noftl_obs::{Histogram, Unit};
 
 use crate::storage::{ObjectId, StorageBackend};
 use crate::Result;
@@ -204,6 +207,9 @@ pub struct Wal {
     /// space-management experiments measure.
     durable_spill: bool,
     inner: Mutex<WalInner>,
+    /// `dbms.wal.force_ns` handle, bound lazily on the first force (the
+    /// registry lives behind the backend, which `new` does not see).
+    force_hist: OnceLock<Histogram>,
 }
 
 impl Wal {
@@ -212,6 +218,7 @@ impl Wal {
         Wal {
             obj,
             durable_spill: true,
+            force_hist: OnceLock::new(),
             inner: Mutex::new(WalInner {
                 next_lsn: 1,
                 cur_page: 0,
@@ -339,7 +346,23 @@ impl Wal {
             }
         }
         batch.push((self.obj, inner.cur_page, Self::seal(inner.cur_page, &inner.cur_payload)));
-        backend.write_batch(&batch, now)
+        let done = backend.write_batch(&batch, now)?;
+        if let Some(registry) = backend.metrics() {
+            let hist = self
+                .force_hist
+                .get_or_init(|| registry.histogram("dbms.wal.force_ns", Unit::SimNanos));
+            hist.record(done.since(now).as_nanos());
+            // Track 101: WAL spans (see the core obs module's track map).
+            registry.tracer().span(
+                "dbms.wal",
+                "force",
+                101,
+                now.as_nanos(),
+                done.as_nanos(),
+                &[("pages", batch.len() as u64)],
+            );
+        }
+        Ok(done)
     }
 
     /// Pages in the current segment.
@@ -376,6 +399,9 @@ impl Wal {
         inner.segment_start = 0;
         inner.cur_page = 0;
         inner.truncations += 1;
+        if let Some(registry) = backend.metrics() {
+            registry.counter("dbms.wal.truncations").inc();
+        }
         Ok(freed)
     }
 

@@ -22,7 +22,9 @@
 //! `noftl-analyzer` lock-order rule checks statically.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use noftl_obs::MetricsRegistry;
 use parking_lot::Mutex;
 
 use crate::addr::{BlockAddr, DieId, PageAddr};
@@ -33,6 +35,7 @@ use crate::error::FlashError;
 use crate::geometry::FlashGeometry;
 use crate::lockorder::{self, LockClass, TrackedGuard};
 use crate::metadata::PageMetadata;
+use crate::obs::DeviceObs;
 use crate::sched;
 use crate::stats::{DeviceStats, DieStats, UtilizationSummary, WearSummary};
 use crate::time::SimTime;
@@ -82,6 +85,7 @@ pub struct DeviceBuilder {
     store_data: bool,
     trace_capacity: usize,
     strict_copyback_plane: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl DeviceBuilder {
@@ -94,6 +98,7 @@ impl DeviceBuilder {
             store_data: true,
             trace_capacity: 0,
             strict_copyback_plane: false,
+            metrics: None,
         }
     }
 
@@ -129,6 +134,15 @@ impl DeviceBuilder {
         self
     }
 
+    /// Record metrics into an existing registry (e.g.
+    /// [`noftl_obs::global()`], or one shared across devices).  By
+    /// default each device gets its own enabled registry, so tests and
+    /// benches observe only their own stack.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Build the device.
     ///
     /// # Panics
@@ -152,6 +166,7 @@ impl DeviceBuilder {
             dies[die as usize].planes[plane as usize].blocks[block as usize].state =
                 BlockState::Bad;
         }
+        let registry = self.metrics.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
         NandDevice {
             geometry: g,
             timing: self.timing,
@@ -166,6 +181,7 @@ impl DeviceBuilder {
                 stats: DeviceStats::default(),
                 trace: TraceBuffer::new(self.trace_capacity),
             }),
+            obs: DeviceObs::new(registry, g.total_dies()),
         }
     }
 }
@@ -233,6 +249,8 @@ pub struct NandDevice {
     power_cut: AtomicU64,
     /// Aggregate statistics and trace (thin shared section).
     shared: Mutex<Shared>,
+    /// Pre-registered metric handles (atomics-only; see `crate::obs`).
+    obs: DeviceObs,
 }
 
 impl std::fmt::Debug for NandDevice {
@@ -253,6 +271,13 @@ impl NandDevice {
     /// Timing model in use.
     pub fn timing(&self) -> &TimingModel {
         &self.timing
+    }
+
+    /// The device's metrics registry (shared by the whole stack above:
+    /// the command queue, `NoFtl` and the storage engine all record
+    /// here).  Snapshot it, export it, or flip its tracer on.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.obs.registry()
     }
 
     /// The armed power-cut instant, if any (atomic read).
@@ -359,6 +384,7 @@ impl NandDevice {
             Vec::new()
         };
         let meta = block.meta[addr.page as usize];
+        self.obs.note_op(OpKind::Read, addr.die, &sched, at, die.busy_time.as_nanos());
         let mut shared = self.shared_shard();
         shared.stats.page_reads += 1;
         shared.stats.bytes_transferred += self.geometry.page_size as u64;
@@ -412,6 +438,7 @@ impl NandDevice {
         }
         let meta =
             die.planes[addr.plane as usize].blocks[addr.block as usize].meta[addr.page as usize];
+        self.obs.note_op(OpKind::MetadataRead, addr.die, &sched, at, die.busy_time.as_nanos());
         let mut shared = self.shared_shard();
         shared.stats.metadata_reads += 1;
         shared.stats.bytes_transferred += self.geometry.oob_size as u64;
@@ -534,6 +561,7 @@ impl NandDevice {
         block.write_ptr = addr.page + 1;
         block.state =
             if block.write_ptr == pages_per_block { BlockState::Full } else { BlockState::Open };
+        self.obs.note_op(OpKind::Program, addr.die, &sched, at, die.busy_time.as_nanos());
         let mut shared = self.shared_shard();
         shared.stats.page_programs += 1;
         shared.stats.bytes_transferred += self.geometry.page_size as u64;
@@ -594,6 +622,7 @@ impl NandDevice {
         let block = &mut die.planes[addr.plane as usize].blocks[addr.block as usize];
         block.reset_erased();
         block.erase_count += 1;
+        self.obs.note_op(OpKind::Erase, addr.die, &sched, at, die.busy_time.as_nanos());
         let mut shared = self.shared_shard();
         shared.stats.block_erases += 1;
         shared.stats.erase_latency_sum += sched.complete - at;
@@ -724,6 +753,7 @@ impl NandDevice {
             sblock.pages[src.page as usize] = PageState::Invalid;
             sblock.valid_pages = sblock.valid_pages.saturating_sub(1);
         }
+        self.obs.note_op(OpKind::Copyback, src.die, &sched, at, die.busy_time.as_nanos());
         let mut shared = self.shared_shard();
         shared.stats.copybacks += 1;
         shared.stats.copyback_latency_sum += sched.complete - at;
@@ -1027,6 +1057,7 @@ impl NandDevice {
             epoch: AtomicU64::new(snap.epoch),
             power_cut: AtomicU64::new(POWER_CUT_NONE),
             shared: Mutex::new(Shared { stats: snap.stats.clone(), trace: TraceBuffer::new(0) }),
+            obs: DeviceObs::new(Arc::new(MetricsRegistry::new()), g.total_dies()),
         })
     }
 

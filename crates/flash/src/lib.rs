@@ -65,6 +65,7 @@ pub mod geometry;
 pub mod image;
 pub mod lockorder;
 pub mod metadata;
+pub(crate) mod obs;
 pub mod queue;
 pub mod sched;
 pub mod stats;

@@ -46,6 +46,7 @@ use crate::device::{NandDevice, OpOutcome};
 use crate::error::FlashError;
 use crate::lockorder::{self, LockClass, TrackedGuard};
 use crate::metadata::PageMetadata;
+use crate::obs::QueueObs;
 use crate::time::SimTime;
 use crate::trace::OpKind;
 use crate::Result;
@@ -197,6 +198,8 @@ struct QueueInner {
 pub struct CommandQueue {
     device: Arc<NandDevice>,
     inner: Mutex<QueueInner>,
+    /// Pre-registered metric handles (atomics-only; see `crate::obs`).
+    obs: QueueObs,
 }
 
 impl std::fmt::Debug for CommandQueue {
@@ -213,6 +216,7 @@ impl CommandQueue {
     /// Create a queue over `device`.
     pub fn new(device: Arc<NandDevice>) -> Self {
         let dies = device.geometry().total_dies() as usize;
+        let obs = QueueObs::new(Arc::clone(device.metrics()));
         CommandQueue {
             device,
             inner: Mutex::new(QueueInner {
@@ -221,6 +225,7 @@ impl CommandQueue {
                 completions: HashMap::new(),
                 stats: QueueStats { submitted: 0, claimed: 0, per_die_submitted: vec![0; dies] },
             }),
+            obs,
         }
     }
 
@@ -258,6 +263,12 @@ impl CommandQueue {
         };
         let result = self.execute(&command, at);
         let completion = Completion { handle, kind, issued_at: at, result };
+        self.obs.note_completion(
+            kind,
+            command.die(),
+            at,
+            completion.result.as_ref().ok().map(|out| out.outcome.completed_at),
+        );
         // analyzer:allow(lock_order) two disjoint lock sections: the handle-allocation guard above is dropped before the device executes, then the completion is posted
         let mut inner = self.queue_shard();
         inner.in_flight -= 1;

@@ -1,0 +1,334 @@
+//! The metrics registry: named counters, gauges and histograms.
+//!
+//! A [`MetricsRegistry`] is a name → handle table.  Registration
+//! (`counter`/`gauge`/`histogram`) is the cold path and takes a plain
+//! `std::sync::RwLock`; the handles it returns are `Arc`s over atomics,
+//! so every *update* is lock-free and never participates in the
+//! workspace's tracked lock order (`flash_sim::lockorder`).  All handles
+//! share the registry's enabled flag: when the registry is disabled,
+//! every update is one relaxed atomic load and an untaken branch — the
+//! fast path the release-mode no-allocation test pins down.
+//!
+//! Naming scheme: dotted lowercase `layer.component.metric`, with a unit
+//! suffix on time-valued metrics (`flash.queue.read.wait_ns`).  Stacks
+//! built by `DeviceBuilder` default to a fresh registry per device (so
+//! tests and benches stay isolated); [`global()`] offers the
+//! process-wide instance for components that want to share one.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::tracer::Tracer;
+
+/// Shared on/off switch: one per registry, referenced by every handle.
+#[derive(Debug)]
+pub struct Flag(AtomicBool);
+
+impl Flag {
+    pub(crate) fn new(v: bool) -> Self {
+        Flag(AtomicBool::new(v))
+    }
+
+    /// Relaxed read — the only cost a disabled metric pays.
+    #[inline]
+    pub fn get(&self) -> bool {
+        self.0.load(Relaxed)
+    }
+
+    pub(crate) fn set(&self, v: bool) {
+        self.0.store(v, Relaxed);
+    }
+}
+
+/// Unit tag carried by histograms, so exporters and the perf harness
+/// know how to scale values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Simulated-clock nanoseconds (deterministic across runs).
+    SimNanos,
+    /// Wall-clock nanoseconds (machine-dependent).
+    WallNanos,
+    /// Dimensionless counts (e.g. window occupancy, probe counts).
+    Count,
+}
+
+impl Unit {
+    /// Short tag used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::SimNanos => "sim_ns",
+            Unit::WallNanos => "wall_ns",
+            Unit::Count => "count",
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+#[derive(Debug)]
+struct CounterInner {
+    value: AtomicU64,
+    enabled: Arc<Flag>,
+}
+
+impl Counter {
+    fn new(enabled: Arc<Flag>) -> Self {
+        Counter { inner: Arc::new(CounterInner { value: AtomicU64::new(0), enabled }) }
+    }
+
+    /// Add `n`.  Lock-free; a no-op when the registry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.inner.enabled.get() {
+            self.inner.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.value.load(Relaxed)
+    }
+}
+
+/// A last-value / high-water-mark gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    inner: Arc<CounterInner>,
+}
+
+impl Gauge {
+    fn new(enabled: Arc<Flag>) -> Self {
+        Gauge { inner: Arc::new(CounterInner { value: AtomicU64::new(0), enabled }) }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.inner.enabled.get() {
+            self.inner.value.store(v, Relaxed);
+        }
+    }
+
+    /// Raise the value to `v` if larger (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if self.inner.enabled.get() {
+            self.inner.value.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.value.load(Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named metrics plus an event [`Tracer`].
+///
+/// Components get-or-register handles by name and keep them; distinct
+/// components naming the same metric share the underlying atomics, which
+/// is how per-stack aggregation works without any plumbing beyond
+/// sharing the `Arc<MetricsRegistry>` itself.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: Arc<Flag>,
+    tables: RwLock<Tables>,
+    tracer: Tracer,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry with tracing off (the tracer has its own
+    /// switch; see [`Tracer::set_enabled`]).
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: Arc::new(Flag::new(true)),
+            tables: RwLock::new(Tables::default()),
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// A registry whose every update is the disabled fast path.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Toggle metric recording (existing handles observe the change).
+    pub fn set_enabled(&self, v: bool) {
+        self.enabled.set(v);
+    }
+
+    /// Whether metric recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// The registry's event tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Get or register a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.read_tables(|t| t.counters.get(name).cloned()) {
+            return c;
+        }
+        let mut t = self.tables.write().unwrap_or_else(PoisonError::into_inner);
+        t.counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter::new(self.enabled.clone()))
+            .clone()
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.read_tables(|t| t.gauges.get(name).cloned()) {
+            return g;
+        }
+        let mut t = self.tables.write().unwrap_or_else(PoisonError::into_inner);
+        t.gauges.entry(name.to_string()).or_insert_with(|| Gauge::new(self.enabled.clone())).clone()
+    }
+
+    /// Get or register a histogram.  The unit is fixed at first
+    /// registration; later callers get the existing handle regardless of
+    /// the unit they pass.
+    pub fn histogram(&self, name: &str, unit: Unit) -> Histogram {
+        if let Some(h) = self.read_tables(|t| t.hists.get(name).cloned()) {
+            return h;
+        }
+        let mut t = self.tables.write().unwrap_or_else(PoisonError::into_inner);
+        t.hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(name, unit, self.enabled.clone()))
+            .clone()
+    }
+
+    fn read_tables<R>(&self, f: impl FnOnce(&Tables) -> R) -> R {
+        let t = self.tables.read().unwrap_or_else(PoisonError::into_inner);
+        f(&t)
+    }
+
+    /// Point-in-time copy of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.read_tables(|t| MetricsSnapshot {
+            counters: t.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            gauges: t.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            histograms: t.hists.values().map(Histogram::snapshot).collect(),
+        })
+    }
+}
+
+/// The process-wide registry, for components that opt into sharing one
+/// (stacks built by `DeviceBuilder` default to per-device instances so
+/// tests stay isolated).
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// An immutable, mergeable copy of a registry's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// Every histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Render as Prometheus text exposition (see [`crate::prom`]).
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 5);
+        let g = r.gauge("a.g");
+        g.set(7);
+        g.set_max(3);
+        g.set_max(11);
+        assert_eq!(r.gauge("a.g").get(), 11);
+    }
+
+    #[test]
+    fn disabled_registry_drops_updates() {
+        let r = MetricsRegistry::disabled();
+        let c = r.counter("x");
+        let h = r.histogram("h", Unit::Count);
+        c.inc();
+        h.record(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        h.record(9);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_queryable() {
+        let r = MetricsRegistry::new();
+        r.counter("z.last").add(1);
+        r.counter("a.first").add(2);
+        r.histogram("m.h", Unit::SimNanos).record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.first");
+        assert_eq!(s.counter("z.last"), Some(1));
+        assert_eq!(s.histogram("m.h").map(|h| h.count), Some(1));
+        assert!(s.histogram("missing").is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the log-bucketed histogram: bucket boundaries,
+//! merge associativity and percentile monotonicity.
+
+use proptest::prelude::*;
+
+use noftl_obs::{HistogramSnapshot, MetricsRegistry, Unit};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let r = MetricsRegistry::new();
+    let h = r.histogram("prop.h", Unit::Count);
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every recorded value lands in a bucket whose `[lo, hi]` range
+    /// contains it: the reported min/max always bound every percentile,
+    /// and a single-value histogram reports that value within the 1/8
+    /// relative quantization error.
+    #[test]
+    fn bucket_boundaries_contain_the_value(v in any::<u64>()) {
+        let s = snapshot_of(&[v]);
+        prop_assert_eq!(s.count, 1);
+        prop_assert_eq!(s.min, v);
+        prop_assert_eq!(s.max, v);
+        let (lo, hi, n) = s.nonzero_buckets().next().expect("one bucket populated");
+        prop_assert_eq!(n, 1);
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        // hi - lo is at most 1/8 of lo for octave buckets (exact below 16).
+        if lo >= 16 {
+            prop_assert!(hi - lo <= lo / 8, "bucket [{}, {}] too wide", lo, hi);
+        } else {
+            prop_assert_eq!(lo, hi);
+        }
+        // The only percentile of a single observation is the observation
+        // (clamped to the exactly-tracked max).
+        prop_assert_eq!(s.percentile(0.5), v);
+        prop_assert_eq!(s.percentile(1.0), v);
+    }
+
+    /// Merging is associative and commutative: any grouping of three
+    /// shards produces the same aggregate.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..40),
+        c in prop::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a + (b + c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        // c + b + a (commuted)
+        let mut rev = sc;
+        rev.merge(&sb);
+        rev.merge(&sa);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count, rev.count);
+        prop_assert_eq!(left.sum, rev.sum);
+        prop_assert_eq!(left.max, rev.max);
+        prop_assert_eq!(left.min, rev.min);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(left.percentile(q), right.percentile(q));
+            prop_assert_eq!(left.percentile(q), rev.percentile(q));
+        }
+        // Merging an identity element changes nothing.
+        let mut with_empty = left.clone();
+        with_empty.merge(&HistogramSnapshot::empty("prop.h", Unit::Count));
+        prop_assert_eq!(with_empty, left);
+    }
+
+    /// Percentiles are monotone in the quantile and bounded by the true
+    /// extremes.
+    #[test]
+    fn percentiles_are_monotone(
+        values in prop::collection::vec(0u64..10_000_000, 1..120),
+        raw_qs in prop::collection::vec(0u64..1001, 2..12),
+    ) {
+        let s = snapshot_of(&values);
+        let mut qs: Vec<f64> = raw_qs.iter().map(|&q| q as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let mut last = 0u64;
+        for &q in &qs {
+            let p = s.percentile(q);
+            prop_assert!(p >= last, "p({}) = {} < previous {}", q, p, last);
+            last = p;
+        }
+        let lo = *values.iter().min().expect("non-empty");
+        let hi = *values.iter().max().expect("non-empty");
+        prop_assert!(s.percentile(1.0) == hi, "p100 must be the exact max");
+        prop_assert!(s.percentile(0.0) >= lo, "p0 below the true minimum");
+        prop_assert!(s.percentile(0.5) <= hi);
+    }
+}

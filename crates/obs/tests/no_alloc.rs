@@ -1,0 +1,88 @@
+//! The disabled fast path must be free: no allocation on any disabled
+//! counter/gauge/histogram/tracer call.
+//!
+//! A counting global allocator wraps `System`; the test registers every
+//! handle kind up front (registration may allocate), then drives the
+//! disabled paths hard and asserts the allocation count did not move.
+//! CI runs this in `--release`, where the claim matters; the invariant
+//! is structural (early return before any argument is materialized), so
+//! it holds in debug builds too.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use noftl_obs::{MetricsRegistry, Unit};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_paths_do_not_allocate() {
+    let registry = MetricsRegistry::disabled();
+    let counter = registry.counter("na.counter");
+    let gauge = registry.gauge("na.gauge");
+    let hist = registry.histogram("na.hist_ns", Unit::SimNanos);
+    let tracer = registry.tracer();
+    assert!(!registry.is_enabled());
+    assert!(!tracer.is_enabled());
+
+    let before = ALLOCATIONS.load(Relaxed);
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(i);
+        gauge.set(i);
+        gauge.set_max(i);
+        hist.record(i * 37);
+        tracer.span("na", "span", 0, i, i + 5, &[("pages", i)]);
+        tracer.instant("na", "tick", 1, i, &[]);
+    }
+    let after = ALLOCATIONS.load(Relaxed);
+
+    assert_eq!(after - before, 0, "disabled observability path allocated");
+    assert_eq!(counter.get(), 0);
+    assert_eq!(hist.count(), 0);
+    assert!(tracer.is_empty());
+}
+
+#[test]
+fn enabled_counters_and_histograms_stay_allocation_free_too() {
+    // Stronger than the tentpole asks: even when *enabled*, counter,
+    // gauge and histogram updates are pure atomics (only the tracer
+    // allocates, for its event payloads).
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("na.on.counter");
+    let gauge = registry.gauge("na.on.gauge");
+    let hist = registry.histogram("na.on.hist_ns", Unit::SimNanos);
+
+    let before = ALLOCATIONS.load(Relaxed);
+    for i in 0..10_000u64 {
+        counter.inc();
+        gauge.set_max(i);
+        hist.record(i * 91);
+    }
+    let after = ALLOCATIONS.load(Relaxed);
+
+    assert_eq!(after - before, 0, "enabled metric update allocated");
+    assert_eq!(counter.get(), 10_000);
+    assert_eq!(hist.count(), 10_000);
+}

@@ -12,7 +12,9 @@
 //! * [`tpcc`] — the TPC-C workload and placement configurations
 //!   (`tpcc-workload`);
 //! * [`bench`](mod@bench) — the experiment harness used by the figure
-//!   binaries (`noftl-bench`).
+//!   binaries (`noftl-bench`);
+//! * [`obs`] — the cross-layer observability layer: metrics registry,
+//!   latency histograms and the event tracer (`noftl-obs`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured comparison.
@@ -24,7 +26,12 @@ pub use flash_sim as flash;
 pub use ftl_sim as ftl;
 pub use noftl_bench as bench;
 pub use noftl_core as noftl;
+pub use noftl_obs as obs;
 pub use tpcc_workload as tpcc;
+
+// The one-call rendering facade (`obs::dump::{table, prometheus,
+// chrome_trace}`) is what examples reach for, so it gets a root alias.
+pub use noftl_obs::dump;
 
 // Die-level write placement is part of the repo's top-level story (the
 // queue-aware allocation redesign), so the policy types are additionally
