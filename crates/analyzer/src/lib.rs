@@ -121,7 +121,8 @@ fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> 
 
 /// Default analysis roots, relative to the workspace root: the crates
 /// whose invariants the rules model.
-pub const DEFAULT_ROOTS: &[&str] = &["crates/flash/src", "crates/core/src", "crates/obs/src"];
+pub const DEFAULT_ROOTS: &[&str] =
+    &["crates/flash/src", "crates/core/src", "crates/obs/src", "crates/mirror/src"];
 
 /// Seeded-violation fixtures: each embeds a known bug class with the
 /// virtual path that puts it in the corresponding rule's scope.

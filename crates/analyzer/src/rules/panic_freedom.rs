@@ -29,7 +29,8 @@ const HOT_PATH_FILES: &[&str] =
     &["src/queue.rs", "src/sched.rs", "src/flusher.rs", "src/atomic.rs"];
 
 /// Crate roots (by path substring) the rule applies to.
-const SCOPES: &[&str] = &["crates/flash/src", "crates/core/src", "crates/obs/src"];
+const SCOPES: &[&str] =
+    &["crates/flash/src", "crates/core/src", "crates/obs/src", "crates/mirror/src"];
 
 /// Does the rule apply to this file at all?
 pub fn in_scope(path: &str) -> bool {

@@ -131,7 +131,7 @@ fn bench_queue_depth(c: &mut Criterion) {
     group.bench_function("submit_wait_program", |b| {
         let dev = device();
         let geo = *dev.geometry();
-        let queue = CommandQueue::new(Arc::clone(&dev));
+        let queue = CommandQueue::new(dev.clone());
         let data = vec![0x11u8; geo.page_size as usize];
         let mut i = 0u32;
         let span = geo.total_dies() * geo.pages_per_block;
@@ -156,7 +156,7 @@ fn bench_queue_depth(c: &mut Criterion) {
     group.bench_function("fanout_batch_per_die", |b| {
         let dev = device();
         let geo = *dev.geometry();
-        let queue = CommandQueue::new(Arc::clone(&dev));
+        let queue = CommandQueue::new(dev.clone());
         let data = vec![0x22u8; geo.page_size as usize];
         let mut round = 0u32;
         b.iter(|| {

@@ -30,7 +30,7 @@ fn crashed_snapshot(txns: i64) -> (DeviceSnapshot, u64) {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
     let placement = PlacementConfig::traditional(8, ["t".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
     let db = Database::open(backend, config()).unwrap();

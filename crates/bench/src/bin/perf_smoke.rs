@@ -1,16 +1,16 @@
 //! CI perf-smoke harness: run the headline measurements of the
-//! `queue_depth` (incl. the skewed-load placement comparison), `kv_ops`
-//! and `recovery` benches in quick mode — plus the `latency` section's
+//! `queue_depth` (incl. the skewed-load placement comparison), `kv_ops`,
+//! `recovery` and `mirror` benches in quick mode — plus the `latency` section's
 //! histogram percentiles read back out of the shared metrics registry —
-//! write them to a `BENCH_PR7.json` perf-trajectory point and optionally
+//! write them to a `BENCH_PR8.json` perf-trajectory point and optionally
 //! gate against a committed baseline point.
 //!
 //! ```text
 //! cargo run --release -p noftl-bench --bin perf_smoke -- \
-//!     --out BENCH_PR7.json --compare BENCH_PR6.json
+//!     --out BENCH_PR8.json --compare BENCH_PR7.json
 //! ```
 //!
-//! Flags: `--out <path>` (default `BENCH_PR7.json`), `--full` for the
+//! Flags: `--out <path>` (default `BENCH_PR8.json`), `--full` for the
 //! larger workloads, `--compare <baseline.json>` to fail (exit 1) when
 //! any simulated metric shared with the baseline regressed by more than
 //! 20 % — direction-aware: simulated time and latency percentiles gate
@@ -28,7 +28,7 @@ use noftl_bench::smoke;
 const TOLERANCE: f64 = 0.20;
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_PR7.json");
+    let mut out = PathBuf::from("BENCH_PR8.json");
     let mut baseline: Option<PathBuf> = None;
     let mut quick = true;
     let mut args = std::env::args().skip(1);
@@ -57,6 +57,7 @@ fn main() {
         smoke::queue_depth_section(),
         smoke::kv_ops_section(quick),
         smoke::recovery_section(quick),
+        smoke::mirror_section(quick),
         smoke::latency_section(quick),
     ];
     print!("{}", smoke::render_table(&sections));

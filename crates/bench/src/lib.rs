@@ -110,7 +110,7 @@ impl Experiment {
     /// manager handles for further inspection.
     pub fn run(&self) -> ExperimentResult {
         let device = Arc::new(DeviceBuilder::new(self.geometry).timing(self.timing).build());
-        let noftl = Arc::new(NoFtl::new(Arc::clone(&device), self.noftl));
+        let noftl = Arc::new(NoFtl::new(device.clone(), self.noftl));
         let backend = Arc::new(
             NoFtlBackend::new(Arc::clone(&noftl), &self.placement)
                 .expect("placement must contain at least one region"),

@@ -67,7 +67,7 @@ pub fn striped_addr(geo: &FlashGeometry, i: u32) -> PageAddr {
 pub fn run_at_depth(total: u32, depth: usize) -> (SimTime, UtilizationSummary) {
     let dev = device();
     let geo = *dev.geometry();
-    let queue = CommandQueue::new(Arc::clone(&dev));
+    let queue = CommandQueue::new(dev.clone());
     let data = vec![0xD7u8; geo.page_size as usize];
     let mut window = Vec::with_capacity(depth);
     let mut clock = SimTime::ZERO;
@@ -128,7 +128,7 @@ impl BatchComparison {
 pub fn write_batch_comparison(pages: u64) -> BatchComparison {
     let make = || {
         let dev = device();
-        let noftl = NoFtl::new(Arc::clone(&dev), NoFtlConfig::default());
+        let noftl = NoFtl::new(dev.clone(), NoFtlConfig::default());
         let rid = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
         let obj = noftl.create_object("t", rid).unwrap();
         (dev, noftl, obj)
@@ -199,7 +199,7 @@ pub fn skewed_flush_comparison(pages: u64, storm_erases: u32) -> SkewedFlushComp
     let run = |placement: PlacementPolicyKind| {
         let dev = device();
         let config = NoFtlConfig { placement, ..NoFtlConfig::default() };
-        let noftl = NoFtl::new(Arc::clone(&dev), config);
+        let noftl = NoFtl::new(dev.clone(), config);
         let dies_total = dev.geometry().total_dies();
         let rid =
             noftl.create_region(RegionSpec::named("rgSkew").with_die_count(dies_total)).unwrap();
@@ -289,7 +289,7 @@ pub fn queue_depth_section() -> Section {
 /// criterion bench: a store over a 6-die region of the example device.
 pub fn kv_stack(queued_flush: bool) -> (Arc<NandDevice>, Arc<NoFtl>, KvStore) {
     let dev = device();
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&dev), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(dev.clone(), NoFtlConfig::default()));
     let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(6)).unwrap();
     let config = KvConfig { queued_flush, ..KvConfig::default() };
     let (store, _) = KvStore::create(Arc::clone(&noftl), rid, "bench", config, SimTime::ZERO)
@@ -373,7 +373,7 @@ pub fn recovery_section(quick: bool) -> Section {
         ..DatabaseConfig::default()
     };
     let device = device();
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
     let placement = PlacementConfig::traditional(8, ["t".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
     let db = Database::open(backend, config).unwrap();
@@ -412,6 +412,71 @@ pub fn recovery_section(quick: bool) -> Section {
     }
 }
 
+/// Mirror section: degraded-read latency and rebuild throughput over a
+/// 2-way `MirrorDevice`.  A NoFTL stack writes a working set through the
+/// mirror, reads it healthy, loses a child and reads it degraded (all
+/// traffic squeezed onto the surviving child), then reattaches the child
+/// and measures the online rebuild of exactly the stale segments.  All
+/// values are simulated device time.
+pub fn mirror_section(quick: bool) -> Section {
+    use noftl_mirror::MirrorDevice;
+
+    let pages: u64 = if quick { 96 } else { 384 };
+    let mirror = Arc::new(
+        MirrorDevice::new_fresh(2, FlashGeometry::example(), TimingModel::mlc_2015()).unwrap(),
+    );
+    let (noftl, _rid) = NoFtl::with_single_region(mirror.clone(), NoFtlConfig::default());
+    let obj = noftl.create_object_in("t", "rgAll").unwrap();
+    let mut t = SimTime::ZERO;
+    for p in 0..pages {
+        t = noftl.write(obj, p, &vec![p as u8; 4096], t).unwrap();
+    }
+    t = noftl.checkpoint(t).unwrap();
+
+    // Healthy read sweep: both children online, reads spread across them.
+    let healthy_start = t;
+    for p in 0..pages {
+        t = t.max(noftl.read(obj, p, t).unwrap().1);
+    }
+    let healthy_us = (t.as_nanos() - healthy_start.as_nanos()) as f64 / 1e3;
+
+    // Lose child 1 and overwrite a quarter of the set (accrues dirt),
+    // then sweep again: every read lands on the surviving child.
+    mirror.injector().arm(1, t);
+    t = SimTime(t.as_nanos() + 1);
+    for p in 0..pages / 4 {
+        t = noftl.write(obj, p, &vec![0xD0u8.wrapping_add(p as u8); 4096], t).unwrap();
+    }
+    let degraded_start = t;
+    for p in 0..pages {
+        t = t.max(noftl.read(obj, p, t).unwrap().1);
+    }
+    let degraded_us = (t.as_nanos() - degraded_start.as_nanos()) as f64 / 1e3;
+
+    // Reattach and rebuild online: copies only the stale segments.
+    mirror.injector().clear(1);
+    let dirty = mirror.dirty_segments(1);
+    mirror.start_rebuild(1, t).unwrap();
+    let report = mirror.rebuild(1, 8, t).unwrap();
+    assert!(report.child_online, "bench rebuild must drain");
+    let rebuild_ns = report.completed_at.as_nanos().saturating_sub(t.as_nanos()).max(1);
+    // Pages copied per simulated second, in thousands.
+    let rebuild_kpps = report.pages_copied as f64 / (rebuild_ns as f64 / 1e9) / 1e3;
+
+    Section {
+        name: "mirror",
+        metrics: vec![
+            Metric::new("healthy_read_sweep_us", healthy_us, "us_sim"),
+            Metric::new("degraded_read_sweep_us", degraded_us, "us_sim"),
+            Metric::new("degraded_read_penalty", degraded_us / healthy_us.max(1.0), "x"),
+            Metric::new("dirty_segments", dirty as f64, "segments"),
+            Metric::new("rebuild_pages_copied", report.pages_copied as f64, "pages"),
+            Metric::new("rebuild_simulated_us", rebuild_ns as f64 / 1e3, "us_sim"),
+            Metric::new("rebuild_throughput_kpps", rebuild_kpps, "kops_sim"),
+        ],
+    }
+}
+
 /// The latency quantiles the smoke run reports per histogram.
 const LATENCY_SPECS: [(&str, &str, f64); 12] = [
     ("queued_read_p50_us", "flash.queue.read.wait_ns", 0.5),
@@ -436,7 +501,7 @@ pub fn latency_section(quick: bool) -> Section {
     let pages: u64 = if quick { 192 } else { 768 };
     let puts: u64 = if quick { 2_000 } else { 8_000 };
     let dev = device();
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&dev), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(dev.clone(), NoFtlConfig::default()));
     let rid = noftl.create_region(RegionSpec::named("rgLat").with_die_count(4)).unwrap();
     let obj = noftl.create_object("t", rid).unwrap();
 
@@ -449,12 +514,16 @@ pub fn latency_section(quick: bool) -> Section {
         now = now.max(noftl.write_windowed(chunk, now, 16).unwrap());
     }
     // A read sweep through the asynchronous path fills
-    // `flash.queue.read.wait_ns`.
+    // `flash.queue.read.wait_ns`.  The percentiles are sampled *here*,
+    // before the KV phase: its compaction merges also ride the queued
+    // read path now (deliberately overlapped, so individually longer
+    // waits buy shorter scans) and would skew the sweep's distribution.
     for p in 0..pages {
         let handle = noftl.submit_read(obj, p, now).unwrap();
         let (_, done) = noftl.wait_io(handle).unwrap();
         now = now.max(done);
     }
+    let read_snap = noftl.metrics_snapshot();
     // KV puts (into a second region of the same stack) fill
     // `kv.put.latency_ns` — mostly memtable-resident, with flush spikes
     // in the tail.
@@ -470,7 +539,8 @@ pub fn latency_section(quick: bool) -> Section {
     let metrics = LATENCY_SPECS
         .iter()
         .map(|&(name, hist, q)| {
-            let value = snap.histogram(hist).map_or(0, |h| h.percentile(q));
+            let source = if hist == "flash.queue.read.wait_ns" { &read_snap } else { &snap };
+            let value = source.histogram(hist).map_or(0, |h| h.percentile(q));
             Metric::new(name, value as f64 / 1e3, "us_sim")
         })
         .collect();
@@ -478,7 +548,7 @@ pub fn latency_section(quick: bool) -> Section {
 }
 
 /// The PR number stamped into the perf-trajectory JSON.
-pub const PERF_POINT_PR: u32 = 7;
+pub const PERF_POINT_PR: u32 = 8;
 
 /// Serialise sections into a `BENCH_*.json` perf-trajectory point.
 pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Result<()> {
@@ -784,6 +854,21 @@ mod tests {
             metrics: vec![Metric::new("depth_1_us", 1100.0, "us_sim")],
         }];
         assert!(compare_perf_points(&old_text, &fresh_ok, 0.2).failures.is_empty());
+    }
+
+    #[test]
+    fn mirror_section_quick_is_sane() {
+        let section = mirror_section(true);
+        let get =
+            |name: &str| section.metrics.iter().find(|m| m.name == name).map(|m| m.value).unwrap();
+        assert!(get("healthy_read_sweep_us") > 0.0);
+        assert!(
+            get("degraded_read_sweep_us") >= get("healthy_read_sweep_us"),
+            "losing a child cannot make reads faster"
+        );
+        assert!(get("dirty_segments") >= 1.0, "degraded writes must dirty segments");
+        assert!(get("rebuild_pages_copied") > 0.0);
+        assert!(get("rebuild_throughput_kpps") > 0.0);
     }
 
     #[test]

@@ -256,7 +256,7 @@ mod tests {
         let device = Arc::new(
             DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
         );
-        let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::default());
+        let noftl = NoFtl::new(device.clone(), NoFtlConfig::default());
         let r = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
         let obj = noftl.create_object("t", r).unwrap();
         let dies = noftl.region_dies(r).unwrap();

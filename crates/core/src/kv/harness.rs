@@ -139,7 +139,7 @@ fn build_stack(cfg: &KvCrashConfig) -> Result<(Stack, SimTime)> {
     // override; here the harness can return it as a proper config error.
     PlacementPolicyKind::try_from_env(cfg.placement)?;
     let device = Arc::new(DeviceBuilder::new(cfg.geometry).timing(cfg.timing).build());
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), noftl_config(cfg)));
+    let noftl = Arc::new(NoFtl::new(device.clone(), noftl_config(cfg)));
     let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(cfg.region_dies))?;
     let (store, created_at) =
         KvStore::create(Arc::clone(&noftl), rid, STORE, cfg.kv, SimTime::ZERO)?;
@@ -256,7 +256,7 @@ fn run_cycle_with_cut(cfg: &KvCrashConfig, cut_at: SimTime) -> Result<KvCrashOut
         NandDevice::from_snapshot(&snap, cfg.timing)
             .map_err(|e| NoFtlError::Recovery { message: format!("reboot failed: {e}") })?,
     );
-    let (noftl2, mount) = NoFtl::mount(Arc::clone(&device2), noftl_config(cfg), cut_at)?;
+    let (noftl2, mount) = NoFtl::mount(device2.clone(), noftl_config(cfg), cut_at)?;
     let (store2, open) = KvStore::open(Arc::new(noftl2), STORE, cfg.kv, mount.completed_at)?;
 
     // ---- Verification -------------------------------------------------

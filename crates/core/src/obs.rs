@@ -19,6 +19,8 @@
 //! * `core.flush.window_occupancy` — in-flight depth of the windowed
 //!   write pipeline, sampled at every submission;
 //! * `core.flush.window_ns` — issue→drain latency of whole windows;
+//! * `core.read.window_occupancy` / `core.read.window_ns` — the same two
+//!   views of the windowed *read* pipeline (scans, compaction merges);
 //! * `core.gc.{runs,pages_moved,blocks_erased}` — GC activity;
 //! * `core.flusher.{batches,pages}` / `core.flusher.inflight_hwm` — the
 //!   background flusher's batch counters and window high-water mark;
@@ -55,6 +57,8 @@ pub(crate) struct CoreObs {
     steer_delta_total: Counter,
     flush_window_occupancy: Histogram,
     flush_window_ns: Histogram,
+    read_window_occupancy: Histogram,
+    read_window_ns: Histogram,
     gc_runs: Counter,
     gc_pages_moved: Counter,
     gc_blocks_erased: Counter,
@@ -73,6 +77,8 @@ impl CoreObs {
             steer_delta_total: registry.counter("core.placement.steer_delta_total"),
             flush_window_occupancy: registry.histogram("core.flush.window_occupancy", Unit::Count),
             flush_window_ns: registry.histogram("core.flush.window_ns", Unit::SimNanos),
+            read_window_occupancy: registry.histogram("core.read.window_occupancy", Unit::Count),
+            read_window_ns: registry.histogram("core.read.window_ns", Unit::SimNanos),
             gc_runs: registry.counter("core.gc.runs"),
             gc_pages_moved: registry.counter("core.gc.pages_moved"),
             gc_blocks_erased: registry.counter("core.gc.blocks_erased"),
@@ -144,6 +150,28 @@ impl CoreObs {
         self.registry.tracer().span(
             "core.flush",
             "write_window",
+            TRACK_FLUSH,
+            issued.as_nanos(),
+            done.as_nanos(),
+            &[("pages", pages)],
+        );
+    }
+
+    /// Sample the windowed read pipeline's in-flight depth at one
+    /// submission instant.
+    pub(crate) fn note_read_window_occupancy(&self, inflight: u64) {
+        self.read_window_occupancy.record(inflight);
+    }
+
+    /// Record a completed read window: issue→drain latency plus a
+    /// tracer span on the flush track.  Kept separate from
+    /// [`CoreObs::note_window_done`] so scan/merge read windows never
+    /// skew the write-flush latency distribution.
+    pub(crate) fn note_read_window_done(&self, pages: u64, issued: SimTime, done: SimTime) {
+        self.read_window_ns.record(done.since(issued).as_nanos());
+        self.registry.tracer().span(
+            "core.read",
+            "read_window",
             TRACK_FLUSH,
             issued.as_nanos(),
             done.as_nanos(),

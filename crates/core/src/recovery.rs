@@ -44,10 +44,12 @@ const CHUNK_MAGIC: u32 = 0x4E46_434B; // "NFCK"
 pub(crate) const CHUNK_HEADER: usize = 24;
 
 /// Magic prefix of the checkpoint blob itself.  Version 02 added the
-/// per-region placement-policy tag; the bump makes blobs written by
-/// older code decode as "no checkpoint" instead of mis-aligning the
-/// cursor on the new field.
-const BLOB_MAGIC: &[u8; 8] = b"NFCKPT02";
+/// per-region placement-policy tag; version 03 added the dirty-die
+/// directory (mount skips dies never written) and the opaque replication
+/// blob (mirror health + per-child dirty-segment maps).  Each bump makes
+/// blobs written by older code decode as "no checkpoint" instead of
+/// mis-aligning the cursor on the new fields.
+const BLOB_MAGIC: &[u8; 8] = b"NFCKPT03";
 
 /// Summary of what `NoFtl::mount` found and rebuilt.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -78,6 +80,10 @@ pub struct MountReport {
     pub unreadable_metadata_pages: u64,
     /// Total valid pages scanned.
     pub pages_scanned: u64,
+    /// Dies whose OOB scan was skipped because neither the device's
+    /// touched flags nor the checkpoint's dirty-die directory recorded
+    /// any write to them.
+    pub dies_skipped: u64,
     /// Simulated time at which the mount completed.
     pub completed_at: SimTime,
 }
@@ -110,6 +116,14 @@ pub(crate) struct CheckpointImage {
     pub epoch_watermark: u64,
     pub meta_region: Option<RegionId>,
     pub free_dies: Vec<DieId>,
+    /// Directory of dies that had ever been programmed or erased at
+    /// checkpoint time.  Mount unions this with the device's own
+    /// `die_touched` probes and skips the OOB scan of every other die.
+    pub dirty_dies: Vec<DieId>,
+    /// Opaque replication state ([`flash_sim::FlashBackend::replication_blob`]):
+    /// the mirror's child health and dirty-segment maps.  `None` for
+    /// unreplicated backends.
+    pub replication: Option<Vec<u8>>,
     pub regions: Vec<RegionImage>,
     pub objects: Vec<ObjectImage>,
 }
@@ -224,6 +238,18 @@ impl CheckpointImage {
         for d in &self.free_dies {
             put_u32(&mut out, d.0);
         }
+        put_u32(&mut out, self.dirty_dies.len() as u32);
+        for d in &self.dirty_dies {
+            put_u32(&mut out, d.0);
+        }
+        match &self.replication {
+            Some(blob) => {
+                out.push(1);
+                put_u32(&mut out, blob.len() as u32);
+                out.extend_from_slice(blob);
+            }
+            None => out.push(0),
+        }
         put_u32(&mut out, self.regions.len() as u32);
         for r in &self.regions {
             put_u32(&mut out, r.id.0);
@@ -286,6 +312,17 @@ impl CheckpointImage {
         for _ in 0..free_count {
             free_dies.push(DieId(c.u32()?));
         }
+        let dirty_count = c.u32()? as usize;
+        let mut dirty_dies = Vec::with_capacity(dirty_count);
+        for _ in 0..dirty_count {
+            dirty_dies.push(DieId(c.u32()?));
+        }
+        let replication = if c.u8()? != 0 {
+            let len = c.u32()? as usize;
+            Some(c.take(len)?.to_vec())
+        } else {
+            None
+        };
         let region_count = c.u32()? as usize;
         let mut regions = Vec::with_capacity(region_count);
         for _ in 0..region_count {
@@ -331,7 +368,16 @@ impl CheckpointImage {
         if c.pos != body.len() {
             return None;
         }
-        Some(CheckpointImage { seq, epoch_watermark, meta_region, free_dies, regions, objects })
+        Some(CheckpointImage {
+            seq,
+            epoch_watermark,
+            meta_region,
+            free_dies,
+            dirty_dies,
+            replication,
+            regions,
+            objects,
+        })
     }
 }
 
@@ -383,6 +429,8 @@ mod tests {
             epoch_watermark: 991,
             meta_region: Some(RegionId(2)),
             free_dies: vec![DieId(6), DieId(7)],
+            dirty_dies: vec![DieId(0), DieId(1), DieId(2)],
+            replication: Some(vec![0xAB; 17]),
             regions: vec![RegionImage {
                 id: RegionId(0),
                 spec: RegionSpec::named("rgHot")

@@ -5,7 +5,7 @@
 //! a region with more dies offers more I/O parallelism.  All space
 //! reclamation (GC) and wear leveling happen region-locally.
 
-use flash_sim::{BlockAddr, DieId, DieLoad, FlashGeometry, NandDevice, PageAddr};
+use flash_sim::{BlockAddr, DieId, DieLoad, FlashBackend, FlashGeometry, PageAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -136,7 +136,7 @@ impl RegionDie {
     /// of the die as free.  The caller must ensure the die actually is
     /// erased (true at device start-up and after a die is migrated out of
     /// another region).
-    pub(crate) fn new(device: &NandDevice, die: DieId) -> Self {
+    pub(crate) fn new(device: &dyn FlashBackend, die: DieId) -> Self {
         let geo = device.geometry();
         let mut free_blocks = Vec::with_capacity(geo.blocks_per_die() as usize);
         for plane in 0..geo.planes_per_die {
@@ -157,7 +157,7 @@ impl RegionDie {
     /// free pool, partially programmed blocks become write frontiers
     /// (continuing at their hardware write pointer) and full blocks become
     /// GC candidates.  Bad blocks are dropped from tracking.
-    pub(crate) fn rebuild(device: &NandDevice, die: DieId) -> Self {
+    pub(crate) fn rebuild(device: &dyn FlashBackend, die: DieId) -> Self {
         let geo = device.geometry();
         let mut out = RegionDie {
             die,
@@ -205,7 +205,7 @@ impl RegionDie {
     /// Pick and open a fresh block for the host frontier.
     pub(crate) fn open_host_block(
         &mut self,
-        device: &NandDevice,
+        device: &dyn FlashBackend,
         policy: WearLevelingPolicy,
     ) -> bool {
         let cands: Vec<FreeBlockCandidate> = self
@@ -230,7 +230,7 @@ impl RegionDie {
     /// Pick and open a fresh block for the GC frontier.
     pub(crate) fn open_gc_block(
         &mut self,
-        device: &NandDevice,
+        device: &dyn FlashBackend,
         policy: WearLevelingPolicy,
     ) -> bool {
         let cands: Vec<FreeBlockCandidate> = self
@@ -256,7 +256,7 @@ impl RegionDie {
     /// Returns `None` when the die has no free blocks left.
     pub(crate) fn next_host_page(
         &mut self,
-        device: &NandDevice,
+        device: &dyn FlashBackend,
         policy: WearLevelingPolicy,
         pages_per_block: u32,
     ) -> Option<PageAddr> {
@@ -282,7 +282,7 @@ impl RegionDie {
     /// Next page of the GC frontier, opening a new block when necessary.
     pub(crate) fn next_gc_page(
         &mut self,
-        device: &NandDevice,
+        device: &dyn FlashBackend,
         policy: WearLevelingPolicy,
         pages_per_block: u32,
     ) -> Option<PageAddr> {
@@ -362,7 +362,7 @@ impl RegionRuntime {
     pub(crate) fn new(
         id: RegionId,
         spec: RegionSpec,
-        device: &NandDevice,
+        device: &dyn FlashBackend,
         dies: Vec<DieId>,
     ) -> Self {
         let name = spec.name.clone();

@@ -952,7 +952,7 @@ mod tests {
         let device = Arc::new(
             DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
         );
-        let noftl = Arc::new(noftl_core::NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+        let noftl = Arc::new(noftl_core::NoFtl::new(device.clone(), NoFtlConfig::default()));
         let placement = PlacementConfig::traditional(8, [METADATA_OBJECT.to_string()]);
         let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
         let config = DatabaseConfig { buffer_pages: 64, redo_logging: true, ..Default::default() };

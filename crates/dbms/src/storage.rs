@@ -51,6 +51,32 @@ pub trait StorageBackend: Send + Sync {
     /// Read a logical page of an object.
     fn read_page(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)>;
 
+    /// Read a batch of pages through a bounded completion-driven
+    /// pipeline — the read-side counterpart of
+    /// [`StorageBackend::write_windowed`].  At most `window` reads are in
+    /// flight; each further read is issued at the completion of the
+    /// oldest outstanding one.  Returns the payloads **in request order**
+    /// plus the maximum completion over the whole window.  Range scans
+    /// and compaction merges drive this so their page fetches overlap the
+    /// region's dies instead of serializing.  Backends without
+    /// asynchronous submission fall back to chained `read_page` calls.
+    fn read_windowed(
+        &self,
+        reads: &[(ObjectId, u64)],
+        at: SimTime,
+        window: usize,
+    ) -> Result<(Vec<Vec<u8>>, SimTime)> {
+        let _ = window;
+        let mut out = Vec::with_capacity(reads.len());
+        let mut clock = at;
+        for (obj, page) in reads {
+            let (data, done) = self.read_page(*obj, *page, clock)?;
+            clock = clock.max(done);
+            out.push(data);
+        }
+        Ok((out, clock))
+    }
+
     /// Write a logical page of an object.
     fn write_page(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime>;
 
@@ -202,6 +228,15 @@ impl StorageBackend for NoFtlBackend {
 
     fn read_page(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<(Vec<u8>, SimTime)> {
         self.noftl.read(obj, page, at).map_err(Into::into)
+    }
+
+    fn read_windowed(
+        &self,
+        reads: &[(ObjectId, u64)],
+        at: SimTime,
+        window: usize,
+    ) -> Result<(Vec<Vec<u8>>, SimTime)> {
+        self.noftl.read_windowed(reads, at, window).map_err(Into::into)
     }
 
     fn write_page(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime> {

@@ -1,0 +1,280 @@
+//! The flash backend abstraction the storage manager runs on.
+//!
+//! `NoFtl` and the [`crate::queue::CommandQueue`] were written against a
+//! single [`NandDevice`]; the replication layer (`noftl-mirror`) fronts
+//! *several* devices behind the same call surface.  [`FlashBackend`]
+//! captures that surface as a trait: the full timed native-flash command
+//! set (read/program/erase/copyback with caller-supplied issue times and
+//! device-returned completion times), the page/block state probes the
+//! region manager's GC and mount scan need, and the load/metrics probes
+//! placement policies and the observability layer read.
+//!
+//! Two hooks exist purely for replicated backends and default to no-ops
+//! on a plain device:
+//!
+//! * [`FlashBackend::replication_blob`] — opaque state the checkpoint
+//!   path persists alongside the region directory (the mirror's health +
+//!   dirty-segment map);
+//! * [`FlashBackend::restore_replication`] — handed back at mount so a
+//!   rebooted mirror knows which children are stale.  A missing or torn
+//!   blob must degrade to "rebuild everything", never silent staleness.
+
+use std::sync::Arc;
+
+use noftl_obs::MetricsRegistry;
+
+use crate::addr::{BlockAddr, DieId, PageAddr};
+use crate::block::{BlockInfo, PageState};
+use crate::device::{DieLoad, NandDevice, OpOutcome};
+use crate::geometry::FlashGeometry;
+use crate::metadata::PageMetadata;
+use crate::stats::{DeviceStats, DieStats, WearSummary};
+use crate::time::SimTime;
+use crate::timing::TimingModel;
+use crate::Result;
+
+/// The native-flash command surface the storage manager programs against.
+///
+/// Implemented by [`NandDevice`] (one simulated chip array) and by
+/// `noftl_mirror::MirrorDevice` (a replicated set of them).  All timed
+/// operations take the caller's simulated clock and return the operation's
+/// completion; state probes are untimed.
+pub trait FlashBackend: Send + Sync {
+    /// Device geometry (identical across mirror children by construction).
+    fn geometry(&self) -> &FlashGeometry;
+
+    /// Timing model in use.
+    fn timing(&self) -> &TimingModel;
+
+    /// The metrics registry shared by the whole stack above this backend.
+    fn metrics(&self) -> &Arc<MetricsRegistry>;
+
+    /// Read a page: payload (empty if the device stores none), OOB
+    /// metadata, and the operation outcome with its completion time.
+    fn read_page(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+    ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)>;
+
+    /// Read only the OOB metadata of a page (the mount scan's workhorse).
+    fn read_metadata(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+    ) -> Result<(Option<PageMetadata>, OpOutcome)>;
+
+    /// Program a page (strictly sequential within its block).
+    fn program_page(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        meta: PageMetadata,
+        at: SimTime,
+    ) -> Result<OpOutcome>;
+
+    /// Erase a block.
+    fn erase_block(&self, addr: BlockAddr, at: SimTime) -> Result<OpOutcome>;
+
+    /// On-die copyback of a valid page.
+    fn copyback(&self, src: PageAddr, dst: PageAddr, at: SimTime) -> Result<OpOutcome>;
+
+    /// Mark a page invalid (untimed state transition).
+    fn mark_invalid(&self, addr: PageAddr) -> Result<()>;
+
+    /// Permanently retire a block.
+    fn retire_block(&self, addr: BlockAddr) -> Result<()>;
+
+    /// Snapshot of one block's state.
+    fn block_info(&self, addr: BlockAddr) -> Result<BlockInfo>;
+
+    /// State of a single page.
+    fn page_state(&self, addr: PageAddr) -> Result<PageState>;
+
+    /// Aggregate statistics (summed over mirror children).
+    fn stats(&self) -> DeviceStats;
+
+    /// Per-die statistics.
+    fn die_stats(&self) -> Vec<DieStats>;
+
+    /// Wear summary over the backend's blocks.
+    fn wear_summary(&self) -> WearSummary;
+
+    /// Latest completion time over the whole backend.
+    fn quiesce_time(&self) -> SimTime;
+
+    /// When a die becomes idle given the operations issued so far.
+    fn die_busy_until(&self, die: DieId) -> SimTime;
+
+    /// Instantaneous load snapshot of one die as of `at`.
+    fn die_load(&self, die: DieId, at: SimTime) -> DieLoad;
+
+    /// Load snapshots of every die as of `at`, indexed by die id.
+    fn die_loads(&self, at: SimTime) -> Vec<DieLoad>;
+
+    /// Current device-wide write epoch (checkpoint watermark).
+    fn current_epoch(&self) -> u64;
+
+    /// Whether page payloads are stored (and can be read back).
+    fn stores_data(&self) -> bool;
+
+    /// Has this die ever been programmed or erased?  `NoFtl::mount` skips
+    /// the full OOB scan of untouched dies.
+    fn die_touched(&self, die: DieId) -> bool;
+
+    /// Downcast hook for callers that need the concrete backend — e.g.
+    /// crash harnesses snapshotting a [`NandDevice`] or arming its
+    /// power-cut injector through an `Arc<dyn FlashBackend>` handle.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Opaque replication state for the checkpoint path to persist, or
+    /// `None` for unreplicated backends.
+    fn replication_blob(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore replication state persisted by [`Self::replication_blob`].
+    /// `blob` is `None` when the mounted checkpoint predates replication
+    /// or no checkpoint exists; implementations must treat that (and any
+    /// undecodable blob) as "every non-source child may be stale".
+    /// Returns the completion time of any scanning the restore performed.
+    fn restore_replication(&self, blob: Option<&[u8]>, at: SimTime) -> Result<SimTime> {
+        let _ = blob;
+        Ok(at)
+    }
+}
+
+impl FlashBackend for NandDevice {
+    fn geometry(&self) -> &FlashGeometry {
+        NandDevice::geometry(self)
+    }
+
+    fn timing(&self) -> &TimingModel {
+        NandDevice::timing(self)
+    }
+
+    fn metrics(&self) -> &Arc<MetricsRegistry> {
+        NandDevice::metrics(self)
+    }
+
+    fn read_page(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+    ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
+        NandDevice::read_page(self, addr, at)
+    }
+
+    fn read_metadata(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+    ) -> Result<(Option<PageMetadata>, OpOutcome)> {
+        NandDevice::read_metadata(self, addr, at)
+    }
+
+    fn program_page(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        meta: PageMetadata,
+        at: SimTime,
+    ) -> Result<OpOutcome> {
+        NandDevice::program_page(self, addr, data, meta, at)
+    }
+
+    fn erase_block(&self, addr: BlockAddr, at: SimTime) -> Result<OpOutcome> {
+        NandDevice::erase_block(self, addr, at)
+    }
+
+    fn copyback(&self, src: PageAddr, dst: PageAddr, at: SimTime) -> Result<OpOutcome> {
+        NandDevice::copyback(self, src, dst, at)
+    }
+
+    fn mark_invalid(&self, addr: PageAddr) -> Result<()> {
+        NandDevice::mark_invalid(self, addr)
+    }
+
+    fn retire_block(&self, addr: BlockAddr) -> Result<()> {
+        NandDevice::retire_block(self, addr)
+    }
+
+    fn block_info(&self, addr: BlockAddr) -> Result<BlockInfo> {
+        NandDevice::block_info(self, addr)
+    }
+
+    fn page_state(&self, addr: PageAddr) -> Result<PageState> {
+        NandDevice::page_state(self, addr)
+    }
+
+    fn stats(&self) -> DeviceStats {
+        NandDevice::stats(self)
+    }
+
+    fn die_stats(&self) -> Vec<DieStats> {
+        NandDevice::die_stats(self)
+    }
+
+    fn wear_summary(&self) -> WearSummary {
+        NandDevice::wear_summary(self)
+    }
+
+    fn quiesce_time(&self) -> SimTime {
+        NandDevice::quiesce_time(self)
+    }
+
+    fn die_busy_until(&self, die: DieId) -> SimTime {
+        NandDevice::die_busy_until(self, die)
+    }
+
+    fn die_load(&self, die: DieId, at: SimTime) -> DieLoad {
+        NandDevice::die_load(self, die, at)
+    }
+
+    fn die_loads(&self, at: SimTime) -> Vec<DieLoad> {
+        NandDevice::die_loads(self, at)
+    }
+
+    fn current_epoch(&self) -> u64 {
+        NandDevice::current_epoch(self)
+    }
+
+    fn stores_data(&self) -> bool {
+        NandDevice::stores_data(self)
+    }
+
+    fn die_touched(&self, die: DieId) -> bool {
+        NandDevice::die_touched(self, die)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceBuilder;
+
+    #[test]
+    fn nand_device_is_a_backend() {
+        let device: Arc<dyn FlashBackend> =
+            Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
+        assert_eq!(device.geometry().page_size, 4096);
+        assert!(device.stores_data());
+        assert_eq!(device.quiesce_time(), SimTime::ZERO);
+        // Plain devices have no replication state and accept any blob.
+        assert!(device.replication_blob().is_none());
+        assert_eq!(
+            device.restore_replication(Some(b"junk"), SimTime::ZERO).unwrap(),
+            SimTime::ZERO
+        );
+        assert!(!device.die_touched(DieId(0)));
+        let addr = PageAddr::new(DieId(0), 0, 0, 0);
+        let data = vec![7u8; 4096];
+        device.program_page(addr, &data, PageMetadata::new(1, 0), SimTime::ZERO).unwrap();
+        assert!(device.die_touched(DieId(0)));
+        assert_eq!(device.read_page(addr, device.quiesce_time()).unwrap().0, data);
+    }
+}

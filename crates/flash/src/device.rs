@@ -21,7 +21,7 @@
 //! sanitizer checks against the documented order in debug builds and the
 //! `noftl-analyzer` lock-order rule checks statically.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use noftl_obs::MetricsRegistry;
@@ -181,6 +181,7 @@ impl DeviceBuilder {
                 stats: DeviceStats::default(),
                 trace: TraceBuffer::new(self.trace_capacity),
             }),
+            touched: (0..g.total_dies()).map(|_| AtomicBool::new(false)).collect(),
             obs: DeviceObs::new(registry, g.total_dies()),
         }
     }
@@ -249,6 +250,9 @@ pub struct NandDevice {
     power_cut: AtomicU64,
     /// Aggregate statistics and trace (thin shared section).
     shared: Mutex<Shared>,
+    /// Per-die "ever programmed/erased" flags (lock-free), kept so
+    /// `NoFtl::mount` can skip the OOB scan of dies that never held data.
+    touched: Vec<AtomicBool>,
     /// Pre-registered metric handles (atomics-only; see `crate::obs`).
     obs: DeviceObs,
 }
@@ -463,10 +467,50 @@ impl NandDevice {
         &self,
         addr: PageAddr,
         data: &[u8],
-        mut meta: PageMetadata,
+        meta: PageMetadata,
         at: SimTime,
     ) -> Result<OpOutcome> {
+        self.program_page_inner(addr, data, meta, at, true)
+    }
+
+    /// Program a page as part of a replication rebuild: identical to
+    /// [`NandDevice::program_page`] except that a caller-assigned epoch
+    /// does **not** ratchet the device-wide epoch counter.
+    ///
+    /// The counter is the high-water mark of the *consistent* history
+    /// this device holds.  A rebuild replays source pages (with their
+    /// original epochs) onto a stale device; until the rebuild commits,
+    /// those pages are not part of a consistent history, and advancing
+    /// the counter early would let a crash mid-rebuild leave a
+    /// half-copied device that claims — by epoch — to be as current as
+    /// its source.  The mirror calls [`NandDevice::ratchet_epoch`] once
+    /// the rebuild completes.
+    pub fn program_replica(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        meta: PageMetadata,
+        at: SimTime,
+    ) -> Result<OpOutcome> {
+        self.program_page_inner(addr, data, meta, at, false)
+    }
+
+    /// Commit a rebuilt history: advance the epoch counter to `to` (never
+    /// backwards).  See [`NandDevice::program_replica`].
+    pub fn ratchet_epoch(&self, to: u64) {
+        self.epoch.fetch_max(to, Ordering::AcqRel);
+    }
+
+    fn program_page_inner(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        mut meta: PageMetadata,
+        at: SimTime,
+        ratchet: bool,
+    ) -> Result<OpOutcome> {
         self.check_page(addr)?;
+        self.note_touched(addr.die);
         if self.store_data && !data.is_empty() && data.len() != self.geometry.page_size as usize {
             return Err(FlashError::BadPageSize {
                 expected: self.geometry.page_size,
@@ -496,6 +540,13 @@ impl NandDevice {
         }
         if meta.epoch == 0 {
             meta.epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        } else if ratchet {
+            // Caller-assigned epoch (a mirror stamping a shared sequence):
+            // ratchet the counter so `current_epoch` — and the snapshot
+            // that persists it — reports the newest epoch this device has
+            // stored as part of its consistent history.  Rebuild replays
+            // (`program_replica`) deliberately skip this.
+            self.epoch.fetch_max(meta.epoch, Ordering::AcqRel);
         }
         let sched = {
             let mut chan = self.channel_shard(ch);
@@ -582,6 +633,7 @@ impl NandDevice {
     /// the block exceeds its endurance budget (the block is then retired).
     pub fn erase_block(&self, addr: BlockAddr, at: SimTime) -> Result<OpOutcome> {
         self.check_block(addr)?;
+        self.note_touched(addr.die);
         self.check_powered(at)?;
         let mut die = self.die_shard(addr.die);
         {
@@ -644,6 +696,7 @@ impl NandDevice {
     pub fn copyback(&self, src: PageAddr, dst: PageAddr, at: SimTime) -> Result<OpOutcome> {
         self.check_page(src)?;
         self.check_page(dst)?;
+        self.note_touched(dst.die);
         if src.die != dst.die || (self.strict_copyback_plane && src.plane != dst.plane) {
             return Err(FlashError::CopybackCrossDie { src, dst });
         }
@@ -793,6 +846,7 @@ impl NandDevice {
     /// Mark a whole block bad (e.g. after a program failure).
     pub fn retire_block(&self, addr: BlockAddr) -> Result<()> {
         self.check_block(addr)?;
+        self.note_touched(addr.die);
         let mut die = self.die_shard(addr.die);
         die.planes[addr.plane as usize].blocks[addr.block as usize].state = BlockState::Bad;
         Ok(())
@@ -839,6 +893,20 @@ impl NandDevice {
         } else {
             SimTime::ZERO
         }
+    }
+
+    /// Record that a die's contents may have changed (lock-free flag).
+    fn note_touched(&self, die: DieId) {
+        if let Some(flag) = self.touched.get(die.0 as usize) {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Has this die ever been programmed, erased or retired?  A `false`
+    /// answer is a guarantee: every block of the die is still in its
+    /// factory state, so a mount scan of it cannot find anything.
+    pub fn die_touched(&self, die: DieId) -> bool {
+        self.touched.get(die.0 as usize).is_some_and(|f| f.load(Ordering::Acquire))
     }
 
     /// Instantaneous load snapshot of one die as of `at`: when its current
@@ -1031,6 +1099,18 @@ impl NandDevice {
                 }
             }
         }
+        // A die counts as touched if any of its blocks ever left the
+        // pristine state — the same condition under which the mount scan
+        // could find anything.
+        let touched: Vec<AtomicBool> =
+            snap.blocks
+                .chunks(g.blocks_per_die() as usize)
+                .map(|chunk| {
+                    AtomicBool::new(chunk.iter().any(|b| {
+                        b.write_ptr > 0 || b.erase_count > 0 || b.state != BlockState::Free
+                    }))
+                })
+                .collect();
         // `total_blocks == total_dies * blocks_per_die` was validated
         // above, so chunking yields exactly one full chunk per die.
         let dies: Vec<Die> = snap
@@ -1057,6 +1137,7 @@ impl NandDevice {
             epoch: AtomicU64::new(snap.epoch),
             power_cut: AtomicU64::new(POWER_CUT_NONE),
             shared: Mutex::new(Shared { stats: snap.stats.clone(), trace: TraceBuffer::new(0) }),
+            touched,
             obs: DeviceObs::new(Arc::new(MetricsRegistry::new()), g.total_dies()),
         })
     }

@@ -81,6 +81,26 @@ pub enum FlashError {
         /// The simulated instant at which power was lost.
         at: SimTime,
     },
+    /// A whole simulated device disappeared (hot-unplug injected through
+    /// `fault::DeviceLossInjector`): every operation issued to it at or
+    /// after `at` is rejected until the device is reattached or replaced.
+    DeviceLost {
+        /// Index of the lost device within its mirror (0 standalone).
+        child: usize,
+        /// The simulated instant at which the device disappeared.
+        at: SimTime,
+    },
+    /// A replicated operation found no healthy child to serve it.
+    NoHealthyChild {
+        /// The simulated instant of the failed operation.
+        at: SimTime,
+    },
+    /// A mirror could not be assembled or driven (too few children,
+    /// mismatched geometries, an illegal health transition, ...).
+    MirrorConfig {
+        /// Human-readable description.
+        message: String,
+    },
     /// A persistent device image could not be written, read or decoded.
     Image {
         /// Human-readable description.
@@ -121,6 +141,13 @@ impl fmt::Display for FlashError {
             FlashError::PowerLoss { at } => {
                 write!(f, "power lost at t={} ns; device requires reboot", at.as_nanos())
             }
+            FlashError::DeviceLost { child, at } => {
+                write!(f, "device (mirror child {child}) lost at t={} ns", at.as_nanos())
+            }
+            FlashError::NoHealthyChild { at } => {
+                write!(f, "no healthy mirror child available at t={} ns", at.as_nanos())
+            }
+            FlashError::MirrorConfig { message } => write!(f, "mirror error: {message}"),
             FlashError::Image { message } => write!(f, "device image error: {message}"),
             FlashError::UnknownHandle { handle } => {
                 write!(f, "unknown or already-claimed command handle #{handle}")
@@ -141,6 +168,12 @@ impl FlashError {
     /// rebooted via a snapshot before it accepts further operations).
     pub fn is_power_loss(&self) -> bool {
         matches!(self, FlashError::PowerLoss { .. })
+    }
+
+    /// True if the error reports the loss of a whole device (the mirror
+    /// layer faults the child and degrades instead of failing the I/O).
+    pub fn is_device_loss(&self) -> bool {
+        matches!(self, FlashError::DeviceLost { .. })
     }
 
     /// True if the error indicates a permanently unusable block.

@@ -55,12 +55,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod backend;
 pub mod badblock;
 pub mod block;
 pub mod crc;
 pub mod device;
 pub mod die;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod lockorder;
@@ -74,11 +76,13 @@ pub mod timing;
 pub mod trace;
 
 pub use addr::{BlockAddr, DieId, PageAddr, PlaneAddr};
+pub use backend::FlashBackend;
 pub use badblock::BadBlockPolicy;
 pub use block::{BlockInfo, BlockSnapshot, BlockState, PageState};
 pub use crc::crc32;
 pub use device::{DeviceBuilder, DeviceSnapshot, DieLoad, NandDevice, OpOutcome};
 pub use error::FlashError;
+pub use fault::DeviceLossInjector;
 pub use geometry::FlashGeometry;
 pub use lockorder::{LockClass, TrackedGuard};
 pub use metadata::PageMetadata;

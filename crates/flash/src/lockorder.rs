@@ -3,7 +3,7 @@
 //! The repository's documented lock hierarchy is a single total order:
 //!
 //! ```text
-//! manager → pending-io → queue → die(id) → channel(id) → shared
+//! manager → pending-io → mirror → mirror-range → queue → die(id) → channel(id) → shared
 //! ```
 //!
 //! with ascending ids inside the `die`/`channel` classes.  Every shard-lock
@@ -48,6 +48,12 @@ pub enum LockClass {
     Manager,
     /// `noftl-core`'s pending-I/O completion map.
     PendingIo,
+    /// `noftl-mirror`'s replica state (health machine + segment maps).
+    /// Sits above `Queue` because the mirror fans out to its children's
+    /// command queues while holding it.
+    Mirror,
+    /// `noftl-mirror`'s write-vs-rebuild range locks.
+    MirrorRange,
     /// The command queue's submission state (`CommandQueue::inner`).
     Queue,
     /// A per-die device shard, ordered by die id.
@@ -63,6 +69,8 @@ impl fmt::Display for LockClass {
         match self {
             LockClass::Manager => write!(f, "manager"),
             LockClass::PendingIo => write!(f, "pending-io"),
+            LockClass::Mirror => write!(f, "mirror"),
+            LockClass::MirrorRange => write!(f, "mirror-range"),
             LockClass::Queue => write!(f, "queue"),
             LockClass::Die(id) => write!(f, "die({id})"),
             LockClass::Channel(id) => write!(f, "channel({id})"),
@@ -120,7 +128,8 @@ pub fn acquire(class: LockClass) -> LockToken {
                     panic!(
                         "lock-order violation: acquiring {class} while holding {h}; \
                          the documented order is \
-                         manager -> pending-io -> queue -> die -> channel -> shared, \
+                         manager -> pending-io -> mirror -> mirror-range -> queue \
+                         -> die -> channel -> shared, \
                          ascending ids within a class"
                     );
                 }
@@ -207,7 +216,9 @@ mod tests {
     #[test]
     fn lock_classes_order_matches_documentation() {
         assert!(LockClass::Manager < LockClass::PendingIo);
-        assert!(LockClass::PendingIo < LockClass::Queue);
+        assert!(LockClass::PendingIo < LockClass::Mirror);
+        assert!(LockClass::Mirror < LockClass::MirrorRange);
+        assert!(LockClass::MirrorRange < LockClass::Queue);
         assert!(LockClass::Queue < LockClass::Die(0));
         assert!(LockClass::Die(7) < LockClass::Channel(0));
         assert!(LockClass::Channel(3) < LockClass::Shared);
@@ -261,6 +272,25 @@ mod tests {
             let _q = acquire(LockClass::Queue);
             let _d = acquire(LockClass::Die(0));
             assert_eq!(held_depth(), 4);
+        }
+
+        #[test]
+        fn mirror_nests_between_pending_io_and_child_queues() {
+            // The replication layer's acquisition path: manager state, the
+            // mirror's own health/segment state, a rebuild range lock, then
+            // a child device's command queue.
+            let _m = acquire(LockClass::Manager);
+            let _mi = acquire(LockClass::Mirror);
+            let _r = acquire(LockClass::MirrorRange);
+            let _q = acquire(LockClass::Queue);
+            assert_eq!(held_depth(), 4);
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order violation")]
+        fn queue_before_mirror_panics() {
+            let _q = acquire(LockClass::Queue);
+            let _m = acquire(LockClass::Mirror);
         }
 
         #[test]

@@ -1,7 +1,7 @@
 //! Command-queue submission API: explicit submit/poll/wait completion
 //! handling over the native flash command set.
 //!
-//! The blocking methods on [`NandDevice`] couple
+//! The blocking methods on [`NandDevice`](crate::NandDevice) couple
 //! issuing a command with consuming its result.  This module separates the
 //! two, NVMe-style: a [`CommandQueue`] accepts [`FlashCommand`]s via
 //! [`CommandQueue::submit`], which returns a [`CmdHandle`] immediately;
@@ -25,7 +25,7 @@
 //! use std::sync::Arc;
 //!
 //! let device = Arc::new(DeviceBuilder::new(FlashGeometry::small_test()).build());
-//! let queue = CommandQueue::new(Arc::clone(&device));
+//! let queue = CommandQueue::new(device.clone());
 //! let data = vec![0xA5; device.geometry().page_size as usize];
 //! let addr = flash_sim::PageAddr::new(flash_sim::DieId(0), 0, 0, 0);
 //! let h = queue.submit(
@@ -42,7 +42,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::addr::{BlockAddr, PageAddr};
-use crate::device::{NandDevice, OpOutcome};
+use crate::backend::FlashBackend;
+use crate::device::OpOutcome;
 use crate::error::FlashError;
 use crate::lockorder::{self, LockClass, TrackedGuard};
 use crate::metadata::PageMetadata;
@@ -183,7 +184,8 @@ struct QueueInner {
     stats: QueueStats,
 }
 
-/// A submission queue over a [`NandDevice`].
+/// A submission queue over a [`FlashBackend`] (a single
+/// [`crate::NandDevice`] or a replicated mirror of them).
 ///
 /// The queue is cheap: it owns no threads and copies no payloads beyond
 /// what the command itself carries.  Several queues may share one device;
@@ -196,7 +198,7 @@ struct QueueInner {
 /// hardware queue, callers that need a cross-thread order on one die must
 /// provide it themselves.
 pub struct CommandQueue {
-    device: Arc<NandDevice>,
+    device: Arc<dyn FlashBackend>,
     inner: Mutex<QueueInner>,
     /// Pre-registered metric handles (atomics-only; see `crate::obs`).
     obs: QueueObs,
@@ -214,7 +216,7 @@ impl std::fmt::Debug for CommandQueue {
 
 impl CommandQueue {
     /// Create a queue over `device`.
-    pub fn new(device: Arc<NandDevice>) -> Self {
+    pub fn new(device: Arc<dyn FlashBackend>) -> Self {
         let dies = device.geometry().total_dies() as usize;
         let obs = QueueObs::new(Arc::clone(device.metrics()));
         CommandQueue {
@@ -229,8 +231,8 @@ impl CommandQueue {
         }
     }
 
-    /// The device underneath the queue.
-    pub fn device(&self) -> &Arc<NandDevice> {
+    /// The backend underneath the queue.
+    pub fn device(&self) -> &Arc<dyn FlashBackend> {
         &self.device
     }
 

@@ -1,0 +1,124 @@
+//! Per-child health state machine.
+//!
+//! Each child of a mirror is in exactly one of three states:
+//!
+//! ```text
+//!            device loss
+//!   Online ──────────────▶ Faulted
+//!      ▲                      │ start_rebuild (loss cleared)
+//!      │ rebuild drains       ▼
+//!      └────────────────── Rebuilding ──▶ Faulted (lost again)
+//! ```
+//!
+//! The transitions are validated centrally by
+//! [`ChildHealth::check_transition`] so an illegal hop (e.g. `Faulted →
+//! Online` without a rebuild) is a [`FlashError::MirrorConfig`] instead of
+//! silent state corruption.  `Rebuilding` is a volatile state: the
+//! persisted segment-map blob stores it as [`ChildHealth::Faulted`], so a
+//! crash mid-rebuild resumes from "stale child with a dirty map", never
+//! from "child that pretends its interrupted copies landed".
+
+use flash_sim::FlashError;
+
+/// Health of one mirror child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildHealth {
+    /// In sync: receives every write, may serve any read.
+    Online,
+    /// Lost or known stale: writes are recorded in its dirty segment map,
+    /// reads never touch it.
+    Faulted,
+    /// A rebuild is draining its dirty segments: receives foreground
+    /// writes to clean segments and may serve reads from them.
+    Rebuilding,
+}
+
+impl ChildHealth {
+    /// Whether a child in this state is a candidate for serving reads
+    /// (for `Rebuilding` only from segments that are clean and not
+    /// currently being copied — the caller checks the segment map).
+    pub fn may_serve_reads(self) -> bool {
+        !matches!(self, ChildHealth::Faulted)
+    }
+
+    /// Validate the transition `self → to`, returning it on success.
+    pub fn check_transition(self, to: ChildHealth) -> Result<ChildHealth, FlashError> {
+        let ok = matches!(
+            (self, to),
+            (ChildHealth::Online, ChildHealth::Faulted)
+                | (ChildHealth::Faulted, ChildHealth::Rebuilding)
+                | (ChildHealth::Rebuilding, ChildHealth::Online)
+                | (ChildHealth::Rebuilding, ChildHealth::Faulted)
+        );
+        if ok {
+            Ok(to)
+        } else {
+            Err(FlashError::MirrorConfig {
+                message: format!("illegal health transition {self:?} -> {to:?}"),
+            })
+        }
+    }
+
+    /// Persisted encoding.  `Rebuilding` deliberately collapses to the
+    /// `Faulted` byte: an interrupted rebuild must restart from its dirty
+    /// map, not resume an in-memory state that died with the process.
+    pub fn encode(self) -> u8 {
+        match self {
+            ChildHealth::Online => 0,
+            ChildHealth::Faulted | ChildHealth::Rebuilding => 1,
+        }
+    }
+
+    /// Decode a persisted health byte.
+    pub fn decode(b: u8) -> Option<ChildHealth> {
+        match b {
+            0 => Some(ChildHealth::Online),
+            1 => Some(ChildHealth::Faulted),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_transitions() {
+        use ChildHealth::*;
+        assert_eq!(Online.check_transition(Faulted).unwrap(), Faulted);
+        assert_eq!(Faulted.check_transition(Rebuilding).unwrap(), Rebuilding);
+        assert_eq!(Rebuilding.check_transition(Online).unwrap(), Online);
+        assert_eq!(Rebuilding.check_transition(Faulted).unwrap(), Faulted);
+    }
+
+    #[test]
+    fn illegal_transitions_are_config_errors() {
+        use ChildHealth::*;
+        for (from, to) in [
+            (Faulted, Online),
+            (Online, Rebuilding),
+            (Online, Online),
+            (Faulted, Faulted),
+            (Rebuilding, Rebuilding),
+        ] {
+            let err = from.check_transition(to).unwrap_err();
+            assert!(matches!(err, FlashError::MirrorConfig { .. }), "{from:?}->{to:?}");
+        }
+    }
+
+    #[test]
+    fn rebuilding_persists_as_faulted() {
+        assert_eq!(ChildHealth::Rebuilding.encode(), ChildHealth::Faulted.encode());
+        assert_eq!(ChildHealth::decode(0), Some(ChildHealth::Online));
+        assert_eq!(ChildHealth::decode(1), Some(ChildHealth::Faulted));
+        assert_eq!(ChildHealth::decode(2), None);
+    }
+
+    #[test]
+    fn read_candidacy() {
+        assert!(ChildHealth::Online.may_serve_reads());
+        assert!(ChildHealth::Rebuilding.may_serve_reads());
+        assert!(!ChildHealth::Faulted.may_serve_reads());
+    }
+}

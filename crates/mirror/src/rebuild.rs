@@ -1,0 +1,375 @@
+//! Online rebuild: drain a faulted child's dirty segment map while
+//! foreground traffic continues.
+//!
+//! A rebuild copies one segment (erase block) at a time.  The segment is
+//! entered into the `MirrorRange`-guarded lock set first,
+//! which makes foreground mutations of it *skip and redirty* instead of
+//! racing the copy; the copy itself then runs without the mirror lock
+//! held so every other segment keeps serving reads and writes at full
+//! speed.  When the copy lands the segment's dirty bit is cleared —
+//! unless a foreground write redirtied it mid-copy, in which case it
+//! stays queued and the copy counts as requeued work.
+//!
+//! The per-segment copy streams the source block through a bounded
+//! window of queued reads (`window` in flight), programming each page on
+//! the target at its read-completion instant with the source's OOB
+//! metadata preserved, so after the copy the two blocks compare
+//! identical shape-and-OOB in [the verify scan].  Source pages that are
+//! `Invalid` are re-invalidated on the target, and a source block gone
+//! `Bad` retires the target block instead of copying.
+//!
+//! [the verify scan]: crate::MirrorDevice::restore_replication
+
+use flash_sim::queue::{CmdHandle, FlashCommand};
+use flash_sim::{BlockState, FlashError, PageMetadata, PageState, Result, SimTime};
+
+use crate::device::MirrorDevice;
+use crate::health::ChildHealth;
+
+/// What one [`MirrorDevice::rebuild_step`] call did to its segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentCopy {
+    /// Segment that was copied.
+    pub segment: u64,
+    /// Pages programmed on the target.
+    pub pages_copied: u32,
+    /// Pages re-marked `Invalid` on the target after the copy.
+    pub pages_invalidated: u32,
+    /// The source block was `Bad`, so the target block was retired
+    /// instead of copied.
+    pub retired: bool,
+    /// A foreground write raced the copy; the segment stays dirty and
+    /// will be copied again.
+    pub requeued: bool,
+    /// Simulated instant the copy (and its bookkeeping) finished.
+    pub completed_at: SimTime,
+}
+
+/// Summary of a full [`MirrorDevice::rebuild`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct RebuildReport {
+    /// Child that was rebuilt.
+    pub child: usize,
+    /// Segments whose copy landed and cleared their dirty bit.
+    pub segments_copied: u64,
+    /// Copies that raced a foreground write and were queued again.
+    pub segments_requeued: u64,
+    /// Total pages programmed on the target.
+    pub pages_copied: u64,
+    /// Pages re-invalidated on the target.
+    pub pages_invalidated: u64,
+    /// Target blocks retired because the source block was bad.
+    pub blocks_retired: u64,
+    /// Simulated instant the rebuild started.
+    pub started_at: SimTime,
+    /// Simulated instant the child came back online (or the run stopped).
+    pub completed_at: SimTime,
+    /// Whether the child finished the run `Online`.
+    pub child_online: bool,
+}
+
+impl MirrorDevice {
+    /// Transition a faulted child to `Rebuilding` so
+    /// [`MirrorDevice::rebuild_step`] can start draining its dirty map.
+    ///
+    /// Fails if the child is not `Faulted`, is still lost at `at`,
+    /// another child is already rebuilding, or no online source exists.
+    pub fn start_rebuild(&self, child: usize, at: SimTime) -> Result<()> {
+        let mut state = self.mirror_shard();
+        self.sweep_losses(&mut state, at);
+        if child >= state.children.len() {
+            return Err(FlashError::MirrorConfig {
+                message: format!("no child {child} in a {}-way mirror", state.children.len()),
+            });
+        }
+        if self.injector().is_lost(child, at) {
+            return Err(FlashError::MirrorConfig {
+                message: format!("child {child} is still lost; clear the injector first"),
+            });
+        }
+        if state.children.iter().any(|c| c.health == ChildHealth::Rebuilding) {
+            return Err(FlashError::MirrorConfig {
+                message: "another rebuild is already in progress".into(),
+            });
+        }
+        if !state
+            .children
+            .iter()
+            .enumerate()
+            .any(|(i, c)| i != child && c.health == ChildHealth::Online)
+        {
+            return Err(FlashError::NoHealthyChild { at });
+        }
+        let c = &mut state.children[child];
+        c.health = c.health.check_transition(ChildHealth::Rebuilding)?;
+        if c.assume_all_dirty {
+            // No trustworthy map: materialise "everything" so progress
+            // is trackable and the blob stays exact from here on.
+            c.dirty = crate::SegmentMap::all_dirty(self.segment_count());
+            c.assume_all_dirty = false;
+        }
+        self.obs.set_segments_remaining(c.dirty.dirty_count());
+        Ok(())
+    }
+
+    /// Copy the lowest-numbered dirty segment of `child`.
+    ///
+    /// Returns `Ok(None)` once the map is drained — at which point the
+    /// child has transitioned back to `Online`.  `window` bounds the
+    /// number of source reads in flight during the copy.
+    pub fn rebuild_step(
+        &self,
+        child: usize,
+        window: usize,
+        at: SimTime,
+    ) -> Result<Option<SegmentCopy>> {
+        let (seg, source) = {
+            let mut state = self.mirror_shard();
+            self.sweep_losses(&mut state, at);
+            match state.children[child].health {
+                ChildHealth::Rebuilding => {}
+                ChildHealth::Faulted => {
+                    // Lost again mid-rebuild.
+                    return Err(FlashError::DeviceLost {
+                        child,
+                        at: state.children[child].faulted_at.unwrap_or(at),
+                    });
+                }
+                ChildHealth::Online => {
+                    return Err(FlashError::MirrorConfig {
+                        message: format!("child {child} is not rebuilding"),
+                    });
+                }
+            }
+            let Some(source) = state
+                .children
+                .iter()
+                .enumerate()
+                .position(|(i, c)| i != child && c.health == ChildHealth::Online)
+            else {
+                return Err(FlashError::NoHealthyChild { at });
+            };
+            match state.children[child].dirty.first_dirty() {
+                None => {
+                    // Drained: the child is in sync again.  Commit the
+                    // rebuilt history by ratcheting the child's epoch
+                    // counter up to the mirror's (replica programs left
+                    // it at its stale pre-loss value on purpose).
+                    let c = &mut state.children[child];
+                    c.health = c.health.check_transition(ChildHealth::Online)?;
+                    self.children()[child]
+                        .ratchet_epoch(flash_sim::FlashBackend::current_epoch(self));
+                    let faulted_at = c.faulted_at.take().unwrap_or(SimTime::ZERO);
+                    self.obs.note_back_online(child, faulted_at, at);
+                    self.obs.set_segments_remaining(0);
+                    return Ok(None);
+                }
+                Some(seg) => {
+                    let mut ranges = self.range_shard();
+                    ranges.locked.insert(seg);
+                    ranges.redirtied.remove(&seg);
+                    (seg, source)
+                }
+            }
+        };
+        // Copy with the mirror lock released: foreground traffic to every
+        // other segment proceeds; traffic to this one skips + redirties.
+        let result = self.copy_segment(source, child, seg, window, at);
+        let mut state = self.mirror_shard();
+        let mut ranges = self.range_shard();
+        ranges.locked.remove(&seg);
+        match result {
+            Err(e) => {
+                // The segment stays dirty; a redirty is subsumed by that.
+                ranges.redirtied.remove(&seg);
+                Err(e)
+            }
+            Ok(mut copy) => {
+                let requeued = ranges.redirtied.remove(&seg);
+                if !requeued {
+                    state.children[child].dirty.clear(seg);
+                }
+                copy.requeued = requeued;
+                let copy_ns = copy.completed_at.as_nanos().saturating_sub(at.as_nanos());
+                self.obs.note_segment_copied(copy_ns, requeued);
+                self.obs.set_segments_remaining(state.children[child].dirty.dirty_count());
+                Ok(Some(copy))
+            }
+        }
+    }
+
+    /// Drain `child`'s dirty map to completion, advancing the simulated
+    /// clock copy by copy.
+    pub fn rebuild(&self, child: usize, window: usize, at: SimTime) -> Result<RebuildReport> {
+        let mut report = RebuildReport {
+            child,
+            segments_copied: 0,
+            segments_requeued: 0,
+            pages_copied: 0,
+            pages_invalidated: 0,
+            blocks_retired: 0,
+            started_at: at,
+            completed_at: at,
+            child_online: false,
+        };
+        let mut clock = at;
+        loop {
+            match self.rebuild_step(child, window, clock)? {
+                None => {
+                    report.completed_at = clock;
+                    report.child_online = true;
+                    return Ok(report);
+                }
+                Some(copy) => {
+                    if copy.requeued {
+                        report.segments_requeued += 1;
+                    } else {
+                        report.segments_copied += 1;
+                    }
+                    report.pages_copied += copy.pages_copied as u64;
+                    report.pages_invalidated += copy.pages_invalidated as u64;
+                    if copy.retired {
+                        report.blocks_retired += 1;
+                    }
+                    clock = clock.max(copy.completed_at);
+                }
+            }
+        }
+    }
+
+    /// Stream one segment from `source` to `child` through a bounded
+    /// read window.  Runs without mirror-level locks; the caller holds
+    /// the segment's range lock.
+    fn copy_segment(
+        &self,
+        source: usize,
+        child: usize,
+        seg: u64,
+        window: usize,
+        at: SimTime,
+    ) -> Result<SegmentCopy> {
+        let block = self.block_of(seg);
+        let src_dev = self.children()[source].as_ref();
+        let tgt_dev = self.children()[child].as_ref();
+        let mut copy = SegmentCopy {
+            segment: seg,
+            pages_copied: 0,
+            pages_invalidated: 0,
+            retired: false,
+            requeued: false,
+            completed_at: at,
+        };
+        let sb = src_dev.block_info(block)?;
+        let tb = tgt_dev.block_info(block)?;
+        if sb.state == BlockState::Bad {
+            // The source has no content for this segment; mirror the
+            // retirement so allocation skips the block everywhere.
+            if tb.state != BlockState::Bad {
+                tgt_dev.retire_block(block)?;
+            }
+            copy.retired = true;
+            return Ok(copy);
+        }
+        if tb.state == BlockState::Bad {
+            // The target block wore out: the source alone carries this
+            // segment.  Nothing can be copied; the block is unusable on
+            // the target, which future foreground programs surface as
+            // mirror-wide retirement.
+            copy.retired = true;
+            return Ok(copy);
+        }
+        let mut clock = at;
+        if tb.state != BlockState::Free {
+            let out = self.submit_queued(child, FlashCommand::Erase { block }, clock)?;
+            clock = out.completed_at;
+        }
+        if sb.write_ptr == 0 {
+            copy.completed_at = clock;
+            return Ok(copy);
+        }
+        // Snapshot per-page validity up front; a foreground invalidation
+        // racing the copy redirties the segment, so divergence here is
+        // re-copied later anyway.
+        let mut invalid_pages = Vec::new();
+        for page in 0..sb.write_ptr {
+            if src_dev.page_state(block.page(page))? == PageState::Invalid {
+                invalid_pages.push(page);
+            }
+        }
+        let window = window.max(1);
+        let mut pending: std::collections::VecDeque<(u32, CmdHandle)> =
+            std::collections::VecDeque::with_capacity(window);
+        let mut next = 0u32;
+        // `slot_free` paces the window: the first `window` reads issue at
+        // the step time, each further read when a slot frees up.
+        let mut slot_free = clock;
+        let outcome = loop {
+            while pending.len() < window && next < sb.write_ptr {
+                if self.injector().is_lost(source, slot_free) {
+                    break;
+                }
+                let h = self
+                    .queue(source)
+                    .submit(FlashCommand::Read { addr: block.page(next) }, slot_free);
+                pending.push_back((next, h));
+                next += 1;
+            }
+            let Some((page, h)) = pending.pop_front() else {
+                if next < sb.write_ptr {
+                    // Loop exited early: the source disappeared.
+                    break Err(FlashError::DeviceLost { child: source, at: slot_free });
+                }
+                break Ok(());
+            };
+            let out = match self.queue(source).wait(h).and_then(|c| c.result) {
+                Ok(out) => out,
+                Err(e) => break Err(e),
+            };
+            let read_done = out.outcome.completed_at;
+            if self.injector().is_lost(child, read_done) {
+                break Err(FlashError::DeviceLost { child, at: read_done });
+            }
+            // A torn source OOB area (power cut mid-program before the
+            // blob was cut) still gets its payload copied; the metadata
+            // placeholder keeps the page readable and the verify scan
+            // conservative about it.
+            let meta = out.meta.unwrap_or_else(|| PageMetadata::with_epoch(0, 0, 1));
+            // Replica programs preserve the source epoch in OOB without
+            // ratcheting the target's epoch counter: until this rebuild
+            // commits, the copies are not consistent history, and a crash
+            // now must leave a device whose counter still reads stale.
+            match tgt_dev.program_replica(block.page(page), &out.data, meta, read_done) {
+                Ok(out) => {
+                    clock = clock.max(out.completed_at);
+                    copy.pages_copied += 1;
+                }
+                Err(e) => break Err(e),
+            }
+            slot_free = slot_free.max(read_done);
+        };
+        if let Err(e) = outcome {
+            // Claim every outstanding read completion before bailing so
+            // the source queue does not accumulate orphaned handles.
+            for (_, h) in pending.drain(..) {
+                let _ = self.queue(source).wait(h);
+            }
+            return Err(e);
+        }
+        for page in invalid_pages {
+            tgt_dev.mark_invalid(block.page(page))?;
+            copy.pages_invalidated += 1;
+        }
+        copy.completed_at = clock;
+        Ok(copy)
+    }
+
+    fn submit_queued(
+        &self,
+        child: usize,
+        cmd: FlashCommand,
+        at: SimTime,
+    ) -> Result<flash_sim::OpOutcome> {
+        let h = self.queue(child).submit(cmd, at);
+        self.queue(child).wait(h)?.result.map(|out| out.outcome)
+    }
+}

@@ -290,7 +290,7 @@ mod tests {
         let device = Arc::new(
             DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
         );
-        let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+        let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
         let backend = Arc::new(NoFtlBackend::new(noftl, &placement::traditional(8)).unwrap());
         // A small buffer pool so the run actually misses and reads flash.
         let db = Database::open(backend, DatabaseConfig { buffer_pages: 48, ..Default::default() })
@@ -317,7 +317,7 @@ mod tests {
         let device2 = Arc::new(
             DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
         );
-        let noftl2 = Arc::new(NoFtl::new(Arc::clone(&device2), NoFtlConfig::default()));
+        let noftl2 = Arc::new(NoFtl::new(device2.clone(), NoFtlConfig::default()));
         let backend2 = Arc::new(NoFtlBackend::new(noftl2, &placement::traditional(8)).unwrap());
         let db2 =
             Database::open(backend2, DatabaseConfig { buffer_pages: 48, ..Default::default() })

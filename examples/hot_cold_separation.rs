@@ -27,7 +27,7 @@ fn run(separate_regions: bool) -> (u64, u64, f64) {
     let device: Arc<NandDevice> = Arc::new(
         DeviceBuilder::new(geometry).timing(TimingModel::mlc_2015()).store_data(false).build(),
     );
-    let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
+    let noftl = NoFtl::new(device.clone(), NoFtlConfig::paper_defaults());
     let (hot_region, cold_region) = if separate_regions {
         (
             noftl.create_region(RegionSpec::named("rgHot").with_die_count(4)).unwrap(),

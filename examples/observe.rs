@@ -32,7 +32,7 @@ fn main() {
         DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
     );
     device.metrics().tracer().set_enabled(true);
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
 
     // OLTP half: a 4-die region under the storage engine, WAL on.
     let placement = PlacementConfig::traditional(4, ["acct".to_string()]);

@@ -24,7 +24,7 @@ fn main() {
     );
 
     // 2. The NoFTL storage manager owns the physical address space.
-    let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
+    let noftl = NoFtl::new(device.clone(), NoFtlConfig::paper_defaults());
 
     // 3. The DBA speaks plain DDL — exactly the statements from the paper.
     let ddl = Ddl::new(&noftl);

@@ -15,7 +15,7 @@ fn main() {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::edbt_paper()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
+    let noftl = NoFtl::new(device.clone(), NoFtlConfig::paper_defaults());
     println!("free dies at start: {}", noftl.free_die_count());
 
     // Parse-only view of a statement.

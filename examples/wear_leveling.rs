@@ -26,7 +26,7 @@ fn run(policy: WearLevelingPolicy) -> (f64, u64, u64) {
         DeviceBuilder::new(geometry).timing(TimingModel::instant()).store_data(false).build(),
     );
     let config = NoFtlConfig { wear_leveling: policy, ..NoFtlConfig::paper_defaults() };
-    let noftl = NoFtl::new(Arc::clone(&device), config);
+    let noftl = NoFtl::new(device.clone(), config);
     let rg = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
     let cold = noftl.create_object("cold", rg).unwrap();
     let hot = noftl.create_object("hot", rg).unwrap();

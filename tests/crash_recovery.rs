@@ -88,9 +88,10 @@ fn device_image_file_roundtrip_reboots_the_full_stack() {
 #[test]
 fn snapshot_restore_preserves_wear_and_bad_blocks() {
     // DeviceSnapshot round-trip through encode/decode at the facade level.
-    let device =
-        DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build();
-    let noftl = NoFtl::new(Arc::new(device), NoFtlConfig::default());
+    let device = Arc::new(
+        DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
+    );
+    let noftl = NoFtl::new(device.clone(), NoFtlConfig::default());
     let rid = noftl
         .create_region(noftl_regions::noftl::RegionSpec::named("rg").with_die_count(2))
         .unwrap();
@@ -100,7 +101,7 @@ fn snapshot_restore_preserves_wear_and_bad_blocks() {
         t = noftl.write(obj, p % 8, &vec![p as u8; 4096], t).unwrap();
     }
     noftl.checkpoint(t).unwrap();
-    let snap = noftl.device().snapshot();
+    let snap = device.snapshot();
     let decoded = DeviceSnapshot::decode(&snap.encode()).unwrap();
     assert_eq!(decoded.blocks, snap.blocks);
     assert_eq!(decoded.wear.total_erases, snap.wear.total_erases);
@@ -120,7 +121,7 @@ fn recovery_reports_scale_with_wal_length() {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
     let placement = PlacementConfig::traditional(8, ["t".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
     let config = DatabaseConfig {

@@ -9,7 +9,7 @@ use noftl_regions::noftl::{Ddl, NoFtl, NoFtlConfig};
 #[test]
 fn paper_ddl_example_end_to_end() {
     let device = Arc::new(DeviceBuilder::new(FlashGeometry::edbt_paper()).build());
-    let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
+    let noftl = NoFtl::new(device.clone(), NoFtlConfig::paper_defaults());
     let ddl = Ddl::new(&noftl);
     // Verbatim from Section 2 of the paper (EXTENT SIZE spelled with '_').
     ddl.run_script(

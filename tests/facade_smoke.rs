@@ -19,7 +19,7 @@ fn tiny_device_through_facade_reexports() {
     assert!(device.geometry().total_dies() >= 2);
 
     // noftl: carve a region and write/read raw object pages.
-    let noftl = NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults());
+    let noftl = NoFtl::new(device.clone(), NoFtlConfig::paper_defaults());
     let region = noftl.create_region(RegionSpec::named("rgSmoke").with_die_count(2)).unwrap();
     let obj = noftl.create_object("smoke", region).unwrap();
     let mut now = SimTime::ZERO;
@@ -49,7 +49,7 @@ fn tiny_device_through_facade_reexports() {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::instant()).build(),
     );
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::paper_defaults()));
     let placement = PlacementConfig::traditional(2, ["t".to_string(), "t_pk".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(noftl, &placement).unwrap());
     let db =

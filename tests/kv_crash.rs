@@ -109,7 +109,7 @@ fn flush_and_compaction_issue_queued_multi_die_batches() {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
     let rid = noftl.create_region(RegionSpec::named("rgKv").with_die_count(3)).unwrap();
     let config = KvConfig { compaction_threshold: 2, ..KvConfig::default() };
     let (store, mut t) =

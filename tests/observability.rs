@@ -23,7 +23,7 @@ fn stack() -> (Arc<NoFtl>, u32) {
         DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
     );
     device.metrics().tracer().set_enabled(true);
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
     // `small_test` has 4 dies; take 2 so the KV test can claim the rest.
     let rid = noftl.create_region(RegionSpec::named("rg").with_die_count(2)).unwrap();
     let obj = noftl.create_object("t", rid).unwrap();
@@ -89,7 +89,7 @@ fn database_metrics_snapshot_spans_every_layer() {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::default()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
     let placement = PlacementConfig::traditional(4, ["t".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(Arc::clone(&noftl), &placement).unwrap());
     let db = Database::open(backend, DatabaseConfig::default()).unwrap();

@@ -51,7 +51,7 @@ fn run_workload(seed: u64, config: NoFtlConfig) -> WorkloadRun {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::small_test()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = NoFtl::new(Arc::clone(&device), config);
+    let noftl = NoFtl::new(device.clone(), config);
     let r = noftl.create_region(RegionSpec::named("rgEq").with_die_count(3)).unwrap();
     let a = noftl.create_object("a", r).unwrap();
     let b = noftl.create_object("b", r).unwrap();

@@ -176,7 +176,7 @@ proptest! {
 
         // Queued: the same submission order through the command queue.
         let queued_dev = Arc::new(device());
-        let queue = CommandQueue::new(Arc::clone(&queued_dev));
+        let queue = CommandQueue::new(queued_dev.clone());
         let handles = queue.submit_batch(commands.iter().cloned(), SimTime::ZERO);
         for (i, h) in handles.into_iter().enumerate() {
             let completion = queue.wait(h).unwrap();
@@ -237,14 +237,14 @@ fn concurrent_disjoint_die_reads_do_not_serialize() {
     let ref_dev = Arc::new(device());
     prep(&ref_dev);
     let t0 = ref_dev.quiesce_time();
-    let ref_queue = CommandQueue::new(Arc::clone(&ref_dev));
+    let ref_queue = CommandQueue::new(ref_dev.clone());
     let expect0 = read_die(&ref_queue, 0, t0);
     let expect2 = read_die(&ref_queue, 2, t0);
 
     // Two threads on dies of different channels, one shared queue.
     let dev = Arc::new(device());
     prep(&dev);
-    let queue = Arc::new(CommandQueue::new(Arc::clone(&dev)));
+    let queue = Arc::new(CommandQueue::new(dev.clone()));
     let (qa, qb) = (Arc::clone(&queue), Arc::clone(&queue));
     let ta = std::thread::spawn(move || read_die(&qa, 0, t0));
     let tb = std::thread::spawn(move || read_die(&qb, 2, t0));
@@ -278,7 +278,7 @@ fn power_cut_tears_exactly_the_late_queued_programs() {
 
     // Probe run (no cut) to learn every command's completion time.
     let probe_dev = Arc::new(device());
-    let probe_q = CommandQueue::new(Arc::clone(&probe_dev));
+    let probe_q = CommandQueue::new(probe_dev.clone());
     let probe_handles = probe_q.submit_batch(batch(0), SimTime::ZERO);
     let completions: Vec<SimTime> = probe_handles
         .into_iter()
@@ -292,7 +292,7 @@ fn power_cut_tears_exactly_the_late_queued_programs() {
 
     let dev = Arc::new(device());
     dev.arm_power_cut(cut);
-    let queue = CommandQueue::new(Arc::clone(&dev));
+    let queue = CommandQueue::new(dev.clone());
     let handles = queue.submit_batch(batch(0), SimTime::ZERO);
     let mut survived = 0;
     for (i, h) in handles.into_iter().enumerate() {
@@ -317,7 +317,7 @@ fn power_cut_tears_exactly_the_late_queued_programs() {
 #[test]
 fn queued_write_batch_under_power_cut_mounts_cleanly() {
     let dev = Arc::new(device());
-    let noftl = NoFtl::new(Arc::clone(&dev), NoFtlConfig::default());
+    let noftl = NoFtl::new(dev.clone(), NoFtlConfig::default());
     let rg = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
     let obj = noftl.create_object("t", rg).unwrap();
     let psz = dev.geometry().page_size as usize;
@@ -334,7 +334,7 @@ fn queued_write_batch_under_power_cut_mounts_cleanly() {
     // two waves of 4 (one per die); tear the second wave.
     let quiesce = dev.quiesce_time();
     let probe_dev = Arc::new(device());
-    let probe = NoFtl::new(Arc::clone(&probe_dev), NoFtlConfig::default());
+    let probe = NoFtl::new(probe_dev.clone(), NoFtlConfig::default());
     let prg = probe.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
     let pobj = probe.create_object("t", prg).unwrap();
     let w0 = probe.submit_write(pobj, 0, &page(1), SimTime::ZERO).unwrap();

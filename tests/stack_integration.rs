@@ -63,7 +63,7 @@ fn engine_on_noftl_regions_backend() {
     let device = Arc::new(
         DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
     );
-    let noftl = Arc::new(NoFtl::new(Arc::clone(&device), NoFtlConfig::paper_defaults()));
+    let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::paper_defaults()));
     let placement = PlacementConfig::traditional(8, ["t".to_string(), "t_pk".to_string()]);
     let backend = Arc::new(NoFtlBackend::new(noftl, &placement).unwrap());
     let db =
@@ -100,7 +100,7 @@ fn noftl_and_ftl_share_one_native_device_interface() {
     let geometry = FlashGeometry::small_test();
     let dev_a = Arc::new(DeviceBuilder::new(geometry).build());
     let dev_b = Arc::new(DeviceBuilder::new(geometry).build());
-    let noftl = NoFtl::with_single_region(Arc::clone(&dev_a), NoFtlConfig::paper_defaults()).0;
+    let noftl = NoFtl::with_single_region(dev_a.clone(), NoFtlConfig::paper_defaults()).0;
     let ssd = FtlSsd::new(
         Arc::clone(&dev_b),
         FtlConfig { overprovisioning: 0.3, ..FtlConfig::consumer() },
