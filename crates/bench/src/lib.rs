@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod scenarios;
 pub mod smoke;
 
 use std::sync::Arc;

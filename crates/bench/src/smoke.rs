@@ -4,8 +4,10 @@
 //! Everything here reports *simulated device time* (deterministic — two
 //! runs of the same binary produce identical numbers) except where a
 //! metric is explicitly suffixed `_wall_ms`.  The CI `bench-smoke` job
-//! runs `perf_smoke --quick`, which serialises these sections into
-//! `BENCH_PR4.json`, the first point of the repo's perf trajectory.
+//! runs `perf_smoke --quick --scenarios all`, which serialises these
+//! sections (plus the workload-lab `scenarios` section from
+//! [`crate::scenarios`]) into the current `BENCH_PR*.json` point of the
+//! repo's perf trajectory.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -27,7 +29,7 @@ use noftl_obs::MetricsSnapshot;
 #[derive(Debug, Clone)]
 pub struct Metric {
     /// Stable identifier (JSON key).
-    pub name: &'static str,
+    pub name: String,
     /// The measurement.
     pub value: f64,
     /// Unit label (`us`, `kops_sim`, `pages`, `x`, `wall_ms`, ...).
@@ -35,8 +37,10 @@ pub struct Metric {
 }
 
 impl Metric {
-    fn new(name: &'static str, value: f64, unit: &'static str) -> Self {
-        Metric { name, value, unit }
+    /// Build a metric (the name may be composed at runtime, e.g. the
+    /// per-scenario `ycsb_<workload>_<backend>_<stat>` family).
+    pub fn new(name: impl Into<String>, value: f64, unit: &'static str) -> Self {
+        Metric { name: name.into(), value, unit }
     }
 }
 
@@ -125,28 +129,34 @@ impl BatchComparison {
 }
 
 /// Measure [`BatchComparison`] for a batch of `pages` pages.
+///
+/// The utilisation summaries are restricted to the dies the 4-die bench
+/// region actually owns: the example device has 8 dies, and summarising
+/// all of them used to report `util_min = 0.0` from the 4 dies the
+/// region never touched (the `write_batch_util_min` flatline in
+/// `BENCH_PR8.json`).
 pub fn write_batch_comparison(pages: u64) -> BatchComparison {
     let make = || {
         let dev = device();
         let noftl = NoFtl::new(dev.clone(), NoFtlConfig::default());
         let rid = noftl.create_region(RegionSpec::named("rg").with_die_count(4)).unwrap();
         let obj = noftl.create_object("t", rid).unwrap();
-        (dev, noftl, obj)
+        (dev, noftl, rid, obj)
     };
     let payload = |p: u64| vec![p as u8; 4096];
 
-    let (dev, noftl, obj) = make();
+    let (dev, noftl, rid, obj) = make();
     let batch: Vec<(u32, u64, Vec<u8>)> = (0..pages).map(|p| (obj, p, payload(p))).collect();
     let queued = noftl.write_batch(&batch, SimTime::ZERO).unwrap();
-    let queued_util = dev.utilization();
+    let queued_util = dev.utilization().restricted_to(&noftl.region_dies(rid).unwrap());
     let queued_metrics = noftl.metrics_snapshot();
 
-    let (dev, noftl, obj) = make();
+    let (dev, noftl, rid, obj) = make();
     let mut sequential = SimTime::ZERO;
     for p in 0..pages {
         sequential = noftl.write(obj, p, &payload(p), sequential).unwrap();
     }
-    let sequential_util = dev.utilization();
+    let sequential_util = dev.utilization().restricted_to(&noftl.region_dies(rid).unwrap());
     let sequential_metrics = noftl.metrics_snapshot();
     BatchComparison {
         queued,
@@ -548,7 +558,7 @@ pub fn latency_section(quick: bool) -> Section {
 }
 
 /// The PR number stamped into the perf-trajectory JSON.
-pub const PERF_POINT_PR: u32 = 8;
+pub const PERF_POINT_PR: u32 = 9;
 
 /// Serialise sections into a `BENCH_*.json` perf-trajectory point.
 pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Result<()> {
@@ -637,14 +647,30 @@ enum GateDirection {
     LowerIsBetter,
     /// Simulated throughput: a value below the baseline is a regression.
     HigherIsBetter,
-    /// Wall-clock, counts, fractions, ratios: never gate.
+    /// Wall-clock, counts, unitless values: never gate.
     Skip,
 }
 
-fn gate_direction(unit: &str) -> GateDirection {
+/// Gating direction of a metric, from its unit and — for the
+/// direction-ambiguous units — its name.
+///
+/// * `us_sim` simulated latencies: lower is better.
+/// * `kops_sim` / `krows_sim` simulated throughput: higher is better.
+/// * `x` ratios are speedups (higher is better) unless the name marks
+///   them a penalty (e.g. `degraded_read_penalty`, `mt_oltp_p99_penalty`):
+///   then lower is better.  These used to be silently skipped.
+/// * `fraction` gates only the utilisation *floors* (names containing
+///   `min`, e.g. `write_batch_util_min`): higher is better.  Means and
+///   maxima stay warn-only — a mean can legitimately drop when a change
+///   shortens the denominator window.
+/// * Everything else (wall-clock, counts, pages, segments) never gates.
+fn gate_direction(name: &str, unit: &str) -> GateDirection {
     match unit {
         "us_sim" => GateDirection::LowerIsBetter,
         "kops_sim" | "krows_sim" => GateDirection::HigherIsBetter,
+        "x" if name.contains("penalty") => GateDirection::LowerIsBetter,
+        "x" => GateDirection::HigherIsBetter,
+        "fraction" if name.contains("min") => GateDirection::HigherIsBetter,
         _ => GateDirection::Skip,
     }
 }
@@ -652,14 +678,16 @@ fn gate_direction(unit: &str) -> GateDirection {
 /// Compare fresh `sections` against a committed baseline point
 /// (`old_text`, as written by [`write_json`] — any PR's).
 ///
-/// Every **shared simulated metric** gates, direction-aware: `us_sim`
-/// (lower is better, including the latency-section histogram
-/// percentiles) fails when more than `tolerance` (e.g. `0.2` = 20 %)
-/// above the baseline; `kops_sim`/`krows_sim` (higher is better) fail
-/// when more than `tolerance` below it.  Metrics present on only one
-/// side are warn-only — a new PR may add metrics freely — and
-/// non-gating units (wall-clock, counts, ratios) are summarised in a
-/// single note.
+/// Every **shared simulated metric** gates, direction-aware (see
+/// `gate_direction`): `us_sim` (lower is better, including the
+/// latency-section histogram percentiles) fails when more than
+/// `tolerance` (e.g. `0.2` = 20 %) above the baseline;
+/// `kops_sim`/`krows_sim`, `x` speedups and `fraction` utilisation
+/// floors (higher is better) fail when more than `tolerance` below it;
+/// `x` penalties gate like latencies.  Metrics present on only one side
+/// are warn-only — a new PR may add metrics freely — and whatever is
+/// skipped as non-gating is listed by name in a single note, so a
+/// silently-ungated metric is visible in the job log.
 pub fn compare_perf_points(
     old_text: &str,
     sections: &[Section],
@@ -680,8 +708,11 @@ pub fn compare_perf_points(
             };
             // Gate only when both sides agree on the unit; a metric whose
             // unit changed is effectively a different measurement.
-            let direction =
-                if m.unit == baseline.unit { gate_direction(m.unit) } else { GateDirection::Skip };
+            let direction = if m.unit == baseline.unit {
+                gate_direction(&m.name, m.unit)
+            } else {
+                GateDirection::Skip
+            };
             if direction == GateDirection::Skip {
                 skipped.push(format!("{}/{}", section.name, m.name));
                 continue;
@@ -726,7 +757,7 @@ pub fn compare_perf_points(
     }
     if !skipped.is_empty() {
         cmp.notes.push(format!(
-            "skipped {} non-gating metric(s) (wall-clock/count/ratio units): {}",
+            "skipped {} non-gating metric(s) (wall-clock/count/unitless): {}",
             skipped.len(),
             skipped.join(", ")
         ));
@@ -932,6 +963,78 @@ mod tests {
         }];
         let cmp = compare_perf_points(&old_text, &faster, 0.2);
         assert!(cmp.failures.is_empty());
+        assert!(cmp.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn write_batch_util_covers_only_region_dies() {
+        // Regression: the bench region owns 4 of the example device's 8
+        // dies.  Summarising the whole device left `util_min` pinned at
+        // 0.0 by the 4 dies the region never touched.
+        let cmp = write_batch_comparison(64);
+        assert_eq!(cmp.queued_util.per_die.len(), 4, "summary must cover the region's dies only");
+        assert!(
+            cmp.queued_util.min > 0.0,
+            "every die of the region works during a striped batch (min = {:.3})",
+            cmp.queued_util.min
+        );
+        assert!(cmp.queued_util.mean >= cmp.queued_util.min);
+        assert_eq!(cmp.sequential_util.per_die.len(), 4);
+        assert!(cmp.sequential_util.min > 0.0);
+    }
+
+    #[test]
+    fn perf_comparison_gates_ratios_and_utilisation_floors() {
+        let baseline = vec![Section {
+            name: "queue_depth",
+            metrics: vec![
+                Metric::new("write_batch_speedup", 4.0, "x"),
+                Metric::new("degraded_read_penalty", 2.0, "x"),
+                Metric::new("write_batch_util_min", 0.8, "fraction"),
+                Metric::new("write_batch_util_mean", 0.9, "fraction"),
+            ],
+        }];
+        let path = std::env::temp_dir().join(format!("bench-ratio-{}.json", std::process::id()));
+        write_json(&path, "quick", &baseline).unwrap();
+        let old_text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Speedup collapse, penalty growth and a utilisation-floor drop
+        // all fail; the mean is skipped but listed by name.
+        let fresh = vec![Section {
+            name: "queue_depth",
+            metrics: vec![
+                Metric::new("write_batch_speedup", 2.0, "x"),
+                Metric::new("degraded_read_penalty", 3.0, "x"),
+                Metric::new("write_batch_util_min", 0.4, "fraction"),
+                Metric::new("write_batch_util_mean", 0.3, "fraction"),
+            ],
+        }];
+        let cmp = compare_perf_points(&old_text, &fresh, 0.2);
+        assert_eq!(cmp.failures.len(), 3, "failures: {:?}", cmp.failures);
+        assert!(cmp.failures.iter().any(|f| f.contains("write_batch_speedup")));
+        assert!(cmp.failures.iter().any(|f| f.contains("degraded_read_penalty")));
+        assert!(cmp.failures.iter().any(|f| f.contains("write_batch_util_min")));
+        assert!(
+            cmp.notes
+                .iter()
+                .any(|n| n.contains("non-gating") && n.contains("write_batch_util_mean")),
+            "the skipped mean must be listed by name: {:?}",
+            cmp.notes
+        );
+
+        // The good directions pass: faster speedup, smaller penalty,
+        // higher floor.
+        let better = vec![Section {
+            name: "queue_depth",
+            metrics: vec![
+                Metric::new("write_batch_speedup", 6.0, "x"),
+                Metric::new("degraded_read_penalty", 1.2, "x"),
+                Metric::new("write_batch_util_min", 0.95, "fraction"),
+            ],
+        }];
+        let cmp = compare_perf_points(&old_text, &better, 0.2);
+        assert!(cmp.failures.is_empty(), "failures: {:?}", cmp.failures);
         assert!(cmp.notes.iter().any(|n| n.contains("improved")));
     }
 

@@ -452,6 +452,58 @@ impl BTree {
         }
     }
 
+    /// Bounded range scan: the first `limit` `(key, rid)` pairs with
+    /// `key >= low`, in key order — the YCSB-style "short scan" walk.
+    /// Same leaf chase as [`range`](Self::range) (including the
+    /// windowed-readahead priming), but it stops as soon as `limit` pairs
+    /// are collected instead of walking to a high bound.
+    pub fn range_from(
+        &self,
+        pool: &BufferPool,
+        low: &[u8],
+        limit: usize,
+        now: SimTime,
+    ) -> Result<ScanResult> {
+        let mut inner = self.inner.lock();
+        let mut t = self.ensure_init(&mut inner, pool, now)?;
+        let mut out = Vec::new();
+        if limit == 0 {
+            return Ok((out, t));
+        }
+        let mut page = inner.root;
+        loop {
+            let (node, t2) = self.read_node(pool, page, t)?;
+            t = t2;
+            if node.leaf {
+                break;
+            }
+            page = node.child_for(low);
+        }
+        let readahead = pool.flush_window() as u64;
+        loop {
+            if readahead > 1 {
+                let end = page.saturating_add(readahead).min(inner.page_count);
+                let batch: Vec<(ObjectId, u64)> = (page..end).map(|p| (self.obj, p)).collect();
+                t = t.max(pool.prefetch(&batch, t)?);
+            }
+            let (node, t2) = self.read_node(pool, page, t)?;
+            t = t2;
+            for (i, key) in node.keys.iter().enumerate() {
+                if key.as_slice() < low {
+                    continue;
+                }
+                out.push((key.clone(), node.rids[i]));
+                if out.len() >= limit {
+                    return Ok((out, t));
+                }
+            }
+            if node.extra == NONE_PAGE {
+                return Ok((out, t));
+            }
+            page = node.extra;
+        }
+    }
+
     /// Range scan for all keys starting with `prefix`.
     pub fn prefix_scan(
         &self,

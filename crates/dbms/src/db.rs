@@ -404,6 +404,25 @@ impl Database {
         Ok(out)
     }
 
+    /// Bounded index scan: the first `limit` `(key, rid)` pairs with
+    /// `key >= low`, in key order (a YCSB-style short scan).
+    pub fn index_scan_from(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        index: &str,
+        low: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, RecordId)>> {
+        let table_def = self.catalog.table(table)?;
+        let idx = table_def.index(index)?;
+        let (out, t) = idx.tree.range_from(&self.pool, low, limit, txn.now)?;
+        txn.advance_to(t);
+        txn.reads += 1;
+        txn.add_cpu(self.config.op_cpu);
+        Ok(out)
+    }
+
     /// Prefix scan over an index.
     pub fn index_prefix(
         &self,

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::addr::DieId;
 use crate::time::Duration;
 
 /// Aggregate operation counters and timing accumulators for the device.
@@ -170,6 +171,38 @@ impl UtilizationSummary {
             per_die,
         }
     }
+
+    /// The same summary narrowed to a subset of dies — e.g. the dies one
+    /// region owns on a device shared with other regions.  Without this,
+    /// a region-scoped bench that summarizes the *whole* device reports
+    /// `min = 0.0` from dies the region never touched.  `per_die`,
+    /// `mean`, `max` and `min` are recomputed over the subset (die ids
+    /// out of range are ignored); `elapsed` and `queue_depth_hwm` keep
+    /// the device-wide values.
+    pub fn restricted_to(&self, dies: &[DieId]) -> UtilizationSummary {
+        let mut ids: Vec<usize> =
+            dies.iter().map(|d| d.0 as usize).filter(|&i| i < self.per_die.len()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let per_die: Vec<f64> = ids.iter().map(|&i| self.per_die[i]).collect();
+        let mean = if per_die.is_empty() {
+            0.0
+        } else {
+            per_die.iter().sum::<f64>() / per_die.len() as f64
+        };
+        UtilizationSummary {
+            elapsed: self.elapsed,
+            mean,
+            max: per_die.iter().copied().fold(0.0, f64::max),
+            min: if per_die.is_empty() {
+                0.0
+            } else {
+                per_die.iter().copied().fold(f64::INFINITY, f64::min)
+            },
+            queue_depth_hwm: self.queue_depth_hwm,
+            per_die,
+        }
+    }
 }
 
 /// Summary of wear distribution over the device, used to evaluate the
@@ -302,6 +335,35 @@ mod tests {
         assert_eq!(empty.mean, 0.0);
         assert_eq!(empty.min, 0.0);
         assert_eq!(empty.queue_depth_hwm, 0);
+    }
+
+    #[test]
+    fn restriction_drops_idle_foreign_dies() {
+        // Dies 0-1 belong to "our" region and were busy; dies 2-3 belong
+        // to someone else and idled — they must not drag min to zero.
+        let dies = [
+            DieStats { busy_time: Duration::from_us(80), queue_depth_hwm: 2, ..Default::default() },
+            DieStats { busy_time: Duration::from_us(60), queue_depth_hwm: 1, ..Default::default() },
+            DieStats::default(),
+            DieStats::default(),
+        ];
+        let whole = UtilizationSummary::from_die_stats(&dies, Duration::from_us(100));
+        assert_eq!(whole.min, 0.0, "whole-device min counts the idle dies");
+        let ours = whole.restricted_to(&[DieId(0), DieId(1)]);
+        assert_eq!(ours.per_die.len(), 2);
+        assert!((ours.min - 0.6).abs() < 1e-9);
+        assert!((ours.max - 0.8).abs() < 1e-9);
+        assert!((ours.mean - 0.7).abs() < 1e-9);
+        assert_eq!(ours.elapsed, whole.elapsed);
+        assert_eq!(ours.queue_depth_hwm, whole.queue_depth_hwm);
+        // Out-of-range and duplicate ids are tolerated.
+        let odd = whole.restricted_to(&[DieId(1), DieId(1), DieId(99)]);
+        assert_eq!(odd.per_die.len(), 1);
+        assert!((odd.min - 0.6).abs() < 1e-9);
+        // Empty restriction degenerates cleanly.
+        let none = whole.restricted_to(&[]);
+        assert_eq!(none.mean, 0.0);
+        assert_eq!(none.min, 0.0);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Rate-controlled open-loop trace replay.
+//!
+//! Each [`crate::trace::TraceOp`] is issued at its *scheduled*
+//! simulated instant, never at the previous op's completion — the device
+//! does not get to slow the client down.  Per-op latency is therefore
+//! `completion - scheduled issue`, which includes any queueing delay the
+//! backlog causes: exactly the number coordinated-omission-free load
+//! generators report, and the repo's first committed tail-behavior
+//! measurement.
+
+use flash_sim::SimTime;
+use noftl_obs::{MetricsRegistry, Unit};
+
+use crate::backend::{Result, WorkloadBackend, WorkloadError};
+use crate::runner::quantiles_us;
+use crate::trace::TraceOp;
+use crate::ycsb::OpKind;
+
+/// Outcome of replaying one trace against one backend.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Operations replayed.
+    pub ops: u64,
+    /// Operations whose key was missing (reads/scans of absent keys).
+    pub misses: u64,
+    /// Scheduled duration of the trace (last issue instant).
+    pub schedule_end: SimTime,
+    /// Completion instant of the last-finishing op.
+    pub drained_at: SimTime,
+    /// Offered rate over the schedule, thousands of ops per simulated second.
+    pub offered_kops: f64,
+    /// Achieved rate: ops over the drain duration.
+    pub achieved_kops: f64,
+    /// Median simulated latency (completion - scheduled issue), microseconds.
+    pub p50_us: f64,
+    /// 99th percentile simulated latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile simulated latency, microseconds.
+    pub p999_us: f64,
+    /// Worst simulated latency, microseconds.
+    pub max_us: f64,
+}
+
+/// Issue one scheduled op at `issue`; returns `(misses, completion)`.
+/// Shared by the replayer and the multi-tenant interleaver.
+pub(crate) fn issue_trace_op(
+    backend: &dyn WorkloadBackend,
+    op: &TraceOp,
+    value_len: usize,
+    issue: SimTime,
+) -> Result<(u64, SimTime)> {
+    let value = vec![b'v'; value_len];
+    Ok(match op.kind {
+        OpKind::Read => {
+            let (found, t) = backend.read(&op.key, issue)?;
+            (u64::from(!found), t)
+        }
+        OpKind::Update => (0, backend.update(&op.key, &value, issue)?),
+        OpKind::Insert => (0, backend.insert(&op.key, &value, issue)?),
+        OpKind::Scan => {
+            let (rows, t) = backend.scan(&op.key, op.scan_len as usize, issue)?;
+            (u64::from(rows == 0), t)
+        }
+        OpKind::ReadModifyWrite => {
+            let (found, t) = backend.read(&op.key, issue)?;
+            (u64::from(!found), backend.update(&op.key, &value, t)?)
+        }
+    })
+}
+
+/// Replay `trace` against `backend`, issuing op `i` at `base + trace[i].at`.
+///
+/// Latencies are recorded into `workload.replay.<label>.op_latency_ns` on
+/// `registry` (one histogram per label, merged across calls with the same
+/// label).  The trace must be sorted by issue instant; a `value_len` is
+/// needed because traces carry no payloads.
+pub fn replay(
+    trace: &[TraceOp],
+    backend: &dyn WorkloadBackend,
+    registry: &MetricsRegistry,
+    label: &str,
+    value_len: usize,
+    base: SimTime,
+) -> Result<ReplayReport> {
+    let hist =
+        registry.histogram(&format!("workload.replay.{label}.op_latency_ns"), Unit::SimNanos);
+    let mut prev_at = SimTime::ZERO;
+    let mut drained = base;
+    let mut misses = 0u64;
+    for op in trace {
+        if op.at < prev_at {
+            return Err(WorkloadError(format!(
+                "trace not sorted: issue {} after {}",
+                op.at.as_nanos(),
+                prev_at.as_nanos()
+            )));
+        }
+        prev_at = op.at;
+        let issue = SimTime(base.as_nanos() + op.at.as_nanos());
+        let (miss, done) = issue_trace_op(backend, op, value_len, issue)?;
+        misses += miss;
+        drained = drained.max(done);
+        hist.record(done.as_nanos().saturating_sub(issue.as_nanos()));
+    }
+    let ops = trace.len() as u64;
+    let schedule_end = prev_at;
+    let sched_secs = schedule_end.as_secs_f64().max(f64::MIN_POSITIVE);
+    let drain_secs = SimTime(drained.as_nanos().saturating_sub(base.as_nanos()))
+        .as_secs_f64()
+        .max(f64::MIN_POSITIVE);
+    let (p50_us, p99_us, p999_us, max_us) = quantiles_us(&hist);
+    Ok(ReplayReport {
+        ops,
+        misses,
+        schedule_end,
+        drained_at: drained,
+        offered_kops: ops as f64 / sched_secs / 1e3,
+        achieved_kops: ops as f64 / drain_secs / 1e3,
+        p50_us,
+        p99_us,
+        p999_us,
+        max_us,
+    })
+}

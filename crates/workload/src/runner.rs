@@ -1,0 +1,130 @@
+//! Closed-loop YCSB execution: load phase, run phase, latency capture.
+
+use flash_sim::SimTime;
+use noftl_obs::{Histogram, MetricsRegistry, Unit};
+
+use crate::backend::{Result, WorkloadBackend};
+use crate::ycsb::{key_bytes, stream_digest, Op, OpKind, YcsbSpec};
+
+/// Latency/throughput summary of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload tag (e.g. `"A"`).
+    pub workload: &'static str,
+    /// Backend tag (`"kv"` / `"btree"`).
+    pub backend: &'static str,
+    /// Operations executed.
+    pub ops: u64,
+    /// Rows touched by scans (scans count as one op each).
+    pub rows_scanned: u64,
+    /// Simulated duration of the run phase.
+    pub elapsed: SimTime,
+    /// Simulated throughput in thousands of ops per simulated second.
+    pub throughput_kops: f64,
+    /// Median per-op simulated latency, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile per-op simulated latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile per-op simulated latency, microseconds.
+    pub p999_us: f64,
+    /// Worst per-op simulated latency, microseconds.
+    pub max_us: f64,
+    /// Order-sensitive digest of the consumed op stream; equal digests
+    /// mean two runs replayed identical streams.
+    pub stream_digest: u64,
+}
+
+/// Quantiles pulled out of a recorded histogram, in microseconds:
+/// `(p50, p99, p999, max)` — the max is tracked exactly.
+pub(crate) fn quantiles_us(hist: &Histogram) -> (f64, f64, f64, f64) {
+    let snap = hist.snapshot();
+    let q = |p: f64| snap.percentile(p) as f64 / 1e3;
+    (q(0.5), q(0.99), q(0.999), if snap.count == 0 { 0.0 } else { snap.max as f64 / 1e3 })
+}
+
+/// Load `spec.record_count` ordered records through `backend`, returning
+/// the completion time of the load (including the durability flush).
+pub fn load_phase(spec: &YcsbSpec, backend: &dyn WorkloadBackend, at: SimTime) -> Result<SimTime> {
+    let mut t = at;
+    for id in 0..spec.record_count {
+        t = backend.insert(&key_bytes(id), &spec.value_for(id), t)?;
+    }
+    backend.flush(t)
+}
+
+/// Execute one already-generated `op` at `at`; returns `(rows, completion)`.
+pub(crate) fn execute_op(
+    backend: &dyn WorkloadBackend,
+    spec: &YcsbSpec,
+    op: &Op,
+    at: SimTime,
+) -> Result<(u64, SimTime)> {
+    Ok(match op.kind {
+        OpKind::Read => {
+            let (_, t) = backend.read(&key_bytes(op.key), at)?;
+            (0, t)
+        }
+        OpKind::Update => (0, backend.update(&key_bytes(op.key), &spec.value_for(op.key), at)?),
+        OpKind::Insert => (0, backend.insert(&key_bytes(op.key), &spec.value_for(op.key), at)?),
+        OpKind::Scan => {
+            let (rows, t) = backend.scan(&key_bytes(op.key), op.scan_len as usize, at)?;
+            (rows as u64, t)
+        }
+        OpKind::ReadModifyWrite => {
+            let (_, t) = backend.read(&key_bytes(op.key), at)?;
+            (0, backend.update(&key_bytes(op.key), &spec.value_for(op.key), t)?)
+        }
+    })
+}
+
+/// Run `spec` against `backend` closed-loop (each op issues at the
+/// previous op's completion — the as-fast-as-possible YCSB client).
+///
+/// The load phase must already have happened (see [`load_phase`]).
+/// Per-op simulated latencies are recorded into
+/// `workload.<spec>.<backend>.op_latency_ns` on `registry`, and the
+/// report's percentiles are read back from that histogram.
+pub fn run_ycsb(
+    spec: &YcsbSpec,
+    backend: &dyn WorkloadBackend,
+    registry: &MetricsRegistry,
+    at: SimTime,
+) -> Result<RunReport> {
+    let hist = registry.histogram(
+        &format!(
+            "workload.ycsb_{}.{}.op_latency_ns",
+            spec.name.to_ascii_lowercase(),
+            backend.tag()
+        ),
+        Unit::SimNanos,
+    );
+    let mut now = at;
+    let mut ops = 0u64;
+    let mut rows_scanned = 0u64;
+    let mut digest_ops: Vec<Op> = Vec::with_capacity(spec.op_count as usize);
+    for op in spec.stream() {
+        let issue = now;
+        let (rows, done) = execute_op(backend, spec, &op, issue)?;
+        rows_scanned += rows;
+        now = now.max(done);
+        hist.record(now.as_nanos().saturating_sub(issue.as_nanos()));
+        ops += 1;
+        digest_ops.push(op);
+    }
+    let elapsed = SimTime(now.as_nanos().saturating_sub(at.as_nanos()));
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    let (p50_us, p99_us, p999_us, max_us) = quantiles_us(&hist);
+    Ok(RunReport {
+        workload: spec.name,
+        backend: backend.tag(),
+        ops,
+        rows_scanned,
+        elapsed,
+        throughput_kops: ops as f64 / secs / 1e3,
+        p50_us,
+        p99_us,
+        p999_us,
+        max_us,
+        stream_digest: stream_digest(digest_ops),
+    })
+}

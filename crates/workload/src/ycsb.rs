@@ -1,0 +1,305 @@
+//! The six YCSB core workloads as deterministic operation streams.
+//!
+//! A [`YcsbSpec`] fixes the op mix, key distribution and sizes; an
+//! [`OpStream`] expands it into a concrete sequence of [`Op`]s using only
+//! the spec and its seed — never feedback from a backend — so the *same
+//! spec always yields the same stream*, no matter which storage engine
+//! consumes it.  That is what makes an A-vs-A comparison between
+//! NoFTL-KV and the B+-tree honest: both sides replay identical keys in
+//! identical order.
+//!
+//! Keys are loaded in *ordered* mode (`user<12-digit id>`), so scans walk
+//! consecutive ids and inserts append at the tail of the key space —
+//! YCSB's `insertorder=ordered` setting.
+
+use crate::rng::{fnv64, KeyChooser, KeyDistribution, KeyedRng};
+
+/// One operation kind of the YCSB core mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read of one key.
+    Read,
+    /// Overwrite the value of an existing key.
+    Update,
+    /// Insert a brand-new key at the tail of the key space.
+    Insert,
+    /// Short range scan starting at a key.
+    Scan,
+    /// Read a key, then write it back modified.
+    ReadModifyWrite,
+}
+
+impl OpKind {
+    /// One-letter code used by the trace format.
+    pub fn code(self) -> char {
+        match self {
+            OpKind::Read => 'R',
+            OpKind::Update => 'U',
+            OpKind::Insert => 'I',
+            OpKind::Scan => 'S',
+            OpKind::ReadModifyWrite => 'M',
+        }
+    }
+
+    /// Parse a one-letter trace code.
+    pub fn from_code(c: char) -> Option<Self> {
+        Some(match c {
+            'R' => OpKind::Read,
+            'U' => OpKind::Update,
+            'I' => OpKind::Insert,
+            'S' => OpKind::Scan,
+            'M' => OpKind::ReadModifyWrite,
+            _ => return None,
+        })
+    }
+}
+
+/// One concrete operation of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// What to do.
+    pub kind: OpKind,
+    /// Key id (`0..` maps to `user<id>` via [`key_bytes`]).
+    pub key: u64,
+    /// Number of rows a [`OpKind::Scan`] touches (0 otherwise).
+    pub scan_len: u32,
+}
+
+/// Render a key id as its on-disk key (`user` + 12 decimal digits, so
+/// lexicographic order equals numeric order).
+pub fn key_bytes(id: u64) -> Vec<u8> {
+    format!("user{id:012}").into_bytes()
+}
+
+/// A YCSB workload description.
+#[derive(Debug, Clone)]
+pub struct YcsbSpec {
+    /// Workload tag (`"A"`..`"F"` for the core mixes).
+    pub name: &'static str,
+    /// Fraction of point reads.
+    pub read: f64,
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of scans.
+    pub scan: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+    /// Key distribution of reads/updates/scans/rmws.
+    pub dist: KeyDistribution,
+    /// Records loaded before the run.
+    pub record_count: u64,
+    /// Operations in the run phase.
+    pub op_count: u64,
+    /// Value payload bytes per record.
+    pub value_len: usize,
+    /// Scans touch `1..=max_scan_len` rows (uniform).
+    pub max_scan_len: u32,
+    /// Stream seed; the whole run is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl YcsbSpec {
+    /// The YCSB core workload `which` ('A'..='F', case-insensitive) sized
+    /// to `record_count` records and `op_count` operations.
+    pub fn core(which: char, record_count: u64, op_count: u64, seed: u64) -> Option<Self> {
+        let zipf = KeyDistribution::Zipfian { theta: 0.99 };
+        let spec = match which.to_ascii_uppercase() {
+            // A: update heavy — 50/50 read/update, zipfian.
+            'A' => YcsbSpec { name: "A", read: 0.5, update: 0.5, ..Self::base(zipf) },
+            // B: read mostly — 95/5 read/update, zipfian.
+            'B' => YcsbSpec { name: "B", read: 0.95, update: 0.05, ..Self::base(zipf) },
+            // C: read only, zipfian.
+            'C' => YcsbSpec { name: "C", read: 1.0, ..Self::base(zipf) },
+            // D: read latest — 95/5 read/insert, latest distribution.
+            'D' => YcsbSpec {
+                name: "D",
+                read: 0.95,
+                insert: 0.05,
+                ..Self::base(KeyDistribution::Latest)
+            },
+            // E: short ranges — 95/5 scan/insert, zipfian start keys.
+            'E' => YcsbSpec { name: "E", scan: 0.95, insert: 0.05, ..Self::base(zipf) },
+            // F: read-modify-write — 50/50 read/rmw, zipfian.
+            'F' => YcsbSpec { name: "F", read: 0.5, rmw: 0.5, ..Self::base(zipf) },
+            _ => return None,
+        };
+        Some(YcsbSpec { record_count, op_count, seed, ..spec })
+    }
+
+    fn base(dist: KeyDistribution) -> Self {
+        YcsbSpec {
+            name: "?",
+            read: 0.0,
+            update: 0.0,
+            insert: 0.0,
+            scan: 0.0,
+            rmw: 0.0,
+            dist,
+            record_count: 1_000,
+            op_count: 1_000,
+            value_len: 100,
+            max_scan_len: 50,
+            seed: 0,
+        }
+    }
+
+    /// Expand the spec into its deterministic operation stream.
+    pub fn stream(&self) -> OpStream {
+        OpStream {
+            ops: KeyedRng::new(self.seed, "op-mix"),
+            scans: KeyedRng::new(self.seed, "scan-len"),
+            chooser: KeyChooser::new(self.dist, self.record_count, self.seed),
+            spec: self.clone(),
+            live: self.record_count,
+            emitted: 0,
+        }
+    }
+
+    /// Deterministic value payload for a key: printable ASCII (so it
+    /// survives string-typed columns) sized by the spec, tagged with the
+    /// key so reads can be sanity-checked.
+    pub fn value_for(&self, key: u64) -> Vec<u8> {
+        let tag = format!("{key:016x}");
+        let mut v = Vec::with_capacity(self.value_len);
+        while v.len() < self.value_len {
+            let take = (self.value_len - v.len()).min(tag.len());
+            v.extend_from_slice(&tag.as_bytes()[..take]);
+        }
+        v
+    }
+}
+
+/// Iterator expanding a [`YcsbSpec`] into [`Op`]s.
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    spec: YcsbSpec,
+    ops: KeyedRng,
+    scans: KeyedRng,
+    chooser: KeyChooser,
+    live: u64,
+    emitted: u64,
+}
+
+impl OpStream {
+    /// Number of keys live after the ops emitted so far (initial records
+    /// plus inserts).
+    pub fn live_keys(&self) -> u64 {
+        self.live
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.emitted >= self.spec.op_count {
+            return None;
+        }
+        self.emitted += 1;
+        let s = &self.spec;
+        let d = self.ops.next_f64();
+        let op = if d < s.read {
+            Op { kind: OpKind::Read, key: self.chooser.next(self.live), scan_len: 0 }
+        } else if d < s.read + s.update {
+            Op { kind: OpKind::Update, key: self.chooser.next(self.live), scan_len: 0 }
+        } else if d < s.read + s.update + s.insert {
+            let key = self.live;
+            self.live += 1;
+            Op { kind: OpKind::Insert, key, scan_len: 0 }
+        } else if d < s.read + s.update + s.insert + s.scan {
+            let len = 1 + self.scans.below(u64::from(s.max_scan_len.max(1))) as u32;
+            Op { kind: OpKind::Scan, key: self.chooser.next(self.live), scan_len: len }
+        } else {
+            Op { kind: OpKind::ReadModifyWrite, key: self.chooser.next(self.live), scan_len: 0 }
+        };
+        Some(op)
+    }
+}
+
+/// Order-sensitive digest of an op stream — two streams with the same
+/// digest replayed the same ops in the same order.  The run reports carry
+/// it so cross-backend comparisons can assert they consumed identical
+/// streams.
+pub fn stream_digest(ops: impl IntoIterator<Item = Op>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for op in ops {
+        let mut buf = [0u8; 13];
+        buf[0] = op.kind.code() as u8;
+        buf[1..9].copy_from_slice(&op.key.to_le_bytes());
+        buf[9..13].copy_from_slice(&op.scan_len.to_le_bytes());
+        h ^= fnv64(&buf);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_mixes_sum_to_one() {
+        for w in ['A', 'B', 'C', 'D', 'E', 'F'] {
+            let s = YcsbSpec::core(w, 100, 100, 1).unwrap();
+            let total = s.read + s.update + s.insert + s.scan + s.rmw;
+            assert!((total - 1.0).abs() < 1e-9, "workload {w} mix sums to {total}");
+        }
+        assert!(YcsbSpec::core('G', 100, 100, 1).is_none());
+    }
+
+    #[test]
+    fn stream_is_a_pure_function_of_the_spec() {
+        let spec = YcsbSpec::core('A', 500, 2_000, 99).unwrap();
+        let a: Vec<Op> = spec.stream().collect();
+        let b: Vec<Op> = spec.stream().collect();
+        assert_eq!(a, b);
+        assert_eq!(stream_digest(a.iter().copied()), stream_digest(b.iter().copied()));
+        let other = YcsbSpec { seed: 100, ..spec };
+        assert_ne!(
+            stream_digest(other.stream()),
+            stream_digest(spec.stream()),
+            "a different seed must change the stream"
+        );
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let spec = YcsbSpec::core('B', 1_000, 20_000, 7).unwrap();
+        let ops: Vec<Op> = spec.stream().collect();
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count() as f64;
+        let frac = reads / ops.len() as f64;
+        assert!((frac - 0.95).abs() < 0.02, "read fraction {frac} should be ~0.95");
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace_monotonically() {
+        let spec = YcsbSpec::core('D', 100, 5_000, 3).unwrap();
+        let mut next_insert = 100u64;
+        for op in spec.stream() {
+            if op.kind == OpKind::Insert {
+                assert_eq!(op.key, next_insert, "inserts append in order");
+                next_insert += 1;
+            } else {
+                assert!(op.key < next_insert, "non-inserts hit live keys only");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_lengths_are_bounded() {
+        let spec = YcsbSpec::core('E', 1_000, 5_000, 11).unwrap();
+        for op in spec.stream() {
+            if op.kind == OpKind::Scan {
+                assert!(op.scan_len >= 1 && op.scan_len <= spec.max_scan_len);
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_keys_sort_like_their_ids() {
+        assert!(key_bytes(5) < key_bytes(50));
+        assert!(key_bytes(999) < key_bytes(1_000));
+    }
+}

@@ -1,0 +1,165 @@
+//! The workload lab's core promise: a fixed seed produces byte-identical
+//! op streams on every run, both backends consume *identical* streams,
+//! and the Zipfian sampler's empirical skew tracks its theta.
+
+use std::sync::Arc;
+
+use flash_sim::{DeviceBuilder, FlashGeometry, SimTime, TimingModel};
+use noftl_core::kv::KvConfig;
+use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig, RegionSpec};
+use noftl_obs::MetricsRegistry;
+use noftl_workload::rng::{KeyedRng, Zipfian};
+use noftl_workload::trace::from_spec;
+use noftl_workload::{load_phase, replay, run_ycsb, BtreeBackend, KvBackend, RunReport, YcsbSpec};
+use proptest::prelude::*;
+
+fn kv_stack() -> (KvBackend, SimTime) {
+    let dev = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
+    );
+    let noftl = Arc::new(NoFtl::new(dev, NoFtlConfig::default()));
+    let rid = noftl
+        .create_region(RegionSpec::named("rgLab").with_die_count(4))
+        .expect("example device has 8 dies");
+    let (backend, t) = KvBackend::create(noftl, rid, "lab", KvConfig::default(), SimTime::ZERO)
+        .expect("fresh store");
+    (backend, t)
+}
+
+fn btree_stack(value_len: usize) -> (BtreeBackend, SimTime) {
+    let dev = Arc::new(
+        DeviceBuilder::new(FlashGeometry::example()).timing(TimingModel::mlc_2015()).build(),
+    );
+    let noftl = Arc::new(NoFtl::new(dev, NoFtlConfig::default()));
+    let placement = PlacementConfig::traditional(4, ["usertable".to_string()]);
+    BtreeBackend::create(
+        noftl,
+        &placement,
+        dbms_engine::DatabaseConfig::default(),
+        value_len,
+        SimTime::ZERO,
+    )
+    .expect("fresh database")
+}
+
+fn run_kv(spec: &YcsbSpec) -> RunReport {
+    let (backend, t) = kv_stack();
+    let loaded = load_phase(spec, &backend, t).expect("load");
+    let registry = MetricsRegistry::new();
+    run_ycsb(spec, &backend, &registry, loaded).expect("run")
+}
+
+fn run_btree(spec: &YcsbSpec) -> RunReport {
+    let (backend, t) = btree_stack(spec.value_len);
+    let loaded = load_phase(spec, &backend, t).expect("load");
+    let registry = MetricsRegistry::new();
+    run_ycsb(spec, &backend, &registry, loaded).expect("run")
+}
+
+/// Fixed seed ⇒ the generated op stream is byte-identical across
+/// independent generations — the property CI gating leans on.
+#[test]
+fn fixed_seed_yields_byte_identical_streams() {
+    let spec = YcsbSpec::core('A', 200, 400, 0xfeed).expect("A is core");
+    let first: Vec<_> = spec.stream().collect();
+    let second: Vec<_> = spec.stream().collect();
+    assert_eq!(first, second);
+
+    // A different seed really changes the stream.
+    let other = YcsbSpec::core('A', 200, 400, 0xbeef).expect("A is core");
+    let third: Vec<_> = other.stream().collect();
+    assert_ne!(first, third);
+}
+
+/// Both backends replay the *same* key stream (equal order-sensitive
+/// digests) and, because neither workload deletes, their scans see the
+/// same rows.
+#[test]
+fn kv_and_btree_consume_identical_streams() {
+    for which in ['A', 'B', 'C', 'D', 'E', 'F'] {
+        let spec = YcsbSpec::core(which, 150, 250, 0x5eed).expect("core workload");
+        let kv = run_kv(&spec);
+        let bt = run_btree(&spec);
+        assert_eq!(kv.ops, spec.op_count, "workload {which}");
+        assert_eq!(bt.ops, spec.op_count, "workload {which}");
+        assert_eq!(
+            kv.stream_digest, bt.stream_digest,
+            "workload {which}: backends must replay identical streams"
+        );
+        assert_eq!(
+            kv.rows_scanned, bt.rows_scanned,
+            "workload {which}: identical streams over identical data must scan identical rows"
+        );
+        assert!(kv.throughput_kops > 0.0 && bt.throughput_kops > 0.0, "workload {which}");
+        assert!(kv.p99_us >= kv.p50_us && bt.p99_us >= bt.p50_us, "workload {which}");
+    }
+}
+
+/// Scans actually return rows on both backends (workload E is 95% scans).
+#[test]
+fn workload_e_scans_return_rows() {
+    let spec = YcsbSpec::core('E', 150, 200, 0x0e).expect("E is core");
+    let kv = run_kv(&spec);
+    assert!(kv.rows_scanned > 0, "E must touch scanned rows, got {}", kv.rows_scanned);
+}
+
+/// Open-loop replay of the same trace on two fresh stacks reproduces the
+/// exact same simulated numbers — no wall-clock leakage anywhere.
+#[test]
+fn trace_replay_is_deterministic_across_stacks() {
+    let spec = YcsbSpec::core('B', 200, 300, 0x7ace).expect("B is core");
+    let trace = from_spec(&spec, 5.0);
+    let mut reports = Vec::new();
+    for _ in 0..2 {
+        let (backend, t) = kv_stack();
+        let loaded = load_phase(&spec, &backend, t).expect("load");
+        let registry = MetricsRegistry::new();
+        reports.push(replay(&trace, &backend, &registry, "det", 100, loaded).expect("replay"));
+    }
+    let (a, b) = (&reports[0], &reports[1]);
+    assert_eq!(a.ops, spec.op_count);
+    assert_eq!(a.misses, 0, "workload B only touches loaded keys");
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.drained_at, b.drained_at);
+    assert_eq!(a.achieved_kops.to_bits(), b.achieved_kops.to_bits());
+    assert_eq!(a.p99_us.to_bits(), b.p99_us.to_bits());
+}
+
+/// More theta, more skew: the hottest rank's share grows monotonically.
+#[test]
+fn zipfian_skew_grows_with_theta() {
+    let share = |theta: f64| {
+        let mut rng = KeyedRng::new(0x51ef, "skew");
+        let zipf = Zipfian::new(100, theta);
+        let draws = 4000;
+        let hot = (0..draws).filter(|_| zipf.next(&mut rng) == 0).count();
+        hot as f64 / draws as f64
+    };
+    let (low, high) = (share(0.5), share(0.95));
+    assert!(
+        high > low + 0.02,
+        "theta 0.95 should concentrate more than 0.5: {high:.3} vs {low:.3}"
+    );
+}
+
+proptest! {
+    /// The empirical frequency of the hottest rank matches the
+    /// analytical `1/zeta` head probability for any theta in the range
+    /// YCSB uses, within sampling tolerance.
+    #[test]
+    fn zipfian_head_matches_theta(theta_pct in 40u32..99, seed in any::<u64>()) {
+        let theta = theta_pct as f64 / 100.0;
+        let zipf = Zipfian::new(100, theta);
+        let expected = zipf.top_probability();
+        let mut rng = KeyedRng::new(seed, "zipf-prop");
+        let draws = 4000u64;
+        let hot = (0..draws).filter(|_| zipf.next(&mut rng) == 0).count();
+        let empirical = hot as f64 / draws as f64;
+        let tolerance = 0.25 * expected + 0.01;
+        prop_assert!(
+            (empirical - expected).abs() <= tolerance,
+            "theta {}: empirical {:.4} vs analytical {:.4} (tolerance {:.4})",
+            theta, empirical, expected, tolerance
+        );
+    }
+}

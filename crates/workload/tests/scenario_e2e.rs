@@ -1,0 +1,34 @@
+//! End-to-end multi-tenant scenario: the noisy KV neighbor really
+//! compacts, the OLTP tenant really pays a tail penalty, and the whole
+//! thing is deterministic run to run.
+
+use noftl_workload::{oltp_beside_compaction, MultiTenantConfig};
+
+#[test]
+fn oltp_beside_compaction_runs_and_interferes() {
+    let report = oltp_beside_compaction(&MultiTenantConfig::quick()).expect("scenario");
+    assert_eq!(report.oltp_shared.ops, 600);
+    assert_eq!(report.compact_shared.ops, 600);
+    assert_eq!(report.oltp_alone.ops, 600);
+    assert!(
+        report.compact_flushes > 0,
+        "the noisy tenant must actually flush (got {})",
+        report.compact_flushes
+    );
+    assert!(report.oltp_shared.p99_us > 0.0 && report.oltp_alone.p99_us > 0.0);
+    assert!(
+        report.p99_penalty >= 1.0,
+        "sharing channels with a compacting neighbor cannot improve the tail: penalty {:.3}",
+        report.p99_penalty
+    );
+}
+
+#[test]
+fn scenario_is_deterministic() {
+    let a = oltp_beside_compaction(&MultiTenantConfig::quick()).expect("scenario");
+    let b = oltp_beside_compaction(&MultiTenantConfig::quick()).expect("scenario");
+    assert_eq!(a.p99_penalty.to_bits(), b.p99_penalty.to_bits());
+    assert_eq!(a.oltp_shared.p999_us.to_bits(), b.oltp_shared.p999_us.to_bits());
+    assert_eq!(a.compact_shared.achieved_kops.to_bits(), b.compact_shared.achieved_kops.to_bits());
+    assert_eq!(a.compact_flushes, b.compact_flushes);
+}

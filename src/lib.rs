@@ -11,6 +11,9 @@
 //! * [`dbms`] — the storage engine that runs on either stack (`dbms-engine`);
 //! * [`tpcc`] — the TPC-C workload and placement configurations
 //!   (`tpcc-workload`);
+//! * [`workload`] — the workload lab: deterministic YCSB A–F generators,
+//!   rate-controlled trace replay and multi-tenant scenarios
+//!   (`noftl-workload`);
 //! * [`bench`](mod@bench) — the experiment harness used by the figure
 //!   binaries (`noftl-bench`);
 //! * [`obs`] — the cross-layer observability layer: metrics registry,
@@ -27,6 +30,7 @@ pub use ftl_sim as ftl;
 pub use noftl_bench as bench;
 pub use noftl_core as noftl;
 pub use noftl_obs as obs;
+pub use noftl_workload as workload;
 pub use tpcc_workload as tpcc;
 
 // The one-call rendering facade (`obs::dump::{table, prometheus,

@@ -1,7 +1,7 @@
 //! Smoke test for the `noftl-regions` facade crate: every workspace member
 //! must be reachable through the root crate's re-exports (`flash`, `ftl`,
-//! `noftl`, `dbms`, `tpcc`, `bench`), and a tiny device must work end to end
-//! when driven exclusively through those paths.
+//! `noftl`, `dbms`, `tpcc`, `workload`, `bench`), and a tiny device must
+//! work end to end when driven exclusively through those paths.
 
 use std::sync::Arc;
 
@@ -89,6 +89,17 @@ fn remaining_reexports_are_wired() {
         "facade smoke",
     );
     assert_eq!(exp.label, "facade smoke");
+
+    // workload: a YCSB spec generates a deterministic stream through the
+    // facade, and the key helpers are reachable.
+    let spec = noftl_regions::workload::YcsbSpec::core('A', 10, 20, 7).unwrap();
+    let ops: Vec<_> = spec.stream().collect();
+    assert_eq!(ops.len(), 20);
+    assert_eq!(
+        noftl_regions::workload::stream_digest(ops.clone()),
+        noftl_regions::workload::stream_digest(ops)
+    );
+    assert_eq!(noftl_regions::workload::key_bytes(42), b"user000000000042");
 
     // placement policies: trait, implementations, selector and the die
     // load snapshot are re-exported at the root crate.
