@@ -49,11 +49,13 @@ fn two_region(total_dies: u32) -> PlacementConfig {
                 region_name: "rgHot".into(),
                 objects: hot.iter().map(|s| s.to_string()).collect(),
                 dies: hot_dies,
+                service_class: None,
             },
             RegionAssignment {
                 region_name: "rgCold".into(),
                 objects: cold.iter().map(|s| s.to_string()).collect(),
                 dies: total_dies - hot_dies,
+                service_class: None,
             },
         ],
     }

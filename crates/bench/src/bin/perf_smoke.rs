@@ -3,15 +3,15 @@
 //! `recovery` and `mirror` benches in quick mode — plus the `latency` section's
 //! histogram percentiles read back out of the shared metrics registry and,
 //! with `--scenarios`, the workload lab's YCSB/replay/multi-tenant
-//! scenario matrix — write them to a `BENCH_PR9.json` perf-trajectory
+//! scenario matrix — write them to a `BENCH_PR10.json` perf-trajectory
 //! point and optionally gate against a committed baseline point.
 //!
 //! ```text
 //! cargo run --release -p noftl-bench --bin perf_smoke -- \
-//!     --scenarios all --out BENCH_PR9.json --compare BENCH_PR8.json
+//!     --scenarios all --out BENCH_PR10.json --compare BENCH_PR9.json
 //! ```
 //!
-//! Flags: `--out <path>` (default `BENCH_PR9.json`), `--full` for the
+//! Flags: `--out <path>` (default `BENCH_PR10.json`), `--full` for the
 //! larger workloads, `--scenarios <kv|btree|mixed|all>` to append the
 //! `scenarios` section, `--only-scenarios` to emit *only* that section
 //! (the CI scenario matrix runs one group per job), and
@@ -34,7 +34,7 @@ use noftl_bench::smoke;
 const TOLERANCE: f64 = 0.20;
 
 fn main() {
-    let mut out = PathBuf::from("BENCH_PR9.json");
+    let mut out = PathBuf::from("BENCH_PR10.json");
     let mut baseline: Option<PathBuf> = None;
     let mut quick = true;
     let mut scenario_group: Option<ScenarioGroup> = None;

@@ -558,7 +558,7 @@ pub fn latency_section(quick: bool) -> Section {
 }
 
 /// The PR number stamped into the perf-trajectory JSON.
-pub const PERF_POINT_PR: u32 = 9;
+pub const PERF_POINT_PR: u32 = 10;
 
 /// Serialise sections into a `BENCH_*.json` perf-trajectory point.
 pub fn write_json(path: &Path, mode: &str, sections: &[Section]) -> std::io::Result<()> {

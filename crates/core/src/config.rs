@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use flash_sim::ServiceClass;
+
 use crate::placement::PlacementPolicyKind;
 
 /// Garbage-collection victim selection policy (per region).
@@ -50,6 +52,12 @@ pub struct NoFtlConfig {
     /// Individual regions can override this via
     /// [`crate::RegionSpec::with_placement`].
     pub placement: PlacementPolicyKind,
+    /// Default I/O service class for regions that do not set one via
+    /// [`crate::RegionSpec::with_service_class`].  `Throughput` leaves
+    /// the arbiter neutral; maintenance traffic (GC relocation, KV
+    /// compaction, rebuild copies) is always tagged `Background`
+    /// regardless of this default.
+    pub service_class: ServiceClass,
 }
 
 impl NoFtlConfig {
@@ -63,6 +71,7 @@ impl NoFtlConfig {
             wear_leveling: WearLevelingPolicy::Dynamic,
             gc_headroom: 0.10,
             placement: PlacementPolicyKind::RoundRobin,
+            service_class: ServiceClass::Throughput,
         }
     }
 

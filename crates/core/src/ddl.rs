@@ -23,6 +23,8 @@ use serde::{Deserialize, Serialize};
 use crate::error::NoFtlError;
 use crate::manager::NoFtl;
 use crate::object::ObjectId;
+use flash_sim::ServiceClass;
+
 use crate::placement::PlacementPolicyKind;
 use crate::region::{RegionId, RegionSpec};
 use crate::Result;
@@ -31,7 +33,7 @@ use crate::Result;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DdlStatement {
     /// `CREATE REGION name (MAX_CHIPS=.., MAX_CHANNELS=.., MAX_SIZE=..,
-    /// DIES=.., PLACEMENT=..)`
+    /// DIES=.., PLACEMENT=.., CLASS=..)`
     CreateRegion {
         /// Region name.
         name: String,
@@ -46,6 +48,9 @@ pub enum DdlStatement {
         /// `PLACEMENT` policy override (`ROUND_ROBIN`/`QUEUE_AWARE`), if
         /// given.
         placement: Option<PlacementPolicyKind>,
+        /// `CLASS` service-class override
+        /// (`LATENCY`/`THROUGHPUT`/`BACKGROUND`), if given.
+        class: Option<ServiceClass>,
     },
     /// `CREATE TABLESPACE name (REGION=.., EXTENT_SIZE=..)`
     CreateTablespace {
@@ -198,6 +203,7 @@ fn parse_create_region(rest: &str) -> Result<DdlStatement> {
     let mut max_channels = None;
     let mut max_size_bytes = None;
     let mut placement = None;
+    let mut class = None;
     if let Some(body) = body {
         let opts = parse_kv_options(&body)?;
         for (k, v) in opts {
@@ -222,6 +228,13 @@ fn parse_create_region(rest: &str) -> Result<DdlStatement> {
                         ))
                     })?)
                 }
+                "CLASS" => {
+                    class = Some(ServiceClass::parse(&v).ok_or_else(|| {
+                        ddl_err(format!(
+                            "bad CLASS value '{v}' (expected LATENCY, THROUGHPUT or BACKGROUND)"
+                        ))
+                    })?)
+                }
                 other => return Err(ddl_err(format!("unknown CREATE REGION option '{other}'"))),
             }
         }
@@ -233,6 +246,7 @@ fn parse_create_region(rest: &str) -> Result<DdlStatement> {
         max_channels,
         max_size_bytes,
         placement,
+        class,
     })
 }
 
@@ -316,6 +330,7 @@ impl<'a> Ddl<'a> {
                 max_channels,
                 max_size_bytes,
                 placement,
+                class,
             } => {
                 let mut spec = RegionSpec::named(name.clone());
                 spec.die_count = *dies;
@@ -323,6 +338,7 @@ impl<'a> Ddl<'a> {
                 spec.max_channels = *max_channels;
                 spec.max_size_bytes = *max_size_bytes;
                 spec.placement = *placement;
+                spec.service_class = *class;
                 self.noftl.create_region(spec)?;
                 Ok(())
             }
@@ -428,6 +444,7 @@ mod tests {
                 max_channels: Some(4),
                 max_size_bytes: Some(1280 * 1024 * 1024),
                 placement: None,
+                class: None,
             }
         );
         let s = parse_statement("CREATE REGION rgBusy (DIES=2, PLACEMENT=QUEUE_AWARE)").unwrap();
@@ -440,9 +457,24 @@ mod tests {
                 max_channels: None,
                 max_size_bytes: None,
                 placement: Some(PlacementPolicyKind::QueueAware),
+                class: None,
             }
         );
         assert!(parse_statement("CREATE REGION rgBad (PLACEMENT=FANCY)").is_err());
+        let s = parse_statement("CREATE REGION rgOltp (DIES=2, CLASS=LATENCY)").unwrap();
+        assert_eq!(
+            s,
+            DdlStatement::CreateRegion {
+                name: "rgOltp".into(),
+                dies: Some(2),
+                max_chips: None,
+                max_channels: None,
+                max_size_bytes: None,
+                placement: None,
+                class: Some(ServiceClass::Latency),
+            }
+        );
+        assert!(parse_statement("CREATE REGION rgBad (CLASS=URGENT)").is_err());
         let s = parse_statement("CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT_SIZE=128K)")
             .unwrap();
         assert_eq!(

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use flash_sim::SimTime;
+use flash_sim::{ServiceClass, SimTime};
 
 use crate::error::NoFtlError;
 use crate::manager::NoFtl;
@@ -481,15 +481,16 @@ impl KvStore {
     /// Bounded range scan: up to `limit` live entries with key `>= lo`
     /// (`None` = from the start), in key order.
     ///
-    /// Unlike [`scan`](Self::scan), the merge is *limit-aware*: each run
-    /// contributes only its first `limit` entries at or above `lo`
-    /// (reading pages through the windowed pipeline in
-    /// [`KvConfig::read_window`]-sized chunks and stopping early), so a
-    /// short scan of a large store touches a handful of pages instead of
-    /// every run tail.  With tombstones in the range the result may
-    /// under-fill (a masked key consumes a candidate slot in the run that
-    /// wrote it) — exact for workloads that never delete, which is what
-    /// the YCSB scans need.
+    /// Unlike [`scan`](Self::scan), the merge is *limit-aware*: the runs
+    /// are drained through per-run streaming cursors (each pulling pages
+    /// through the windowed pipeline in [`KvConfig::read_window`]-sized
+    /// chunks on demand), merged smallest-key-first with the newest
+    /// source winning each key.  Tombstones do not consume result slots:
+    /// the merge keeps draining past masked keys until `limit` live rows
+    /// are found or every source is exhausted, so delete-heavy workloads
+    /// get exactly as many rows as a full scan would (the former
+    /// under-fill).  A short scan of a large store still touches a
+    /// handful of pages instead of every run tail.
     pub fn scan_limit(
         &self,
         lo: Option<&[u8]>,
@@ -503,49 +504,99 @@ impl KvStore {
         let inner = &mut *inner;
         inner.stats.scans += 1;
         let mut now = at;
-        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-        // Oldest to newest so later versions overwrite earlier ones.
-        for run_meta in inner.runs.iter().rev() {
-            if run_meta.entries == 0 {
-                continue;
+        // One streaming cursor per run, in `inner.runs` order (newest
+        // seq_hi first): each holds the run's undrained entries at or
+        // above `lo` and refills a window of pages at a time on demand.
+        struct Cursor {
+            object: ObjectId,
+            next_page: u32,
+            end: u32,
+            buf: std::collections::VecDeque<(Vec<u8>, Option<Vec<u8>>)>,
+        }
+        let mut cursors: Vec<Cursor> = inner
+            .runs
+            .iter()
+            .filter(|r| r.entries != 0)
+            .map(|r| {
+                let (start, end) = r.range_window(lo, None);
+                Cursor {
+                    object: r.object,
+                    next_page: start,
+                    end,
+                    buf: std::collections::VecDeque::new(),
+                }
+            })
+            .collect();
+        let window = self.config.read_window.max(1) as u32;
+        // The memtable: the newest source of all.
+        let lo_bound = lo.map_or(Bound::Unbounded, Bound::Included);
+        let mut mem: std::collections::VecDeque<(Vec<u8>, Option<Vec<u8>>)> = inner
+            .memtable
+            .range(lo_bound, Bound::Unbounded)
+            .map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec)))
+            .collect();
+        let mut out: ScanResult = Vec::with_capacity(limit);
+        loop {
+            // Refill every drained cursor that still has pages.
+            for c in &mut cursors {
+                while c.buf.is_empty() && c.next_page < c.end {
+                    let chunk_end = c.end.min(c.next_page + window);
+                    let reads: Vec<_> =
+                        (c.next_page..chunk_end).map(|p| (c.object, u64::from(p))).collect();
+                    let (pages, t) =
+                        self.noftl.read_windowed(&reads, now, self.config.read_window)?;
+                    now = now.max(t);
+                    inner.stats.run_page_reads += reads.len() as u64;
+                    for (i, payload) in pages.iter().enumerate() {
+                        let p = c.next_page + i as u32;
+                        let entries = run::decode_data_page(payload).ok_or_else(|| {
+                            kv_err(format!("run object {} page {p} is not a data page", c.object))
+                        })?;
+                        for (key, value) in entries {
+                            if lo.is_none_or(|lo| key.as_slice() >= lo) {
+                                c.buf.push_back((key, value));
+                            }
+                        }
+                    }
+                    c.next_page = chunk_end;
+                }
             }
-            let (start, end) = run_meta.range_window(lo, None);
-            let mut page = start;
-            let mut contributed = 0usize;
-            while page < end && contributed < limit {
-                let chunk_end = end.min(page + self.config.read_window.max(1) as u32);
-                let reads: Vec<_> =
-                    (page..chunk_end).map(|p| (run_meta.object, u64::from(p))).collect();
-                let (pages, t) = self.noftl.read_windowed(&reads, now, self.config.read_window)?;
-                now = now.max(t);
-                inner.stats.run_page_reads += reads.len() as u64;
-                for (i, payload) in pages.iter().enumerate() {
-                    let p = page + i as u32;
-                    let entries = run::decode_data_page(payload).ok_or_else(|| {
-                        kv_err(format!(
-                            "run object {} page {p} is not a data page",
-                            run_meta.object
-                        ))
-                    })?;
-                    for (key, value) in entries {
-                        if lo.is_none_or(|lo| key.as_slice() >= lo) && contributed < limit {
-                            contributed += 1;
-                            merged.insert(key, value);
+            // Smallest key across all sources.
+            let mut min_key: Option<Vec<u8>> = mem.front().map(|(k, _)| k.clone());
+            for c in &cursors {
+                if let Some((k, _)) = c.buf.front() {
+                    if min_key.as_ref().is_none_or(|m| k < m) {
+                        min_key = Some(k.clone());
+                    }
+                }
+            }
+            let Some(min_key) = min_key else { break };
+            // Newest version wins: the memtable first, then the runs in
+            // `inner.runs` order; every older version of the key is
+            // popped so the next round sees fresh fronts.
+            let mut winner: Option<Option<Vec<u8>>> = None;
+            if mem.front().is_some_and(|(k, _)| *k == min_key) {
+                if let Some((_, v)) = mem.pop_front() {
+                    winner = Some(v);
+                }
+            }
+            for c in &mut cursors {
+                if c.buf.front().is_some_and(|(k, _)| *k == min_key) {
+                    if let Some((_, v)) = c.buf.pop_front() {
+                        if winner.is_none() {
+                            winner = Some(v);
                         }
                     }
                 }
-                page = chunk_end;
+            }
+            // A `Some(None)` winner is a tombstone: drained, not emitted.
+            if let Some(Some(value)) = winner {
+                out.push((min_key, value));
+                if out.len() == limit {
+                    break;
+                }
             }
         }
-        let lo_bound = lo.map_or(Bound::Unbounded, Bound::Included);
-        for (key, value) in inner.memtable.range(lo_bound, Bound::Unbounded).take(limit) {
-            merged.insert(key.to_vec(), value.map(<[u8]>::to_vec));
-        }
-        let out = merged
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .take(limit)
-            .collect::<Vec<_>>();
         Ok((out, now))
     }
 
@@ -572,7 +623,7 @@ impl KvStore {
         }
         let seq = inner.next_seq;
         let entries = inner.memtable.take_sorted();
-        let now = self.write_run(inner, 0, seq, seq, &entries, at)?;
+        let now = self.write_run(inner, 0, (seq, seq), &entries, at, None)?;
         inner.next_seq = seq + 1;
         inner.stats.flushes += 1;
         self.obs.note_flush(entries.len() as u64, at, now);
@@ -585,10 +636,10 @@ impl KvStore {
         &self,
         inner: &mut KvInner,
         level: u32,
-        seq_lo: u64,
-        seq_hi: u64,
+        (seq_lo, seq_hi): (u64, u64),
         entries: &[Entry],
         at: SimTime,
+        class: Option<ServiceClass>,
     ) -> Result<SimTime> {
         let page_size = self.noftl.device().geometry().page_size as usize;
         let encoded = run::encode_run(&self.name, level, seq_lo, seq_hi, entries, page_size);
@@ -603,12 +654,18 @@ impl KvStore {
                 .enumerate()
                 .map(|(i, page)| (obj, i as u64, page))
                 .collect();
-            self.noftl.write_batch(&batch, at)?
+            match class {
+                Some(c) => self.noftl.write_batch_classed(&batch, at, c)?,
+                None => self.noftl.write_batch(&batch, at)?,
+            }
         } else {
             // Ablation: strictly sequential page writes.
             let mut t = at;
             for (i, page) in encoded.pages.into_iter().enumerate() {
-                t = self.noftl.write(obj, i as u64, &page, t)?;
+                t = match class {
+                    Some(c) => self.noftl.write_classed(obj, i as u64, &page, t, c)?,
+                    None => self.noftl.write(obj, i as u64, &page, t)?,
+                };
             }
             t
         };
@@ -685,7 +742,13 @@ impl KvStore {
             // `read_window` pages of the source run in flight at once.
             let reads: Vec<_> =
                 (0..src.data_pages).map(|page| (src.object, u64::from(page))).collect();
-            let (pages, t) = self.noftl.read_windowed(&reads, now, self.config.read_window)?;
+            // Compaction merge input is maintenance traffic.
+            let (pages, t) = self.noftl.read_windowed_classed(
+                &reads,
+                now,
+                self.config.read_window,
+                ServiceClass::Background,
+            )?;
             now = now.max(t);
             inner.stats.run_page_reads += reads.len() as u64;
             for (page, payload) in pages.iter().enumerate() {
@@ -701,7 +764,14 @@ impl KvStore {
             merged.retain(|_, v| v.is_some());
         }
         let entries: Vec<Entry> = merged.into_iter().collect();
-        now = self.write_run(inner, level + 1, seq_lo, seq_hi, &entries, now)?;
+        now = self.write_run(
+            inner,
+            level + 1,
+            (seq_lo, seq_hi),
+            &entries,
+            now,
+            Some(ServiceClass::Background),
+        )?;
 
         // Retire the sources through the normal drop path: their pages
         // become invalid and the region's GC reclaims the blocks.
@@ -767,6 +837,43 @@ mod tests {
         assert!(stats.memtable_hits > 0);
         assert!(stats.run_page_reads > 0);
         assert_eq!(kv.get(b"missing", t).unwrap().0, None);
+    }
+
+    #[test]
+    fn scan_limit_drains_past_tombstones_to_fill_the_limit() {
+        let (_d, noftl, rid) = stack(TimingModel::instant());
+        let (kv, mut t) =
+            KvStore::create(Arc::clone(&noftl), rid, "s", small_config(), SimTime::ZERO).unwrap();
+        // 120 keys, then delete every key not divisible by 10 — a
+        // tombstone-heavy store where live rows are sparse in key order.
+        for i in 0..120u64 {
+            t = kv.put(&key(i), &val(i, 0), t).unwrap();
+        }
+        t = kv.flush(t).unwrap();
+        for i in 0..120u64 {
+            if i % 10 != 0 {
+                t = kv.delete(&key(i), t).unwrap();
+            }
+        }
+        t = kv.flush(t).unwrap();
+        // 12 live rows remain (0, 10, ..., 110).  A limit-8 scan must
+        // return 8 of them, not under-fill on the masked candidates.
+        let (rows, t2) = kv.scan_limit(None, 8, t).unwrap();
+        t = t2;
+        let expect: Vec<Vec<u8>> = (0..8u64).map(|i| key(i * 10)).collect();
+        assert_eq!(rows.len(), 8, "limit-8 over 12 live rows must fill");
+        assert_eq!(rows.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), expect);
+        for (i, (_, v)) in rows.iter().enumerate() {
+            assert_eq!(v, &val(i as u64 * 10, 0));
+        }
+        // Asking past exhaustion returns every live row, no phantoms.
+        let (rows, t2) = kv.scan_limit(None, 100, t).unwrap();
+        t = t2;
+        assert_eq!(rows.len(), 12);
+        // A lo bound mid-range still fills from the bound onward.
+        let (rows, _) = kv.scan_limit(Some(&key(55)), 4, t).unwrap();
+        let expect: Vec<Vec<u8>> = [60u64, 70, 80, 90].iter().map(|i| key(*i)).collect();
+        assert_eq!(rows.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), expect);
     }
 
     #[test]
@@ -945,6 +1052,44 @@ mod tests {
         // Source run objects are gone from the manager's directory.
         let live_runs = noftl.objects_with_prefix("__kv_s_r").len();
         assert_eq!(live_runs, kv.run_count());
+    }
+
+    #[test]
+    fn compaction_io_is_tagged_background_on_an_arbiter_device() {
+        let device = Arc::new(
+            DeviceBuilder::new(FlashGeometry::small_test())
+                .timing(TimingModel::instant())
+                .arbiter(flash_sim::ArbiterConfig::default())
+                .build(),
+        );
+        let noftl = Arc::new(NoFtl::new(device.clone(), NoFtlConfig::default()));
+        let rid = noftl
+            .create_region(
+                RegionSpec::named("rgKv")
+                    .with_die_count(3)
+                    .with_service_class(flash_sim::ServiceClass::Latency),
+            )
+            .unwrap();
+        let config = KvConfig { compaction_threshold: 3, ..small_config() };
+        let (kv, mut t) =
+            KvStore::create(Arc::clone(&noftl), rid, "s", config, SimTime::ZERO).unwrap();
+        let bg = || device.metrics().counter("flash.arbiter.class.background.ops").get();
+        for round in 1..=4u64 {
+            for i in 0..40u64 {
+                t = kv.put(&key(i), &val(i, round), t).unwrap();
+            }
+            t = kv.flush(t).unwrap();
+        }
+        assert!(kv.stats().compactions > 0, "threshold 3 over 4 flushes must compact");
+        // Both the merge reads and the merged-run writes are maintenance
+        // traffic: tagged Background even though the region is Latency.
+        assert!(bg() > 0, "compaction I/O must be admitted as background");
+        // Plain flushes and gets stay on the region's own class.
+        let before = bg();
+        let (got, _) = kv.get(&key(0), t).unwrap();
+        assert!(got.is_some());
+        assert_eq!(bg(), before, "host gets are not background traffic");
+        assert!(device.metrics().counter("flash.arbiter.class.latency.ops").get() > 0);
     }
 
     #[test]

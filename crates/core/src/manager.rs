@@ -13,7 +13,9 @@ use parking_lot::Mutex;
 
 use flash_sim::lockorder::{self, LockClass, TrackedGuard};
 use flash_sim::queue::{CmdHandle, CommandQueue, FlashCommand};
-use flash_sim::{BlockAddr, DieId, FlashBackend, PageAddr, PageMetadata, PageState, SimTime};
+use flash_sim::{
+    BlockAddr, DieId, FlashBackend, IoTag, PageAddr, PageMetadata, PageState, ServiceClass, SimTime,
+};
 
 use noftl_obs::{MetricsRegistry, MetricsSnapshot};
 
@@ -382,7 +384,9 @@ impl NoFtl {
                 for page in 0..geo.pages_per_block {
                     let src = block.page(page);
                     if self.device.page_state(src).map(|s| s == PageState::Valid).unwrap_or(false) {
-                        let (data, meta, read_out) = self.device.read_page(src, at)?;
+                        // Rebalance copies are maintenance traffic.
+                        let tag = IoTag::background(Some(rid.0));
+                        let (data, meta, read_out) = self.device.read_page_tagged(src, at, tag)?;
                         let Some(meta) = meta else { continue };
                         // Re-write the page on one of the remaining dies.
                         let ppa = Self::allocate_in_region(
@@ -395,8 +399,13 @@ impl NoFtl {
                             at,
                         )
                         .ok_or(NoFtlError::RegionFull { region: rid })?;
-                        let out =
-                            self.device.program_page(ppa, &data, meta, read_out.completed_at)?;
+                        let out = self.device.program_page_tagged(
+                            ppa,
+                            &data,
+                            meta,
+                            read_out.completed_at,
+                            IoTag::background(Some(rid.0)),
+                        )?;
                         done = done.max(out.completed_at);
                         self.device.mark_invalid(src)?;
                         region.stats.rebalance_moves += 1;
@@ -550,7 +559,8 @@ impl NoFtl {
             state.counters.reads += 1;
             (ppa, state.region)
         };
-        let (data, _, out) = self.device.read_page(ppa, at)?;
+        let tag = Self::region_tag(&inner.regions, &self.config, rid);
+        let (data, _, out) = self.device.read_page_tagged(ppa, at, tag)?;
         let region = Self::region_mut(&mut inner.regions, rid)?;
         region.stats.host_reads += 1;
         region.stats.read_latency_sum += out.completed_at - at;
@@ -560,6 +570,31 @@ impl NoFtl {
     /// Write (out-of-place) a logical page of an object.  Returns the
     /// completion time.
     pub fn write(&self, obj: ObjectId, page: u64, data: &[u8], at: SimTime) -> Result<SimTime> {
+        self.write_with(obj, page, data, at, None)
+    }
+
+    /// [`NoFtl::write`] with the submitted command's service class forced
+    /// to `class` (maintenance paths tag their writes `Background` this
+    /// way regardless of the region's own class).
+    pub fn write_classed(
+        &self,
+        obj: ObjectId,
+        page: u64,
+        data: &[u8],
+        at: SimTime,
+        class: ServiceClass,
+    ) -> Result<SimTime> {
+        self.write_with(obj, page, data, at, Some(class))
+    }
+
+    fn write_with(
+        &self,
+        obj: ObjectId,
+        page: u64,
+        data: &[u8],
+        at: SimTime,
+        class: Option<ServiceClass>,
+    ) -> Result<SimTime> {
         self.check_page_size(data)?;
         let mut inner = self.lock_inner();
         let inner = &mut *inner;
@@ -578,7 +613,11 @@ impl NoFtl {
             .ok_or(NoFtlError::RegionFull { region: rid })?
         };
         let meta = PageMetadata::new(obj, page).with_payload_checksum(data);
-        let out = self.device.program_page(ppa, data, meta, at)?;
+        let mut tag = Self::region_tag(&inner.regions, &self.config, rid);
+        if let Some(class) = class {
+            tag.class = class;
+        }
+        let out = self.device.program_page_tagged(ppa, data, meta, at, tag)?;
         Self::commit_program(self.device.as_ref(), inner, obj, page, ppa, at, out.completed_at)?;
         Ok(out.completed_at)
     }
@@ -635,6 +674,26 @@ impl NoFtl {
     /// torn pages stay unmapped for recovery to discard, and the first
     /// failure in submission order is returned.
     pub fn write_batch(&self, writes: &[(ObjectId, u64, Vec<u8>)], at: SimTime) -> Result<SimTime> {
+        self.write_batch_with(writes, at, None)
+    }
+
+    /// [`NoFtl::write_batch`] with every command's service class forced to
+    /// `class` (e.g. `Background` for KV compaction merges).
+    pub fn write_batch_classed(
+        &self,
+        writes: &[(ObjectId, u64, Vec<u8>)],
+        at: SimTime,
+        class: ServiceClass,
+    ) -> Result<SimTime> {
+        self.write_batch_with(writes, at, Some(class))
+    }
+
+    fn write_batch_with(
+        &self,
+        writes: &[(ObjectId, u64, Vec<u8>)],
+        at: SimTime,
+        class: Option<ServiceClass>,
+    ) -> Result<SimTime> {
         if writes.is_empty() {
             return Ok(at);
         }
@@ -687,9 +746,15 @@ impl NoFtl {
                 continue;
             };
             let meta = PageMetadata::new(*obj, *page).with_payload_checksum(data);
-            let handle = self
-                .queue
-                .submit(FlashCommand::Program { addr: ppa, data: data.clone(), meta }, at);
+            let mut tag = Self::region_tag(&inner.regions, &self.config, rid);
+            if let Some(class) = class {
+                tag.class = class;
+            }
+            let handle = self.queue.submit_tagged(
+                FlashCommand::Program { addr: ppa, data: data.clone(), meta },
+                at,
+                tag,
+            );
             let completion = self.queue.wait(handle)?;
             match completion.result {
                 Ok(out) => {
@@ -807,6 +872,28 @@ impl NoFtl {
         at: SimTime,
         window: usize,
     ) -> Result<(Vec<Vec<u8>>, SimTime)> {
+        self.read_windowed_with(reads, at, window, None)
+    }
+
+    /// [`NoFtl::read_windowed`] with every command's service class forced
+    /// to `class` (e.g. `Background` for KV compaction merge input).
+    pub fn read_windowed_classed(
+        &self,
+        reads: &[(ObjectId, u64)],
+        at: SimTime,
+        window: usize,
+        class: ServiceClass,
+    ) -> Result<(Vec<Vec<u8>>, SimTime)> {
+        self.read_windowed_with(reads, at, window, Some(class))
+    }
+
+    fn read_windowed_with(
+        &self,
+        reads: &[(ObjectId, u64)],
+        at: SimTime,
+        window: usize,
+        class: Option<ServiceClass>,
+    ) -> Result<(Vec<Vec<u8>>, SimTime)> {
         let window_cap = window.max(1);
         let mut inflight: std::collections::VecDeque<(usize, CmdHandle)> =
             std::collections::VecDeque::with_capacity(window_cap);
@@ -830,7 +917,7 @@ impl NoFtl {
                     }
                 }
             }
-            match self.submit_read(*obj, *page, clock) {
+            match self.submit_read_with(*obj, *page, clock, class) {
                 Ok(handle) => {
                     inflight.push_back((idx, handle));
                     self.obs.note_read_window_occupancy(inflight.len() as u64);
@@ -873,16 +960,30 @@ impl NoFtl {
     /// simulated time; clients that want lock-free die parallelism drive
     /// a [`CommandQueue`] over the device directly.
     pub fn submit_read(&self, obj: ObjectId, page: u64, at: SimTime) -> Result<CmdHandle> {
+        self.submit_read_with(obj, page, at, None)
+    }
+
+    fn submit_read_with(
+        &self,
+        obj: ObjectId,
+        page: u64,
+        at: SimTime,
+        class: Option<ServiceClass>,
+    ) -> Result<CmdHandle> {
         let mut inner = self.lock_inner();
         let inner = &mut *inner;
-        let ppa = {
+        let (ppa, rid) = {
             let state = Self::object_mut(&mut inner.objects, obj)?;
             let ppa =
                 state.translate(page).ok_or(NoFtlError::PageNotWritten { object: obj, page })?;
             state.counters.reads += 1;
-            ppa
+            (ppa, state.region)
         };
-        let handle = self.queue.submit(FlashCommand::Read { addr: ppa }, at);
+        let mut tag = Self::region_tag(&inner.regions, &self.config, rid);
+        if let Some(class) = class {
+            tag.class = class;
+        }
+        let handle = self.queue.submit_tagged(FlashCommand::Read { addr: ppa }, at, tag);
         let completion = self.queue.wait(handle)?;
         match completion.result {
             Ok(out) => {
@@ -917,6 +1018,17 @@ impl NoFtl {
         data: &[u8],
         at: SimTime,
     ) -> Result<CmdHandle> {
+        self.submit_write_with(obj, page, data, at, None)
+    }
+
+    fn submit_write_with(
+        &self,
+        obj: ObjectId,
+        page: u64,
+        data: &[u8],
+        at: SimTime,
+        class: Option<ServiceClass>,
+    ) -> Result<CmdHandle> {
         self.check_page_size(data)?;
         let mut inner = self.lock_inner();
         let inner = &mut *inner;
@@ -935,8 +1047,15 @@ impl NoFtl {
             .ok_or(NoFtlError::RegionFull { region: rid })?
         };
         let meta = PageMetadata::new(obj, page).with_payload_checksum(data);
-        let handle =
-            self.queue.submit(FlashCommand::Program { addr: ppa, data: data.to_vec(), meta }, at);
+        let mut tag = Self::region_tag(&inner.regions, &self.config, rid);
+        if let Some(class) = class {
+            tag.class = class;
+        }
+        let handle = self.queue.submit_tagged(
+            FlashCommand::Program { addr: ppa, data: data.to_vec(), meta },
+            at,
+            tag,
+        );
         let completion = self.queue.wait(handle)?;
         match completion.result {
             Ok(out) => {
@@ -1018,7 +1137,8 @@ impl NoFtl {
                 break;
             };
             let meta = PageMetadata::new(*obj, *page).with_payload_checksum(data);
-            match self.device.program_page(ppa, data, meta, at) {
+            let tag = Self::region_tag(&inner.regions, &self.config, rid);
+            match self.device.program_page_tagged(ppa, data, meta, at, tag) {
                 Ok(out) => staged.push((*obj, *page, ppa, out.completed_at)),
                 Err(e) => {
                     failure = Some(e.into());
@@ -1094,15 +1214,28 @@ impl NoFtl {
                 return Ok(rid);
             }
             if inner.free_dies.is_empty() {
-                let first =
-                    inner.regions.iter().flatten().map(|r| r.id).next().ok_or_else(|| {
-                        NoFtlError::Recovery {
-                            message: "no free die and no region available for the metadata journal"
-                                .to_string(),
-                        }
+                // Journal and checkpoint programs are die-time injected
+                // into whichever region hosts them, so prefer the least
+                // latency-sensitive one.  Ties keep declaration order,
+                // which on a device without service classes reduces to
+                // "the first live region" — the pre-arbiter behavior.
+                let rank = |class: ServiceClass| match class {
+                    ServiceClass::Background => 0u8,
+                    ServiceClass::Throughput => 1,
+                    ServiceClass::Latency => 2,
+                };
+                let picked = inner
+                    .regions
+                    .iter()
+                    .flatten()
+                    .min_by_key(|r| rank(r.service_class(&self.config)))
+                    .map(|r| r.id)
+                    .ok_or_else(|| NoFtlError::Recovery {
+                        message: "no free die and no region available for the metadata journal"
+                            .to_string(),
                     })?;
-                inner.meta.region = Some(first);
-                return Ok(first);
+                inner.meta.region = Some(picked);
+                return Ok(picked);
             }
         }
         let rid = match self.create_region(RegionSpec::named(META_REGION_NAME).with_die_count(1)) {
@@ -1217,7 +1350,14 @@ impl NoFtl {
                 .ok_or(NoFtlError::RegionFull { region: rid })?
             };
             let meta = PageMetadata::new(META_OBJECT_ID, index as u64).with_payload_checksum(&page);
-            let out = self.device.program_page(ppa, &page, meta, at)?;
+            // Checkpoint chunks are durability traffic even when the
+            // journal falls back to a regular region: never budget-defer.
+            let tag = {
+                let mut t = Self::region_tag(&inner.regions, &self.config, rid);
+                t.exempt = true;
+                t
+            };
+            let out = self.device.program_page_tagged(ppa, &page, meta, at, tag)?;
             done = done.max(out.completed_at);
             inner.meta.staging[index as usize] = Some(ppa);
         }
@@ -1550,6 +1690,23 @@ impl NoFtl {
         Ok(())
     }
 
+    /// The arbiter tag for host traffic of region `rid`: the region's
+    /// resolved service class (spec override or config default), keyed by
+    /// region id so the device meters each region's channel budget
+    /// separately.  Traffic of the metadata-journal region is
+    /// durability-exempt — checkpoints are never budget-deferred.
+    fn region_tag(regions: &[Option<RegionRuntime>], config: &NoFtlConfig, rid: RegionId) -> IoTag {
+        let Ok(region) = Self::region_ref(regions, rid) else {
+            return IoTag::default();
+        };
+        let class = region.service_class(config);
+        if region.name == META_REGION_NAME {
+            IoTag::durability(class, Some(rid.0))
+        } else {
+            IoTag::new(class, Some(rid.0))
+        }
+    }
+
     fn region_ref(regions: &[Option<RegionRuntime>], rid: RegionId) -> Result<&RegionRuntime> {
         regions
             .get(rid.0 as usize)
@@ -1747,7 +1904,11 @@ impl NoFtl {
                 Ok(_) => continue,
                 Err(_) => return false,
             }
-            let Ok((meta, _)) = device.read_metadata(src, at) else {
+            // GC relocation is maintenance traffic: tagged `Background`
+            // so the arbiter budgets its channel time (the copyback
+            // itself is die-internal and takes no channel).
+            let gc_tag = IoTag::background(Some(region.id.0));
+            let Ok((meta, _)) = device.read_metadata_tagged(src, at, gc_tag) else {
                 return false;
             };
             let Some(meta) = meta else { continue };
@@ -2723,5 +2884,110 @@ mod tests {
         assert_eq!(stats.len(), 2);
         assert_eq!(stats.iter().find(|s| s.name == "a").unwrap().writes, 1);
         assert_eq!(stats.iter().find(|s| s.name == "b").unwrap().writes, 0);
+    }
+
+    mod service_class_audit {
+        use super::*;
+        use flash_sim::ArbiterConfig;
+
+        fn make_arbiter_noftl(config: NoFtlConfig) -> NoFtl {
+            let device = Arc::new(
+                DeviceBuilder::new(FlashGeometry::small_test())
+                    .timing(TimingModel::mlc_2015())
+                    .arbiter(ArbiterConfig::default())
+                    .build(),
+            );
+            NoFtl::new(device, config)
+        }
+
+        fn counter(noftl: &NoFtl, name: &str) -> u64 {
+            noftl.device().metrics().counter(name).get()
+        }
+
+        #[test]
+        fn host_io_carries_the_region_class() {
+            let noftl = make_arbiter_noftl(NoFtlConfig::default());
+            let r = noftl
+                .create_region(
+                    RegionSpec::named("rgOltp")
+                        .with_die_count(1)
+                        .with_service_class(ServiceClass::Latency),
+                )
+                .unwrap();
+            let obj = noftl.create_object("t", r).unwrap();
+            let t = noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+            noftl.read(obj, 0, t).unwrap();
+            assert_eq!(counter(&noftl, "flash.arbiter.class.latency.ops"), 2);
+            assert_eq!(counter(&noftl, "flash.arbiter.class.background.ops"), 0);
+        }
+
+        #[test]
+        fn unclassed_regions_fall_back_to_the_manager_default() {
+            let config =
+                NoFtlConfig { service_class: ServiceClass::Latency, ..NoFtlConfig::default() };
+            let noftl = make_arbiter_noftl(config);
+            let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+            let obj = noftl.create_object("t", r).unwrap();
+            noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+            assert_eq!(counter(&noftl, "flash.arbiter.class.latency.ops"), 1);
+            assert_eq!(counter(&noftl, "flash.arbiter.class.throughput.ops"), 0);
+        }
+
+        #[test]
+        fn gc_relocations_are_tagged_background_regardless_of_region_class() {
+            let noftl = make_arbiter_noftl(NoFtlConfig::default());
+            let r = noftl
+                .create_region(
+                    RegionSpec::named("rg")
+                        .with_die_count(2)
+                        .with_service_class(ServiceClass::Latency),
+                )
+                .unwrap();
+            let obj = noftl.create_object("t", r).unwrap();
+            let geo = *noftl.device().geometry();
+            let working_set = 2 * geo.pages_per_die() * 6 / 10;
+            let mut t = SimTime::ZERO;
+            for p in 0..working_set {
+                t = noftl.write(obj, p, &page(p as u8), t).unwrap();
+            }
+            // Overwrite only the even pages so every victim block keeps
+            // valid odd pages that GC must relocate (not just erase).
+            for round in 0..8u8 {
+                for p in (0..working_set).step_by(2) {
+                    t = noftl.write(obj, p, &page(round.wrapping_add(p as u8)), t).unwrap();
+                }
+            }
+            let rs = noftl.region_stats(r).unwrap();
+            assert!(rs.gc_runs > 0, "workload must trigger GC");
+            assert!(rs.gc_copybacks > 0, "GC must relocate live pages");
+            // GC victim scans are metadata reads tagged Background even
+            // though the region itself is Latency class.
+            assert!(counter(&noftl, "flash.arbiter.class.background.ops") > 0);
+            assert!(counter(&noftl, "flash.arbiter.class.latency.ops") > 0);
+        }
+
+        #[test]
+        fn checkpoint_and_meta_journal_writes_are_exempt() {
+            let noftl = make_arbiter_noftl(NoFtlConfig::default());
+            let r = noftl.create_region(RegionSpec::named("rg").with_die_count(1)).unwrap();
+            let obj = noftl.create_object("t", r).unwrap();
+            let t = noftl.write(obj, 0, &page(1), SimTime::ZERO).unwrap();
+            let before = counter(&noftl, "flash.arbiter.exempt");
+            let t = noftl.checkpoint(t).unwrap();
+            let after_ckpt = counter(&noftl, "flash.arbiter.exempt");
+            assert!(after_ckpt > before, "checkpoint chunk programs must be exempt");
+            assert_eq!(
+                counter(&noftl, "flash.arbiter.deferred"),
+                0,
+                "durability traffic is never budget-deferred"
+            );
+            // Further checkpoints keep riding the __noftl_meta region
+            // exempt — durability traffic is never inverted behind the
+            // background budget.
+            let t = noftl.write(obj, 1, &page(2), t).unwrap();
+            noftl.checkpoint(t).unwrap();
+            assert!(counter(&noftl, "flash.arbiter.exempt") > after_ckpt);
+            assert_eq!(counter(&noftl, "flash.arbiter.deferred"), 0);
+        }
     }
 }

@@ -27,7 +27,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use flash_sim::{DieLoad, SimTime};
+use flash_sim::{DieLoad, ServiceClass, SimTime};
 
 use crate::error::NoFtlError;
 use crate::hotcold::{classify, ObjectProfile, Temperature};
@@ -265,6 +265,18 @@ pub struct RegionAssignment {
     pub objects: Vec<String>,
     /// Number of dies assigned to the region.
     pub dies: u32,
+    /// I/O service class for the region (`None` = manager default).
+    /// Becomes [`crate::RegionSpec::with_service_class`] when the DBMS
+    /// backend creates the region.
+    pub service_class: Option<ServiceClass>,
+}
+
+impl RegionAssignment {
+    /// Set the region's I/O service class.
+    pub fn with_service_class(mut self, class: ServiceClass) -> Self {
+        self.service_class = Some(class);
+        self
+    }
 }
 
 /// A complete data-placement configuration (the shape of the paper's
@@ -284,6 +296,7 @@ impl PlacementConfig {
                 region_name: "rgAll".to_string(),
                 objects: objects.into_iter().collect(),
                 dies: total_dies,
+                service_class: None,
             }],
         }
     }
@@ -415,6 +428,7 @@ impl PlacementAdvisor {
                     region_name: name.clone(),
                     objects: ps.iter().map(|p| p.name.clone()).collect(),
                     dies: d,
+                    service_class: None,
                 })
                 .collect(),
         }

@@ -21,7 +21,7 @@
 //!   the payload checksum and discarded.  The outcome is summarised in a
 //!   [`MountReport`].
 
-use flash_sim::{DieId, PageAddr, SimTime};
+use flash_sim::{DieId, PageAddr, ServiceClass, SimTime};
 
 use crate::object::{ObjectCounters, ObjectId};
 use crate::placement::PlacementPolicyKind;
@@ -46,10 +46,11 @@ pub(crate) const CHUNK_HEADER: usize = 24;
 /// Magic prefix of the checkpoint blob itself.  Version 02 added the
 /// per-region placement-policy tag; version 03 added the dirty-die
 /// directory (mount skips dies never written) and the opaque replication
-/// blob (mirror health + per-child dirty-segment maps).  Each bump makes
-/// blobs written by older code decode as "no checkpoint" instead of
-/// mis-aligning the cursor on the new fields.
-const BLOB_MAGIC: &[u8; 8] = b"NFCKPT03";
+/// blob (mirror health + per-child dirty-segment maps); version 04 added
+/// the per-region service-class tag.  Each bump makes blobs written by
+/// older code decode as "no checkpoint" instead of mis-aligning the
+/// cursor on the new fields.
+const BLOB_MAGIC: &[u8; 8] = b"NFCKPT04";
 
 /// Summary of what `NoFtl::mount` found and rebuilt.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -174,6 +175,15 @@ fn put_placement(out: &mut Vec<u8>, v: Option<PlacementPolicyKind>) {
     });
 }
 
+/// Tagged byte for the per-region service-class override: 0 = none,
+/// otherwise `ServiceClass::code() + 1` (same shape as `put_placement`).
+fn put_service_class(out: &mut Vec<u8>, v: Option<ServiceClass>) {
+    out.push(match v {
+        None => 0,
+        Some(c) => c.code() + 1,
+    });
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -224,6 +234,14 @@ impl<'a> Cursor<'a> {
             _ => None,
         }
     }
+
+    /// Decode the service-class tag written by `put_service_class`.
+    fn service_class(&mut self) -> Option<Option<ServiceClass>> {
+        match self.u8()? {
+            0 => Some(None),
+            b => ServiceClass::from_code(b - 1).map(Some),
+        }
+    }
 }
 
 impl CheckpointImage {
@@ -259,6 +277,7 @@ impl CheckpointImage {
             put_opt_u32(&mut out, r.spec.max_channels);
             put_opt_u64(&mut out, r.spec.max_size_bytes);
             put_placement(&mut out, r.spec.placement);
+            put_service_class(&mut out, r.spec.service_class);
             put_u32(&mut out, r.dies.len() as u32);
             for d in &r.dies {
                 put_u32(&mut out, d.0);
@@ -334,6 +353,7 @@ impl CheckpointImage {
             spec.max_channels = c.opt_u32()?;
             spec.max_size_bytes = c.opt_u64()?;
             spec.placement = c.placement()?;
+            spec.service_class = c.service_class()?;
             let die_count = c.u32()? as usize;
             let mut dies = Vec::with_capacity(die_count);
             for _ in 0..die_count {

@@ -5,7 +5,7 @@
 //! a region with more dies offers more I/O parallelism.  All space
 //! reclamation (GC) and wear leveling happen region-locally.
 
-use flash_sim::{BlockAddr, DieId, DieLoad, FlashBackend, FlashGeometry, PageAddr};
+use flash_sim::{BlockAddr, DieId, DieLoad, FlashBackend, FlashGeometry, PageAddr, ServiceClass};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -43,6 +43,10 @@ pub struct RegionSpec {
     /// back to [`NoFtlConfig::placement`].  Persisted through region
     /// checkpoints, so a remounted region keeps its policy.
     pub placement: Option<PlacementPolicyKind>,
+    /// I/O service class override for this region; `None` falls back to
+    /// [`NoFtlConfig::service_class`].  Persisted through region
+    /// checkpoints like the placement override.
+    pub service_class: Option<ServiceClass>,
 }
 
 impl RegionSpec {
@@ -55,6 +59,7 @@ impl RegionSpec {
             max_channels: None,
             max_size_bytes: None,
             placement: None,
+            service_class: None,
         }
     }
 
@@ -86,6 +91,14 @@ impl RegionSpec {
     /// (DDL: `PLACEMENT=QUEUE_AWARE`).
     pub fn with_placement(mut self, placement: PlacementPolicyKind) -> Self {
         self.placement = Some(placement);
+        self
+    }
+
+    /// Override the I/O service class for this region (DDL:
+    /// `CLASS=LATENCY`).  The class rides on every flash command the
+    /// region submits and drives the device arbiter's admission.
+    pub fn with_service_class(mut self, class: ServiceClass) -> Self {
+        self.service_class = Some(class);
         self
     }
 
@@ -379,6 +392,12 @@ impl RegionRuntime {
             probe_scratch: Vec::new(),
             load_scratch: Vec::new(),
         }
+    }
+
+    /// The I/O service class in effect for this region: the spec's
+    /// override or the manager default.
+    pub(crate) fn service_class(&self, config: &NoFtlConfig) -> ServiceClass {
+        self.spec.service_class.unwrap_or(config.service_class)
     }
 
     /// The die-level placement policy in effect for this region: the

@@ -166,6 +166,7 @@ fn placement() -> PlacementConfig {
                 region_name: "rgData".into(),
                 objects: vec![TABLE.into(), INDEX.into()],
                 dies: 2,
+                service_class: None,
             },
             RegionAssignment {
                 region_name: "rgLog".into(),
@@ -175,6 +176,7 @@ fn placement() -> PlacementConfig {
                     CATALOG_OBJECT.to_string(),
                 ],
                 dies: 1,
+                service_class: None,
             },
         ],
     }

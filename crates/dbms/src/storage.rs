@@ -146,11 +146,10 @@ impl NoFtlBackend {
         let mut regions = HashMap::new();
         let mut default_region = None;
         for assignment in &placement.regions {
-            let rid = noftl
-                .create_region(
-                    RegionSpec::named(&assignment.region_name).with_die_count(assignment.dies),
-                )
-                .map_err(DbError::storage)?;
+            let mut spec =
+                RegionSpec::named(&assignment.region_name).with_die_count(assignment.dies);
+            spec.service_class = assignment.service_class;
+            let rid = noftl.create_region(spec).map_err(DbError::storage)?;
             if default_region.is_none() {
                 default_region = Some(rid);
             }
@@ -439,11 +438,13 @@ mod tests {
                     region_name: "rgHot".into(),
                     objects: vec!["orders".into()],
                     dies: 2,
+                    service_class: None,
                 },
                 noftl_core::RegionAssignment {
                     region_name: "rgCold".into(),
                     objects: vec!["history".into()],
                     dies: 2,
+                    service_class: None,
                 },
             ],
         };

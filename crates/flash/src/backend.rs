@@ -24,6 +24,7 @@ use std::sync::Arc;
 use noftl_obs::MetricsRegistry;
 
 use crate::addr::{BlockAddr, DieId, PageAddr};
+use crate::arbiter::IoTag;
 use crate::block::{BlockInfo, PageState};
 use crate::device::{DieLoad, NandDevice, OpOutcome};
 use crate::geometry::FlashGeometry;
@@ -57,12 +58,36 @@ pub trait FlashBackend: Send + Sync {
         at: SimTime,
     ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)>;
 
+    /// [`Self::read_page`] carrying an arbiter [`IoTag`].  Backends
+    /// without an arbiter (the default) ignore the tag.
+    fn read_page_tagged(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+        tag: IoTag,
+    ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
+        let _ = tag;
+        self.read_page(addr, at)
+    }
+
     /// Read only the OOB metadata of a page (the mount scan's workhorse).
     fn read_metadata(
         &self,
         addr: PageAddr,
         at: SimTime,
     ) -> Result<(Option<PageMetadata>, OpOutcome)>;
+
+    /// [`Self::read_metadata`] carrying an arbiter [`IoTag`] (ignored by
+    /// default).
+    fn read_metadata_tagged(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+        tag: IoTag,
+    ) -> Result<(Option<PageMetadata>, OpOutcome)> {
+        let _ = tag;
+        self.read_metadata(addr, at)
+    }
 
     /// Program a page (strictly sequential within its block).
     fn program_page(
@@ -72,6 +97,20 @@ pub trait FlashBackend: Send + Sync {
         meta: PageMetadata,
         at: SimTime,
     ) -> Result<OpOutcome>;
+
+    /// [`Self::program_page`] carrying an arbiter [`IoTag`] (ignored by
+    /// default).
+    fn program_page_tagged(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        meta: PageMetadata,
+        at: SimTime,
+        tag: IoTag,
+    ) -> Result<OpOutcome> {
+        let _ = tag;
+        self.program_page(addr, data, meta, at)
+    }
 
     /// Erase a block.
     fn erase_block(&self, addr: BlockAddr, at: SimTime) -> Result<OpOutcome>;
@@ -165,12 +204,30 @@ impl FlashBackend for NandDevice {
         NandDevice::read_page(self, addr, at)
     }
 
+    fn read_page_tagged(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+        tag: IoTag,
+    ) -> Result<(Vec<u8>, Option<PageMetadata>, OpOutcome)> {
+        NandDevice::read_page_tagged(self, addr, at, tag)
+    }
+
     fn read_metadata(
         &self,
         addr: PageAddr,
         at: SimTime,
     ) -> Result<(Option<PageMetadata>, OpOutcome)> {
         NandDevice::read_metadata(self, addr, at)
+    }
+
+    fn read_metadata_tagged(
+        &self,
+        addr: PageAddr,
+        at: SimTime,
+        tag: IoTag,
+    ) -> Result<(Option<PageMetadata>, OpOutcome)> {
+        NandDevice::read_metadata_tagged(self, addr, at, tag)
     }
 
     fn program_page(
@@ -181,6 +238,17 @@ impl FlashBackend for NandDevice {
         at: SimTime,
     ) -> Result<OpOutcome> {
         NandDevice::program_page(self, addr, data, meta, at)
+    }
+
+    fn program_page_tagged(
+        &self,
+        addr: PageAddr,
+        data: &[u8],
+        meta: PageMetadata,
+        at: SimTime,
+        tag: IoTag,
+    ) -> Result<OpOutcome> {
+        NandDevice::program_page_tagged(self, addr, data, meta, at, tag)
     }
 
     fn erase_block(&self, addr: BlockAddr, at: SimTime) -> Result<OpOutcome> {

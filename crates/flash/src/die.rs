@@ -84,6 +84,23 @@ impl Die {
     }
 }
 
+/// How a transfer claims channel time (decided by the device's arbiter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChannelPolicy {
+    /// Plain append at `busy_until` — the arbiter-off path, byte-identical
+    /// to pre-arbiter scheduling (no gaps recorded or consumed).
+    Direct,
+    /// Foreground/exempt traffic on an arbiter-enabled device: claim a
+    /// recorded idle gap if one fits, otherwise append.
+    Backfill,
+    /// Budget-deferred background traffic: append, recording the idle gap
+    /// the deferral opens so foreground transfers can backfill it.
+    Append,
+}
+
+/// Upper bound on remembered idle gaps per channel (oldest pruned first).
+const MAX_GAPS: usize = 32;
+
 /// Channel occupancy state: the bus shared by all dies of a channel for
 /// data transfers between controller and page registers.
 #[derive(Debug, Default)]
@@ -91,6 +108,10 @@ pub(crate) struct Channel {
     pub busy_until: SimTime,
     pub busy_time: Duration,
     pub bytes_transferred: u64,
+    /// Idle windows `(start, end)` deliberately opened by deferred
+    /// background transfers, in recording order.  Only populated on
+    /// arbiter-enabled devices; always empty under [`ChannelPolicy::Direct`].
+    gaps: Vec<(SimTime, SimTime)>,
 }
 
 impl Channel {
@@ -103,6 +124,71 @@ impl Channel {
         self.busy_time += dur;
         self.bytes_transferred += bytes;
         (start, end)
+    }
+
+    /// Reserve under an arbiter policy.  Returns `(start, end, backfilled)`;
+    /// `backfilled` is true when the transfer landed inside a recorded gap
+    /// instead of extending `busy_until`.
+    pub(crate) fn reserve_with(
+        &mut self,
+        policy: ChannelPolicy,
+        at: SimTime,
+        dur: Duration,
+        bytes: u64,
+    ) -> (SimTime, SimTime, bool) {
+        match policy {
+            ChannelPolicy::Direct => {
+                let (start, end) = self.reserve(at, dur, bytes);
+                (start, end, false)
+            }
+            ChannelPolicy::Backfill => {
+                // Gaps ending by `at` simply never match first-fit below.
+                // They are NOT pruned here: with eager execution a tenant
+                // running far ahead in simulated time issues its transfers
+                // before (in call order) a neighbor's sim-earlier ones, and
+                // pruning by this op's `at` would destroy exactly the gaps
+                // the neighbor's foreground traffic needs.  FIFO eviction
+                // at recording time bounds the list instead.
+                if let Some(i) = self.gaps.iter().position(|(gs, ge)| (*gs).max(at) + dur <= *ge) {
+                    let (gs, ge) = self.gaps.remove(i);
+                    let start = gs.max(at);
+                    let end = start + dur;
+                    // Keep the unused halves of the gap available.
+                    if end < ge {
+                        self.gaps.insert(i, (end, ge));
+                    }
+                    if start > gs {
+                        self.gaps.insert(i, (gs, start));
+                    }
+                    self.busy_time += dur;
+                    self.bytes_transferred += bytes;
+                    (start, end, true)
+                } else {
+                    // Appending past an idle window opens a gap exactly
+                    // like a deferred background append does — record it
+                    // so sim-earlier foreground transfers (issued later in
+                    // call order by a lagging tenant) can still use it.
+                    if at > self.busy_until {
+                        if self.gaps.len() == MAX_GAPS {
+                            self.gaps.remove(0);
+                        }
+                        self.gaps.push((self.busy_until, at));
+                    }
+                    let (start, end) = self.reserve(at, dur, bytes);
+                    (start, end, false)
+                }
+            }
+            ChannelPolicy::Append => {
+                if at > self.busy_until {
+                    if self.gaps.len() == MAX_GAPS {
+                        self.gaps.remove(0);
+                    }
+                    self.gaps.push((self.busy_until, at));
+                }
+                let (start, end) = self.reserve(at, dur, bytes);
+                (start, end, false)
+            }
+        }
     }
 }
 
@@ -146,6 +232,51 @@ mod tests {
         ch.reserve(SimTime::ZERO, Duration::from_us(10), 4096);
         assert_eq!(ch.bytes_transferred, 8192);
         assert_eq!(ch.busy_until, SimTime::from_us(20));
+    }
+
+    #[test]
+    fn append_records_gaps_and_backfill_consumes_them() {
+        let mut ch = Channel::default();
+        // A deferred background transfer issued at t=100 on an idle
+        // channel opens the gap [0, 100).
+        let (s, e, bf) = ch.reserve_with(ChannelPolicy::Append, SimTime(100), Duration(50), 4096);
+        assert_eq!((s, e, bf), (SimTime(100), SimTime(150), false));
+        // A foreground transfer that fits the gap lands inside it without
+        // touching busy_until.
+        let (s, e, bf) = ch.reserve_with(ChannelPolicy::Backfill, SimTime(10), Duration(40), 4096);
+        assert_eq!((s, e, bf), (SimTime(10), SimTime(50), true));
+        assert_eq!(ch.busy_until, SimTime(150));
+        // The gap's unused halves remain: [0,10) and [50,100).
+        let (s, _, bf) = ch.reserve_with(ChannelPolicy::Backfill, SimTime(0), Duration(45), 64);
+        assert_eq!((s, bf), (SimTime(50), true));
+        // Nothing left that fits 60 ns — falls through to an append.
+        let (s, _, bf) = ch.reserve_with(ChannelPolicy::Backfill, SimTime(0), Duration(60), 64);
+        assert_eq!((s, bf), (SimTime(150), false));
+    }
+
+    #[test]
+    fn direct_policy_matches_plain_reserve_and_records_no_gaps() {
+        let mut plain = Channel::default();
+        let mut direct = Channel::default();
+        for (at, dur) in [(0u64, 10u64), (50, 10), (55, 20), (200, 5)] {
+            let (s1, e1) = plain.reserve(SimTime(at), Duration(dur), 4096);
+            let (s2, e2, bf) =
+                direct.reserve_with(ChannelPolicy::Direct, SimTime(at), Duration(dur), 4096);
+            assert_eq!((s1, e1, false), (s2, e2, bf));
+        }
+        assert_eq!(plain.busy_until, direct.busy_until);
+        assert_eq!(plain.busy_time, direct.busy_time);
+        assert!(direct.gaps.is_empty(), "Direct never records gaps");
+    }
+
+    #[test]
+    fn gap_list_is_bounded() {
+        let mut ch = Channel::default();
+        for i in 0..100u64 {
+            // Each append issues past busy_until, opening a fresh gap.
+            ch.reserve_with(ChannelPolicy::Append, SimTime(i * 1_000 + 500), Duration(1), 64);
+        }
+        assert!(ch.gaps.len() <= 32, "gap list stays bounded, got {}", ch.gaps.len());
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod arbiter;
 pub mod backend;
 pub mod badblock;
 pub mod block;
@@ -76,6 +77,7 @@ pub mod timing;
 pub mod trace;
 
 pub use addr::{BlockAddr, DieId, PageAddr, PlaneAddr};
+pub use arbiter::{ArbiterConfig, IoTag, ServiceClass};
 pub use backend::FlashBackend;
 pub use badblock::BadBlockPolicy;
 pub use block::{BlockInfo, BlockSnapshot, BlockState, PageState};

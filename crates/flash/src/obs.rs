@@ -14,13 +14,21 @@
 //! * `flash.device.quiesce_ns` — latest completion seen so far;
 //! * `flash.queue.depth_hwm` — deepest any die queue has been;
 //! * `flash.queue.<kind>.wait_ns` — submit→complete through the
-//!   command queue, per kind; `flash.queue.{submitted,failed}`.
+//!   command queue, per kind; `flash.queue.{submitted,failed}`;
+//! * `flash.queue.class.<class>.wait_ns` — the same waits split by
+//!   [`ServiceClass`] (`latency`/`throughput`/`background`);
+//! * `flash.arbiter.*` — arbiter decisions on arbiter-enabled devices:
+//!   `class.<class>.ops` admissions per class, `deferred`/`deferral_ns`
+//!   budget deferrals, `aging_capped` deferrals clipped by the
+//!   anti-starvation bound, `backfills` foreground transfers landed in
+//!   background-opened gaps, `exempt` durability ops waved through.
 
 use std::sync::Arc;
 
 use noftl_obs::{Counter, Gauge, Histogram, MetricsRegistry, Unit};
 
 use crate::addr::DieId;
+use crate::arbiter::ServiceClass;
 use crate::sched::Scheduled;
 use crate::time::SimTime;
 use crate::trace::OpKind;
@@ -129,6 +137,7 @@ impl DeviceObs {
 pub(crate) struct QueueObs {
     registry: Arc<MetricsRegistry>,
     waits: Vec<Histogram>,
+    class_waits: Vec<Histogram>,
     submitted: Counter,
     failed: Counter,
 }
@@ -141,16 +150,25 @@ impl QueueObs {
                 registry.histogram(&format!("flash.queue.{}.wait_ns", op_name(*k)), Unit::SimNanos)
             })
             .collect();
+        let class_waits = ServiceClass::ALL
+            .iter()
+            .map(|c| {
+                registry
+                    .histogram(&format!("flash.queue.class.{}.wait_ns", c.name()), Unit::SimNanos)
+            })
+            .collect();
         let submitted = registry.counter("flash.queue.submitted");
         let failed = registry.counter("flash.queue.failed");
-        QueueObs { registry, waits, submitted, failed }
+        QueueObs { registry, waits, class_waits, submitted, failed }
     }
 
     /// Record one completion: the submit→complete wait histogram for the
-    /// kind, plus a tracer span on the die's track (instant on failure).
+    /// kind and the service class, plus a tracer span on the die's track
+    /// (instant on failure).
     pub(crate) fn note_completion(
         &self,
         kind: OpKind,
+        class: ServiceClass,
         die: DieId,
         issued_at: SimTime,
         completed_at: Option<SimTime>,
@@ -160,6 +178,9 @@ impl QueueObs {
         match completed_at {
             Some(done) => {
                 if let Some(h) = self.waits.get(op_slot(kind)) {
+                    h.record(done.since(issued_at).as_nanos());
+                }
+                if let Some(h) = self.class_waits.get(class.slot()) {
                     h.record(done.since(issued_at).as_nanos());
                 }
                 self.registry.tracer().span(
@@ -181,6 +202,46 @@ impl QueueObs {
                     &[],
                 );
             }
+        }
+    }
+}
+
+/// Handles an arbiter-enabled device records admission decisions into.
+#[derive(Debug)]
+pub(crate) struct ArbiterObs {
+    /// Admissions per service class (slot order).
+    pub class_ops: Vec<Counter>,
+    /// Transfers deferred by a channel-bandwidth budget.
+    pub deferred: Counter,
+    /// Total simulated ns of budget deferral.
+    pub deferral_ns: Counter,
+    /// Deferrals clipped by the anti-starvation aging bound.
+    pub aging_capped: Counter,
+    /// Foreground transfers that landed in a background-opened gap.
+    pub backfills: Counter,
+    /// Exempt (durability) ops waved past the budget.
+    pub exempt: Counter,
+}
+
+impl ArbiterObs {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        ArbiterObs {
+            class_ops: ServiceClass::ALL
+                .iter()
+                .map(|c| registry.counter(&format!("flash.arbiter.class.{}.ops", c.name())))
+                .collect(),
+            deferred: registry.counter("flash.arbiter.deferred"),
+            deferral_ns: registry.counter("flash.arbiter.deferral_ns"),
+            aging_capped: registry.counter("flash.arbiter.aging_capped"),
+            backfills: registry.counter("flash.arbiter.backfills"),
+            exempt: registry.counter("flash.arbiter.exempt"),
+        }
+    }
+
+    /// Record one admission of `class`.
+    pub(crate) fn note_class(&self, class: ServiceClass) {
+        if let Some(c) = self.class_ops.get(class.slot()) {
+            c.inc();
         }
     }
 }

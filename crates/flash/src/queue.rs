@@ -42,6 +42,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::addr::{BlockAddr, PageAddr};
+use crate::arbiter::IoTag;
 use crate::backend::FlashBackend;
 use crate::device::OpOutcome;
 use crate::error::FlashError;
@@ -250,6 +251,15 @@ impl CommandQueue {
     /// *not* held while the device executes, so concurrent submitters to
     /// different dies proceed in parallel.
     pub fn submit(&self, command: FlashCommand, at: SimTime) -> CmdHandle {
+        self.submit_tagged(command, at, IoTag::default())
+    }
+
+    /// [`CommandQueue::submit`] carrying an arbiter [`IoTag`]: the tag's
+    /// service class feeds the per-class queue-wait histograms and, on an
+    /// arbiter-enabled device, drives admission (budget deferral for
+    /// `Background`, gap backfill for foreground, exemption for
+    /// durability traffic).
+    pub fn submit_tagged(&self, command: FlashCommand, at: SimTime, tag: IoTag) -> CmdHandle {
         let die = command.die().0 as usize;
         let kind = command.kind();
         let handle = {
@@ -263,10 +273,11 @@ impl CommandQueue {
             }
             h
         };
-        let result = self.execute(&command, at);
+        let result = self.execute(&command, at, tag);
         let completion = Completion { handle, kind, issued_at: at, result };
         self.obs.note_completion(
             kind,
+            tag.class,
             command.die(),
             at,
             completion.result.as_ref().ok().map(|out| out.outcome.completed_at),
@@ -288,18 +299,18 @@ impl CommandQueue {
         commands.into_iter().map(|c| self.submit(c, at)).collect()
     }
 
-    fn execute(&self, command: &FlashCommand, at: SimTime) -> Result<CmdOutput> {
+    fn execute(&self, command: &FlashCommand, at: SimTime, tag: IoTag) -> Result<CmdOutput> {
         match command {
             FlashCommand::Read { addr } => {
-                let (data, meta, outcome) = self.device.read_page(*addr, at)?;
+                let (data, meta, outcome) = self.device.read_page_tagged(*addr, at, tag)?;
                 Ok(CmdOutput { data, meta, outcome })
             }
             FlashCommand::MetadataRead { addr } => {
-                let (meta, outcome) = self.device.read_metadata(*addr, at)?;
+                let (meta, outcome) = self.device.read_metadata_tagged(*addr, at, tag)?;
                 Ok(CmdOutput { data: Vec::new(), meta, outcome })
             }
             FlashCommand::Program { addr, data, meta } => {
-                let outcome = self.device.program_page(*addr, data, *meta, at)?;
+                let outcome = self.device.program_page_tagged(*addr, data, *meta, at, tag)?;
                 Ok(CmdOutput { data: Vec::new(), meta: None, outcome })
             }
             FlashCommand::Erase { block } => {

@@ -14,7 +14,7 @@
 //!   this is exactly why GC under NoFTL prefers copybacks.
 //! * **Metadata read**: array read + a tiny OOB transfer.
 
-use crate::die::{Channel, Die};
+use crate::die::{Channel, ChannelPolicy, Die};
 use crate::time::{Duration, SimTime};
 use crate::timing::TimingModel;
 
@@ -27,6 +27,10 @@ pub(crate) struct Scheduled {
     pub complete: SimTime,
     /// Die queue depth at issue time (1 = the die was idle).
     pub depth: u32,
+    /// Whether the channel transfer landed in a backfilled idle gap
+    /// (arbiter-enabled devices only; always false under
+    /// [`ChannelPolicy::Direct`]).
+    pub backfilled: bool,
 }
 
 impl Scheduled {
@@ -43,11 +47,12 @@ pub(crate) fn schedule_read(
     timing: &TimingModel,
     at: SimTime,
     bytes: u32,
+    policy: ChannelPolicy,
 ) -> Scheduled {
     let (start, array_done, depth) = die.reserve(at, timing.read_array_time());
     let xfer = timing.transfer_time(bytes);
-    let (_, complete) = channel.reserve(array_done, xfer, bytes as u64);
-    Scheduled { start, complete, depth }
+    let (_, complete, backfilled) = channel.reserve_with(policy, array_done, xfer, bytes as u64);
+    Scheduled { start, complete, depth, backfilled }
 }
 
 /// Schedule a page program: transfer on the channel, then array program on
@@ -58,23 +63,24 @@ pub(crate) fn schedule_program(
     timing: &TimingModel,
     at: SimTime,
     bytes: u32,
+    policy: ChannelPolicy,
 ) -> Scheduled {
     let xfer = timing.transfer_time(bytes);
-    let (start, xfer_done) = channel.reserve(at, xfer, bytes as u64);
+    let (start, xfer_done, backfilled) = channel.reserve_with(policy, at, xfer, bytes as u64);
     let (_, complete, depth) = die.reserve(xfer_done, timing.program_array_time());
-    Scheduled { start, complete, depth }
+    Scheduled { start, complete, depth, backfilled }
 }
 
 /// Schedule a block erase (die-only).
 pub(crate) fn schedule_erase(die: &mut Die, timing: &TimingModel, at: SimTime) -> Scheduled {
     let (start, complete, depth) = die.reserve(at, timing.erase_time());
-    Scheduled { start, complete, depth }
+    Scheduled { start, complete, depth, backfilled: false }
 }
 
 /// Schedule a copyback (die-only internal move).
 pub(crate) fn schedule_copyback(die: &mut Die, timing: &TimingModel, at: SimTime) -> Scheduled {
     let (start, complete, depth) = die.reserve(at, timing.copyback_time());
-    Scheduled { start, complete, depth }
+    Scheduled { start, complete, depth, backfilled: false }
 }
 
 /// Schedule an OOB metadata read: array read plus a small transfer.
@@ -84,10 +90,12 @@ pub(crate) fn schedule_metadata_read(
     timing: &TimingModel,
     at: SimTime,
     oob_bytes: u32,
+    policy: ChannelPolicy,
 ) -> Scheduled {
     let (start, array_done, depth) = die.reserve(at, timing.read_array_time());
-    let (_, complete) = channel.reserve(array_done, timing.oob_transfer_time(), oob_bytes as u64);
-    Scheduled { start, complete, depth }
+    let (_, complete, backfilled) =
+        channel.reserve_with(policy, array_done, timing.oob_transfer_time(), oob_bytes as u64);
+    Scheduled { start, complete, depth, backfilled }
 }
 
 #[cfg(test)]
@@ -103,7 +111,7 @@ mod tests {
         let mut d = die();
         let mut ch = Channel::default();
         let t = TimingModel::mlc_2015();
-        let s = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096);
+        let s = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
         let expected = t.read_array_time().as_us_f64() + t.transfer_time(4096).as_us_f64();
         assert!((s.latency(SimTime::ZERO).as_us_f64() - expected).abs() < 1e-6);
     }
@@ -113,7 +121,7 @@ mod tests {
         let mut d = die();
         let mut ch = Channel::default();
         let t = TimingModel::mlc_2015();
-        let s = schedule_program(&mut d, &mut ch, &t, SimTime::ZERO, 4096);
+        let s = schedule_program(&mut d, &mut ch, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
         let expected = t.program_array_time().as_us_f64() + t.transfer_time(4096).as_us_f64();
         assert!((s.latency(SimTime::ZERO).as_us_f64() - expected).abs() < 1e-6);
     }
@@ -143,8 +151,8 @@ mod tests {
         let mut ch1 = Channel::default();
         let mut ch2 = Channel::default();
         let t = TimingModel::mlc_2015();
-        let a = schedule_read(&mut d1, &mut ch1, &t, SimTime::ZERO, 4096);
-        let b = schedule_read(&mut d2, &mut ch2, &t, SimTime::ZERO, 4096);
+        let a = schedule_read(&mut d1, &mut ch1, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
+        let b = schedule_read(&mut d2, &mut ch2, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
         // Same completion time: full parallelism across dies and channels.
         assert_eq!(a.complete, b.complete);
     }
@@ -154,8 +162,8 @@ mod tests {
         let mut d = die();
         let mut ch = Channel::default();
         let t = TimingModel::mlc_2015();
-        let a = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096);
-        let b = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096);
+        let a = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
+        let b = schedule_read(&mut d, &mut ch, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
         assert!(b.complete > a.complete);
         // The array phases serialize, transfers pipeline after them.
         assert!(b.start >= a.start + t.read_array_time());
@@ -167,8 +175,8 @@ mod tests {
         let mut d2 = die();
         let mut shared = Channel::default();
         let t = TimingModel::mlc_2015();
-        let a = schedule_read(&mut d1, &mut shared, &t, SimTime::ZERO, 4096);
-        let b = schedule_read(&mut d2, &mut shared, &t, SimTime::ZERO, 4096);
+        let a = schedule_read(&mut d1, &mut shared, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
+        let b = schedule_read(&mut d2, &mut shared, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
         // Array reads overlap (different dies) but the second transfer must
         // queue behind the first on the shared channel.
         assert_eq!(b.complete, a.complete + t.transfer_time(4096));
@@ -190,8 +198,9 @@ mod tests {
         let mut ch1 = Channel::default();
         let mut ch2 = Channel::default();
         let t = TimingModel::mlc_2015();
-        let full = schedule_read(&mut d1, &mut ch1, &t, SimTime::ZERO, 4096);
-        let meta = schedule_metadata_read(&mut d2, &mut ch2, &t, SimTime::ZERO, 64);
+        let full = schedule_read(&mut d1, &mut ch1, &t, SimTime::ZERO, 4096, ChannelPolicy::Direct);
+        let meta =
+            schedule_metadata_read(&mut d2, &mut ch2, &t, SimTime::ZERO, 64, ChannelPolicy::Direct);
         assert!(meta.complete < full.complete);
     }
 }

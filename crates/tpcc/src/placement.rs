@@ -51,6 +51,7 @@ pub fn figure2(total_dies: u32) -> PlacementConfig {
                 region_name: name.to_string(),
                 objects: objects.iter().map(|s| s.to_string()).collect(),
                 dies,
+                service_class: None,
             });
         }
     } else {
@@ -90,6 +91,7 @@ pub fn figure2(total_dies: u32) -> PlacementConfig {
                 region_name: name.to_string(),
                 objects: objects.iter().map(|s| s.to_string()).collect(),
                 dies: d,
+                service_class: None,
             });
         }
     }

@@ -58,6 +58,9 @@ pub trait WorkloadBackend {
     /// Point read; returns whether the key was found.
     fn read(&self, key: &[u8], at: SimTime) -> Result<(bool, SimTime)>;
 
+    /// Remove a key; deleting an absent key is a no-op, not an error.
+    fn delete(&self, key: &[u8], at: SimTime) -> Result<SimTime>;
+
     /// Read up to `limit` rows starting at `start` in key order; returns
     /// the number of rows seen.
     fn scan(&self, start: &[u8], limit: usize, at: SimTime) -> Result<(usize, SimTime)>;
@@ -111,6 +114,10 @@ impl WorkloadBackend for KvBackend {
     fn read(&self, key: &[u8], at: SimTime) -> Result<(bool, SimTime)> {
         let (hit, t) = self.store.get(key, at)?;
         Ok((hit.is_some(), t))
+    }
+
+    fn delete(&self, key: &[u8], at: SimTime) -> Result<SimTime> {
+        Ok(self.store.delete(key, at)?)
     }
 
     fn scan(&self, start: &[u8], limit: usize, at: SimTime) -> Result<(usize, SimTime)> {
@@ -203,6 +210,15 @@ impl WorkloadBackend for BtreeBackend {
         let found = self.db.index_get(&mut txn, TABLE, INDEX, key)?.is_some();
         self.db.commit(&mut txn)?;
         Ok((found, txn.now))
+    }
+
+    fn delete(&self, key: &[u8], at: SimTime) -> Result<SimTime> {
+        let mut txn = self.db.begin(at);
+        if let Some(rid) = self.db.index_lookup(&mut txn, TABLE, INDEX, key)? {
+            self.db.delete(&mut txn, TABLE, rid, &[(INDEX, key.to_vec())])?;
+        }
+        self.db.commit(&mut txn)?;
+        Ok(txn.now)
     }
 
     fn scan(&self, start: &[u8], limit: usize, at: SimTime) -> Result<(usize, SimTime)> {

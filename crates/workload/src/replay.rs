@@ -65,6 +65,7 @@ pub(crate) fn issue_trace_op(
             let (found, t) = backend.read(&op.key, issue)?;
             (u64::from(!found), backend.update(&op.key, &value, t)?)
         }
+        OpKind::Delete => (0, backend.delete(&op.key, issue)?),
     })
 }
 

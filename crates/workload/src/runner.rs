@@ -4,7 +4,7 @@ use flash_sim::SimTime;
 use noftl_obs::{Histogram, MetricsRegistry, Unit};
 
 use crate::backend::{Result, WorkloadBackend};
-use crate::ycsb::{key_bytes, stream_digest, Op, OpKind, YcsbSpec};
+use crate::ycsb::{stream_digest, Op, OpKind, YcsbSpec};
 
 /// Latency/throughput summary of one workload run.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ pub(crate) fn quantiles_us(hist: &Histogram) -> (f64, f64, f64, f64) {
 pub fn load_phase(spec: &YcsbSpec, backend: &dyn WorkloadBackend, at: SimTime) -> Result<SimTime> {
     let mut t = at;
     for id in 0..spec.record_count {
-        t = backend.insert(&key_bytes(id), &spec.value_for(id), t)?;
+        t = backend.insert(&spec.key(id), &spec.value_for(id), t)?;
     }
     backend.flush(t)
 }
@@ -61,19 +61,20 @@ pub(crate) fn execute_op(
 ) -> Result<(u64, SimTime)> {
     Ok(match op.kind {
         OpKind::Read => {
-            let (_, t) = backend.read(&key_bytes(op.key), at)?;
+            let (_, t) = backend.read(&spec.key(op.key), at)?;
             (0, t)
         }
-        OpKind::Update => (0, backend.update(&key_bytes(op.key), &spec.value_for(op.key), at)?),
-        OpKind::Insert => (0, backend.insert(&key_bytes(op.key), &spec.value_for(op.key), at)?),
+        OpKind::Update => (0, backend.update(&spec.key(op.key), &spec.value_for(op.key), at)?),
+        OpKind::Insert => (0, backend.insert(&spec.key(op.key), &spec.value_for(op.key), at)?),
         OpKind::Scan => {
-            let (rows, t) = backend.scan(&key_bytes(op.key), op.scan_len as usize, at)?;
+            let (rows, t) = backend.scan(&spec.key(op.key), op.scan_len as usize, at)?;
             (rows as u64, t)
         }
         OpKind::ReadModifyWrite => {
-            let (_, t) = backend.read(&key_bytes(op.key), at)?;
-            (0, backend.update(&key_bytes(op.key), &spec.value_for(op.key), t)?)
+            let (_, t) = backend.read(&spec.key(op.key), at)?;
+            (0, backend.update(&spec.key(op.key), &spec.value_for(op.key), t)?)
         }
+        OpKind::Delete => (0, backend.delete(&spec.key(op.key), at)?),
     })
 }
 

@@ -14,7 +14,9 @@
 use std::sync::Arc;
 
 use dbms_engine::DatabaseConfig;
-use flash_sim::{DeviceBuilder, FlashGeometry, NandDevice, SimTime, TimingModel};
+use flash_sim::{
+    ArbiterConfig, DeviceBuilder, FlashGeometry, NandDevice, ServiceClass, SimTime, TimingModel,
+};
 use noftl_core::kv::KvConfig;
 use noftl_core::{NoFtl, NoFtlConfig, PlacementConfig, RegionSpec};
 use noftl_obs::{MetricsRegistry, Unit};
@@ -44,6 +46,10 @@ pub struct MultiTenantConfig {
     pub noisy_value_len: usize,
     /// Seed of every stream in the scenario.
     pub seed: u64,
+    /// Run with the device-level cross-region I/O arbiter enabled: the
+    /// OLTP region is declared `Latency` class, the noisy KV region
+    /// `Background`, so its flush/compaction channel time is budgeted.
+    pub arbiter: bool,
 }
 
 impl MultiTenantConfig {
@@ -58,7 +64,14 @@ impl MultiTenantConfig {
             noisy_rate_kops: 2.0,
             noisy_value_len: 400,
             seed: 0x9c7b,
+            arbiter: false,
         }
+    }
+
+    /// The same scenario with the cross-region arbiter switched on.
+    pub fn with_arbiter(mut self) -> Self {
+        self.arbiter = true;
+        self
     }
 
     /// Larger offline scenario.
@@ -203,15 +216,22 @@ fn build_stack(
     config: &MultiTenantConfig,
     registry: &Arc<MetricsRegistry>,
 ) -> Result<(Arc<NandDevice>, BtreeBackend, KvBackend, SimTime)> {
-    let dev = Arc::new(
-        DeviceBuilder::new(FlashGeometry::example())
-            .timing(TimingModel::mlc_2015())
-            .metrics(Arc::clone(registry))
-            .build(),
-    );
+    let mut builder = DeviceBuilder::new(FlashGeometry::example())
+        .timing(TimingModel::mlc_2015())
+        .metrics(Arc::clone(registry));
+    if config.arbiter {
+        builder = builder.arbiter(ArbiterConfig::default());
+    }
+    let dev = Arc::new(builder.build());
     let noftl = Arc::new(NoFtl::new(dev.clone(), NoFtlConfig::default()));
     let half = dev.geometry().total_dies() / 2;
-    let placement = PlacementConfig::traditional(half, ["usertable".to_string()]);
+    let mut placement = PlacementConfig::traditional(half, ["usertable".to_string()]);
+    if config.arbiter {
+        // The OLTP tenant declares its latency sensitivity to the device.
+        for region in &mut placement.regions {
+            region.service_class = Some(ServiceClass::Latency);
+        }
+    }
     let (oltp, t0) = BtreeBackend::create(
         Arc::clone(&noftl),
         &placement,
@@ -219,7 +239,13 @@ fn build_stack(
         100,
         SimTime::ZERO,
     )?;
-    let rid = noftl.create_region(RegionSpec::named("rgNoisy").with_die_count(half))?;
+    let mut noisy_spec = RegionSpec::named("rgNoisy").with_die_count(half);
+    if config.arbiter {
+        // The churning tenant is maintenance-grade: all of its traffic —
+        // host puts included — rides the background budget.
+        noisy_spec = noisy_spec.with_service_class(ServiceClass::Background);
+    }
+    let rid = noftl.create_region(noisy_spec)?;
     // A 16 KiB memtable of 400-byte values flushes every ~40 puts; the
     // level-0 fan-in of 4 then compacts every ~160 — constant churn.
     let kv_config = KvConfig { memtable_bytes: 16 * 1024, ..KvConfig::default() };

@@ -106,7 +106,7 @@ pub fn from_spec(spec: &YcsbSpec, rate_kops: f64) -> Vec<TraceOp> {
         .map(|(i, op)| TraceOp {
             at: SimTime(i as u64 * interval_ns),
             kind: op.kind,
-            key: key_bytes(op.key),
+            key: spec.key(op.key),
             scan_len: op.scan_len,
         })
         .collect()

@@ -27,6 +27,8 @@ pub enum OpKind {
     Scan,
     /// Read a key, then write it back modified.
     ReadModifyWrite,
+    /// Remove a key (delete-bearing mix variants only).
+    Delete,
 }
 
 impl OpKind {
@@ -38,6 +40,7 @@ impl OpKind {
             OpKind::Insert => 'I',
             OpKind::Scan => 'S',
             OpKind::ReadModifyWrite => 'M',
+            OpKind::Delete => 'D',
         }
     }
 
@@ -49,6 +52,7 @@ impl OpKind {
             'I' => OpKind::Insert,
             'S' => OpKind::Scan,
             'M' => OpKind::ReadModifyWrite,
+            'D' => OpKind::Delete,
             _ => return None,
         })
     }
@@ -71,6 +75,14 @@ pub fn key_bytes(id: u64) -> Vec<u8> {
     format!("user{id:012}").into_bytes()
 }
 
+/// Render a key id in *scrambled* mode: the id is FNV-hashed before
+/// rendering, so consecutive ids land at unrelated points of the key
+/// space — YCSB's `insertorder=hashed` setting.  Still a pure function
+/// of the id, so both backends agree on every key.
+pub fn scrambled_key_bytes(id: u64) -> Vec<u8> {
+    format!("user{:016x}", fnv64(&id.to_le_bytes())).into_bytes()
+}
+
 /// A YCSB workload description.
 #[derive(Debug, Clone)]
 pub struct YcsbSpec {
@@ -86,6 +98,9 @@ pub struct YcsbSpec {
     pub scan: f64,
     /// Fraction of read-modify-writes.
     pub rmw: f64,
+    /// Fraction of deletes (0 in the core mixes; see
+    /// [`YcsbSpec::with_deletes`]).
+    pub delete: f64,
     /// Key distribution of reads/updates/scans/rmws.
     pub dist: KeyDistribution,
     /// Records loaded before the run.
@@ -98,6 +113,9 @@ pub struct YcsbSpec {
     pub max_scan_len: u32,
     /// Stream seed; the whole run is a pure function of the spec.
     pub seed: u64,
+    /// Scrambled-key mode: render keys via [`scrambled_key_bytes`]
+    /// instead of ordered `user<12 digits>` ids.
+    pub scrambled: bool,
 }
 
 impl YcsbSpec {
@@ -136,12 +154,44 @@ impl YcsbSpec {
             insert: 0.0,
             scan: 0.0,
             rmw: 0.0,
+            delete: 0.0,
             dist,
             record_count: 1_000,
             op_count: 1_000,
             value_len: 100,
             max_scan_len: 50,
             seed: 0,
+            scrambled: false,
+        }
+    }
+
+    /// Turn this spec into a delete-bearing variant: `fraction` of the
+    /// ops become deletes of chooser-picked keys, the original mix is
+    /// rescaled to the remainder.
+    pub fn with_deletes(mut self, fraction: f64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let keep = 1.0 - fraction;
+        self.read *= keep;
+        self.update *= keep;
+        self.insert *= keep;
+        self.scan *= keep;
+        self.rmw *= keep;
+        self.delete = fraction;
+        self
+    }
+
+    /// Switch the spec to scrambled (hashed) key rendering.
+    pub fn scrambled(mut self) -> Self {
+        self.scrambled = true;
+        self
+    }
+
+    /// Render a key id under this spec's key mode.
+    pub fn key(&self, id: u64) -> Vec<u8> {
+        if self.scrambled {
+            scrambled_key_bytes(id)
+        } else {
+            key_bytes(id)
         }
     }
 
@@ -211,6 +261,8 @@ impl Iterator for OpStream {
         } else if d < s.read + s.update + s.insert + s.scan {
             let len = 1 + self.scans.below(u64::from(s.max_scan_len.max(1))) as u32;
             Op { kind: OpKind::Scan, key: self.chooser.next(self.live), scan_len: len }
+        } else if d < s.read + s.update + s.insert + s.scan + s.delete {
+            Op { kind: OpKind::Delete, key: self.chooser.next(self.live), scan_len: 0 }
         } else {
             Op { kind: OpKind::ReadModifyWrite, key: self.chooser.next(self.live), scan_len: 0 }
         };
@@ -301,5 +353,37 @@ mod tests {
     fn ordered_keys_sort_like_their_ids() {
         assert!(key_bytes(5) < key_bytes(50));
         assert!(key_bytes(999) < key_bytes(1_000));
+    }
+
+    #[test]
+    fn scrambled_keys_are_deterministic_and_spread() {
+        assert_eq!(scrambled_key_bytes(7), scrambled_key_bytes(7));
+        assert_ne!(scrambled_key_bytes(7), scrambled_key_bytes(8));
+        // Consecutive ids must not stay adjacent in key order.
+        let mut rendered: Vec<Vec<u8>> = (0..100).map(scrambled_key_bytes).collect();
+        let ordered = rendered.clone();
+        rendered.sort();
+        assert_ne!(rendered, ordered, "hashing must break insertion order");
+        // Spec-level rendering honors the mode.
+        let plain = YcsbSpec::core('A', 10, 10, 1).unwrap();
+        let hashed = plain.clone().scrambled();
+        assert_eq!(plain.key(3), key_bytes(3));
+        assert_eq!(hashed.key(3), scrambled_key_bytes(3));
+    }
+
+    #[test]
+    fn delete_bearing_variant_rescales_the_mix() {
+        let spec = YcsbSpec::core('A', 1_000, 20_000, 13).unwrap().with_deletes(0.1);
+        let total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw + spec.delete;
+        assert!((total - 1.0).abs() < 1e-9, "mix still sums to one, got {total}");
+        let ops: Vec<Op> = spec.stream().collect();
+        let deletes = ops.iter().filter(|o| o.kind == OpKind::Delete).count() as f64;
+        let frac = deletes / ops.len() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "delete fraction {frac} should be ~0.1");
+        assert_eq!(OpKind::from_code('D'), Some(OpKind::Delete));
+        assert_eq!(OpKind::Delete.code(), 'D');
+        // Deletes change the digest.
+        let base = YcsbSpec::core('A', 1_000, 20_000, 13).unwrap();
+        assert_ne!(stream_digest(base.stream()), stream_digest(spec.stream()));
     }
 }

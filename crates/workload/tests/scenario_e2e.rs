@@ -32,3 +32,30 @@ fn scenario_is_deterministic() {
     assert_eq!(a.compact_shared.achieved_kops.to_bits(), b.compact_shared.achieved_kops.to_bits());
     assert_eq!(a.compact_flushes, b.compact_flushes);
 }
+
+#[test]
+fn arbiter_caps_the_noisy_neighbor_penalty() {
+    let off = oltp_beside_compaction(&MultiTenantConfig::quick()).expect("scenario");
+    let on = oltp_beside_compaction(&MultiTenantConfig::quick().with_arbiter()).expect("scenario");
+    eprintln!(
+        "off: penalty={:.3} oltp_kops={:.3} compact_kops={:.3} alone_p99={:.1}",
+        off.p99_penalty,
+        off.oltp_shared.achieved_kops,
+        off.compact_shared.achieved_kops,
+        off.oltp_alone.p99_us
+    );
+    eprintln!(
+        "on:  penalty={:.3} oltp_kops={:.3} compact_kops={:.3} alone_p99={:.1}",
+        on.p99_penalty,
+        on.oltp_shared.achieved_kops,
+        on.compact_shared.achieved_kops,
+        on.oltp_alone.p99_us
+    );
+    assert!(on.p99_penalty <= 2.0, "arbiter-on penalty {:.3} > 2.0", on.p99_penalty);
+    assert!(
+        on.compact_shared.achieved_kops >= off.compact_shared.achieved_kops * 0.75,
+        "background tenant degraded more than 25%: {:.3} vs {:.3}",
+        on.compact_shared.achieved_kops,
+        off.compact_shared.achieved_kops
+    );
+}
